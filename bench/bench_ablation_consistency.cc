@@ -1,0 +1,139 @@
+// Ablation B — scope-consistency propagation cost as the semantic-directory structure
+// grows: refinement-chain depth, sibling fan-out, and DAG density (dir() references).
+//
+// DESIGN.md calls out the update-ordering design (topological propagation over the
+// dependency DAG); this bench quantifies what one link edit costs as that graph scales.
+#include <benchmark/benchmark.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+constexpr size_t kFiles = 300;
+
+std::unique_ptr<HacFileSystem> CorpusFs() {
+  auto fs = std::make_unique<HacFileSystem>();
+  CorpusOptions opts;
+  opts.num_files = kFiles;
+  opts.dirs = 10;
+  opts.words_per_file = 80;
+  if (!GenerateCorpus(*fs, opts).ok() || !fs->Reindex().ok()) {
+    std::abort();
+  }
+  return fs;
+}
+
+// One permanent-link edit at the chain head, propagated down `depth` levels.
+void BM_PropagationByChainDepth(benchmark::State& state) {
+  auto fs = CorpusFs();
+  const int depth = static_cast<int>(state.range(0));
+  std::string dir = "/chain";
+  if (!fs->SMkdir(dir, "fingerprint OR image OR network").ok()) {
+    std::abort();
+  }
+  for (int d = 1; d < depth; ++d) {
+    dir += "/s";
+    if (!fs->SMkdir(dir, "ALL").ok()) {
+      std::abort();
+    }
+  }
+  int i = 0;
+  for (auto _ : state) {
+    // Alternate adding/removing a hand link in the chain head: each edit triggers a
+    // full propagation through the chain.
+    std::string link = "/chain/pin" + std::to_string(i % 2);
+    if (i % 2 == 0) {
+      if (!fs->Symlink("/corpus/d0/note20.txt", link).ok()) {
+        std::abort();
+      }
+    } else {
+      (void)fs->Unlink("/chain/pin0");
+    }
+    ++i;
+  }
+  state.counters["dirs_recomputed_per_edit"] =
+      benchmark::Counter(static_cast<double>(fs->Stats().scope_propagations),
+                         benchmark::Counter::kAvgIterations);
+}
+
+// One edit in a directory with `fanout` sibling semantic children.
+void BM_PropagationByFanout(benchmark::State& state) {
+  auto fs = CorpusFs();
+  const int fanout = static_cast<int>(state.range(0));
+  if (!fs->SMkdir("/hub", "fingerprint OR image OR network OR database").ok()) {
+    std::abort();
+  }
+  const auto& topics = CorpusTopics();
+  for (int c = 0; c < fanout; ++c) {
+    if (!fs->SMkdir("/hub/c" + std::to_string(c), topics[c % topics.size()]).ok()) {
+      std::abort();
+    }
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::string link = "/hub/pin";
+    if (i % 2 == 0) {
+      if (!fs->Symlink("/corpus/d1/note21.txt", link).ok()) {
+        std::abort();
+      }
+    } else {
+      (void)fs->Unlink(link);
+    }
+    ++i;
+  }
+}
+
+// One edit in a directory referenced by `refs` other directories via dir() queries.
+void BM_PropagationByDagRefs(benchmark::State& state) {
+  auto fs = CorpusFs();
+  const int refs = static_cast<int>(state.range(0));
+  if (!fs->SMkdir("/source", "fingerprint OR image").ok()) {
+    std::abort();
+  }
+  for (int r = 0; r < refs; ++r) {
+    if (!fs->SMkdir("/ref" + std::to_string(r), "ALL AND dir(/source)").ok()) {
+      std::abort();
+    }
+  }
+  int i = 0;
+  for (auto _ : state) {
+    std::string link = "/source/pin";
+    if (i % 2 == 0) {
+      if (!fs->Symlink("/corpus/d2/note22.txt", link).ok()) {
+        std::abort();
+      }
+    } else {
+      (void)fs->Unlink(link);
+    }
+    ++i;
+  }
+}
+
+// Baseline: cost of ssync over the whole structure vs a full reindex.
+void BM_FullReindex(benchmark::State& state) {
+  auto fs = CorpusFs();
+  for (int d = 0; d < 10; ++d) {
+    if (!fs->SMkdir("/v" + std::to_string(d),
+                    CorpusTopics()[static_cast<size_t>(d) % CorpusTopics().size()])
+             .ok()) {
+      std::abort();
+    }
+  }
+  for (auto _ : state) {
+    if (!fs->Reindex().ok()) {
+      std::abort();
+    }
+  }
+}
+
+BENCHMARK(BM_PropagationByChainDepth)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+BENCHMARK(BM_PropagationByFanout)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_PropagationByDagRefs)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+BENCHMARK(BM_FullReindex);
+
+}  // namespace
+}  // namespace hac
+
+BENCHMARK_MAIN();

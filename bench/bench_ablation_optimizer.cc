@@ -1,0 +1,142 @@
+// Ablation C — query optimizer: evaluation cost with and without the rewrite pass
+// (double negation, ALL identities, idempotence, absorption, selectivity-ordered AND).
+//
+// Uses google-benchmark over the synthetic corpus. Two query families:
+//   * redundant queries (what users and query-generating tools actually write after a
+//     few editing rounds): heavy with NOT NOT, x AND x, x AND (x OR y);
+//   * asymmetric ANDs (rare AND common) where evaluation order decides how much
+//     posting data is touched.
+#include <benchmark/benchmark.h>
+
+#include "src/index/query_optimizer.h"
+#include "src/support/rng.h"
+#include "src/vfs/file_system.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+std::unique_ptr<InvertedIndex> BuildIndex() {
+  FileSystem fs;
+  CorpusOptions opts;
+  opts.num_files = 1200;
+  opts.dirs = 24;
+  opts.words_per_file = 200;
+  if (!GenerateCorpus(fs, opts).ok()) {
+    std::abort();
+  }
+  auto index = std::make_unique<InvertedIndex>();
+  DocId doc = 0;
+  auto tree = fs.ListTree("/corpus");
+  for (const std::string& path : tree.value()) {
+    auto st = fs.StatPath(path);
+    if (st.ok() && st.value().type == NodeType::kFile) {
+      if (!index->IndexDocument(doc++, fs.ReadFileToString(path).value()).ok()) {
+        std::abort();
+      }
+    }
+  }
+  return index;
+}
+
+QueryExprPtr RedundantQuery(Rng& rng, int depth) {
+  const auto& topics = CorpusTopics();
+  if (depth == 0) {
+    return QueryExpr::Term(topics[rng.NextBelow(topics.size())]);
+  }
+  switch (rng.NextBelow(4)) {
+    case 0:
+      return QueryExpr::Not(QueryExpr::Not(RedundantQuery(rng, depth - 1)));
+    case 1: {
+      QueryExprPtr x = RedundantQuery(rng, depth - 1);
+      QueryExprPtr x2 = x->Clone();
+      return QueryExpr::And(std::move(x2), std::move(x));
+    }
+    case 2: {
+      QueryExprPtr x = RedundantQuery(rng, depth - 1);
+      QueryExprPtr y = RedundantQuery(rng, depth - 1);
+      QueryExprPtr x2 = x->Clone();
+      return QueryExpr::And(std::move(x), QueryExpr::Or(std::move(x2), std::move(y)));
+    }
+    default:
+      return QueryExpr::And(RedundantQuery(rng, depth - 1), QueryExpr::All());
+  }
+}
+
+void BM_RedundantQueriesUnoptimized(benchmark::State& state) {
+  auto index = BuildIndex();
+  Rng rng(1);
+  std::vector<QueryExprPtr> queries;
+  for (int i = 0; i < 32; ++i) {
+    queries.push_back(RedundantQuery(rng, static_cast<int>(state.range(0))));
+  }
+  Bitmap scope = Bitmap::AllUpTo(1200);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = index->Evaluate(*queries[i++ % queries.size()], scope, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+
+void BM_RedundantQueriesOptimized(benchmark::State& state) {
+  auto index = BuildIndex();
+  Rng rng(1);
+  std::vector<QueryExprPtr> queries;
+  for (int i = 0; i < 32; ++i) {
+    // Optimization cost included: rewrite per evaluation, like the consistency engine.
+    queries.push_back(RedundantQuery(rng, static_cast<int>(state.range(0))));
+  }
+  Bitmap scope = Bitmap::AllUpTo(1200);
+  size_t i = 0;
+  for (auto _ : state) {
+    QueryExprPtr q = OptimizeQuery(queries[i++ % queries.size()]->Clone(), index.get());
+    auto r = index->Evaluate(*q, scope, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+
+void BM_AsymmetricAndUnoptimized(benchmark::State& state) {
+  auto index = BuildIndex();
+  // common AND rare, in the bad order.
+  auto rare_terms = index->TermsWithFrequencyBetween(1, 3);
+  auto common_terms = index->TermsWithFrequencyBetween(300, 100000);
+  if (rare_terms.empty() || common_terms.empty()) {
+    state.SkipWithError("no suitable terms");
+    return;
+  }
+  QueryExprPtr q = QueryExpr::And(QueryExpr::Term(common_terms[0]),
+                                  QueryExpr::Term(rare_terms[0]));
+  Bitmap scope = Bitmap::AllUpTo(1200);
+  for (auto _ : state) {
+    auto r = index->Evaluate(*q, scope, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+
+void BM_AsymmetricAndOptimized(benchmark::State& state) {
+  auto index = BuildIndex();
+  auto rare_terms = index->TermsWithFrequencyBetween(1, 3);
+  auto common_terms = index->TermsWithFrequencyBetween(300, 100000);
+  if (rare_terms.empty() || common_terms.empty()) {
+    state.SkipWithError("no suitable terms");
+    return;
+  }
+  QueryExprPtr base = QueryExpr::And(QueryExpr::Term(common_terms[0]),
+                                     QueryExpr::Term(rare_terms[0]));
+  Bitmap scope = Bitmap::AllUpTo(1200);
+  for (auto _ : state) {
+    QueryExprPtr q = OptimizeQuery(base->Clone(), index.get());
+    auto r = index->Evaluate(*q, scope, nullptr);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+
+BENCHMARK(BM_RedundantQueriesUnoptimized)->Arg(2)->Arg(4)->Arg(6);
+BENCHMARK(BM_RedundantQueriesOptimized)->Arg(2)->Arg(4)->Arg(6);
+BENCHMARK(BM_AsymmetricAndUnoptimized);
+BENCHMARK(BM_AsymmetricAndOptimized);
+
+}  // namespace
+}  // namespace hac
+
+BENCHMARK_MAIN();

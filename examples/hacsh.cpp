@@ -1,0 +1,97 @@
+// hacsh: an interactive shell over a HAC file system, exposing the paper's command
+// vocabulary (smkdir / schq / sreadq / ssync / sact / smount / slinks / reindex) next
+// to the ordinary commands. Reads stdin; with no tty it runs a demo script, so this
+// example is usable both interactively and in CI.
+//
+//   ./build/examples/example_hacsh            # demo script
+//   ./build/examples/example_hacsh -          # read commands from stdin
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/digital_library.h"
+#include "src/tools/commands.h"
+
+namespace {
+
+const char* const kDemoScript[] = {
+    "help",
+    "mkdir /notes",
+    "echo 'fingerprint minutiae matching ideas' > /notes/ideas.txt",
+    "echo 'fingerprint in the murder case' > /notes/crime.txt",
+    "echo 'butter flour oven' > /notes/recipes.txt",
+    "reindex",
+    "smkdir /fp 'fingerprint AND NOT murder'",
+    "ls /fp",
+    "sreadq /fp",
+    "cd /fp",
+    "sact ideas.txt",
+    "ln -s /notes/recipes.txt keep.txt",
+    "rm /fp/crime.txt",  // no-op: not present (filtered by NOT murder)
+    "slinks /fp",
+    "schq /fp 'fingerprint'",
+    "ls /fp",            // crime.txt appears; keep.txt survives the query change
+    "slinks",
+    "smount -s /lib acmlib",
+    "smkdir /lib/papers 'fingerprint'",
+    "ls /lib/papers",
+    "squery 'fingerprint AND NOT murder'",
+    "squery 'fingerprnt~1'",  // approximate match tolerates the typo
+    "sdump /",
+    "sfsck",
+    "stats",
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hac::HacFileSystem fs;
+  hac::CommandInterpreter sh(&fs);
+
+  // A small built-in digital library so `smount -s ... acmlib` works out of the box.
+  hac::DigitalLibrary library("acmlib");
+  library.AddArticle({"a1", "Fingerprint Matching Survey", "Maltoni",
+                      "fingerprint minutiae matching", "ridge structures compared"});
+  library.AddArticle({"a2", "Btrees Revisited", "Bayer", "database indexing", "pages"});
+  sh.RegisterNameSpace("acmlib", &library);
+  if (auto r = fs.Mkdir("/lib"); !r.ok()) {
+    return 1;
+  }
+
+  const bool from_stdin = argc > 1 && std::strcmp(argv[1], "-") == 0;
+  if (!from_stdin) {
+    for (const char* line : kDemoScript) {
+      std::printf("hac:%s$ %s\n", sh.cwd().c_str(), line);
+      auto out = sh.Execute(line);
+      if (out.ok()) {
+        std::fputs(out.value().c_str(), stdout);
+      } else {
+        std::printf("error: %s\n", out.error().ToString().c_str());
+      }
+    }
+    return 0;
+  }
+
+  char buf[4096];
+  std::printf("hac:%s$ ", sh.cwd().c_str());
+  std::fflush(stdout);
+  while (std::fgets(buf, sizeof(buf), stdin) != nullptr) {
+    std::string line(buf);
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+    }
+    if (line == "exit" || line == "quit") {
+      break;
+    }
+    auto out = sh.Execute(line);
+    if (out.ok()) {
+      std::fputs(out.value().c_str(), stdout);
+    } else {
+      std::printf("error: %s\n", out.error().ToString().c_str());
+    }
+    std::printf("hac:%s$ ", sh.cwd().c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Exporting a personal HAC file system as a "mini digital library" (section 3.2's
+// closing idea) using whole-state persistence:
+//
+//   1. a user curates a classified collection over months (simulated),
+//   2. SaveState() captures everything — files, queries, the edited link sets,
+//   3. a second user loads the image, audits it with hacfsck, browses the curated
+//      views, and mounts the loaded system semantically to search it.
+#include <cstdio>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/remote_hac.h"
+#include "src/support/rng.h"
+#include "src/tools/fsck.h"
+#include "src/tools/inspect.h"
+#include "src/workload/corpus.h"
+
+namespace {
+
+#define CHECK_OK(expr)                                                    \
+  do {                                                                    \
+    auto _r = (expr);                                                     \
+    if (!_r.ok()) {                                                       \
+      std::fprintf(stderr, "FATAL %s: %s\n", #expr,                       \
+                   _r.error().ToString().c_str());                        \
+      return 1;                                                           \
+    }                                                                     \
+  } while (0)
+
+}  // namespace
+
+int main() {
+  using namespace hac;
+
+  // --- The curator builds and tunes a collection ---
+  HacFileSystem curator;
+  CorpusOptions copts;
+  copts.root = "/collection";
+  copts.num_files = 120;
+  copts.dirs = 6;
+  copts.words_per_file = 120;
+  CHECK_OK(GenerateCorpus(curator, copts));
+  CHECK_OK(curator.Reindex());
+  CHECK_OK(curator.SMkdir("/by_topic", ""));
+  for (const char* topic : {"fingerprint", "astronomy", "chess"}) {
+    CHECK_OK(curator.SMkdir(std::string("/by_topic/") + topic, topic));
+  }
+  // Months of curation, compressed: prune a couple of results, pin one outsider.
+  auto fp_entries = curator.ReadDir("/by_topic/fingerprint").value();
+  if (fp_entries.size() > 2) {
+    CHECK_OK(curator.Unlink("/by_topic/fingerprint/" + fp_entries[0].name));
+  }
+  std::printf("curator's library:\n%s\n",
+              DumpTree(curator, "/by_topic").value_or("?").c_str());
+
+  // --- Export: one image holds the files AND the classification ---
+  std::vector<uint8_t> image = curator.SaveState();
+  std::printf("exported image: %zu bytes\n\n", image.size());
+
+  // --- A reader imports it ---
+  auto imported = HacFileSystem::LoadState(image);
+  if (!imported.ok()) {
+    std::fprintf(stderr, "FATAL LoadState: %s\n", imported.error().ToString().c_str());
+    return 1;
+  }
+  HacFileSystem& library = *imported.value();
+  FsckReport audit = RunFsck(library);
+  std::printf("fsck of the imported library: %s\n", audit.ToString().c_str());
+
+  // The curated views arrived intact — including the pruning.
+  std::printf("imported /by_topic/fingerprint has %zu entries (curator pruned one)\n",
+              library.ReadDir("/by_topic/fingerprint").value().size());
+  std::printf("its query reads back as: %s\n\n",
+              library.GetQuery("/by_topic/fingerprint").value_or("?").c_str());
+
+  // --- The reader searches the imported library from their own file system ---
+  HacFileSystem reader;
+  RemoteHacNameSpace library_ns("library", &library, "/collection");
+  CHECK_OK(reader.MkdirAll("/libraries/colleague"));
+  CHECK_OK(reader.MountSemantic("/libraries/colleague", &library_ns));
+  CHECK_OK(reader.SMkdir("/libraries/colleague/chess_finds", "chess AND endgame"));
+  auto finds = reader.ReadDir("/libraries/colleague/chess_finds").value();
+  std::printf("reader's search over the imported library found %zu documents:\n",
+              finds.size());
+  for (const auto& e : finds) {
+    std::printf("  %s\n", e.name.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Sharing personal classifications (section 3.2): coworkers mount each other's HAC
+// file systems syntactically (to browse) and semantically (to search), a web search
+// engine joins through its own semantic mount, and a central catalog of everyone's
+// semantic-directory queries is itself indexed and searched.
+#include <cstdio>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/remote_hac.h"
+#include "src/remote/web_search.h"
+
+using hac::HacFileSystem;
+using hac::RemoteHacNameSpace;
+using hac::WebSearchEngine;
+
+namespace {
+
+#define CHECK_OK(expr)                                                    \
+  do {                                                                    \
+    auto _r = (expr);                                                     \
+    if (!_r.ok()) {                                                       \
+      std::fprintf(stderr, "FATAL %s: %s\n", #expr,                       \
+                   _r.error().ToString().c_str());                        \
+      return 1;                                                           \
+    }                                                                     \
+  } while (0)
+
+void Show(HacFileSystem& fs, const std::string& dir) {
+  std::printf("%s:\n", dir.c_str());
+  auto entries = fs.ReadDir(dir);
+  if (!entries.ok()) {
+    std::printf("  error: %s\n", entries.error().ToString().c_str());
+    return;
+  }
+  for (const auto& e : entries.value()) {
+    std::printf("  %s%s\n", e.name.c_str(),
+                e.type == hac::NodeType::kDirectory ? "/" : "");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // --- Alice curates a fingerprint reading list ---
+  HacFileSystem alice;
+  CHECK_OK(alice.MkdirAll("/work/papers"));
+  CHECK_OK(alice.WriteFile("/work/papers/survey.txt",
+                           "fingerprint minutiae matching survey"));
+  CHECK_OK(alice.WriteFile("/work/papers/btree.txt", "btree concurrency"));
+  CHECK_OK(alice.WriteFile("/work/papers/latent.txt",
+                           "latent fingerprint enhancement"));
+  CHECK_OK(alice.Reindex());
+  CHECK_OK(alice.SMkdir("/work/fp_reading", "fingerprint"));
+  std::printf("=== alice's classification ===\n");
+  Show(alice, "/work/fp_reading");
+
+  // --- Bob browses it via a syntactic mount (no searching of his own) ---
+  HacFileSystem bob;
+  CHECK_OK(bob.MkdirAll("/peers/alice"));
+  CHECK_OK(bob.MountSyntactic("/peers/alice", &alice, "/work"));
+  std::printf("\n=== bob browses alice through a syntactic mount ===\n");
+  Show(bob, "/peers/alice/fp_reading");
+  std::printf("bob reads through alice's link: %s\n",
+              bob.ReadFileToString("/peers/alice/fp_reading/survey.txt")
+                  .value_or("(error)")
+                  .c_str());
+
+  // --- Bob also searches Alice's data via a semantic mount, keeping his own copy ---
+  RemoteHacNameSpace alice_ns("alice", &alice, "/work");
+  CHECK_OK(bob.MkdirAll("/research"));
+  CHECK_OK(bob.MountSemantic("/research", &alice_ns));
+
+  // --- And a (simulated) web search engine on the same topic, at another mount ---
+  WebSearchEngine web("websearch");
+  web.AddPage("http://nist.example/fp", "NIST fingerprint data", "fingerprint dataset");
+  web.AddPage("http://cook.example", "Pie crust", "butter flour");
+  CHECK_OK(bob.MkdirAll("/web"));
+  CHECK_OK(bob.MountSemantic("/web", &web));
+
+  CHECK_OK(bob.SMkdir("/research/fp", "fingerprint"));
+  CHECK_OK(bob.SMkdir("/web/fp", "fingerprint"));
+  std::printf("\n=== bob's own searches (imported copies, his to edit) ===\n");
+  Show(bob, "/research/fp");
+  Show(bob, "/web/fp");
+
+  // Bob prunes one of Alice's results from HIS copy; Alice is unaffected.
+  auto entries = bob.ReadDir("/research/fp").value();
+  if (!entries.empty()) {
+    CHECK_OK(bob.Unlink("/research/fp/" + entries[0].name));
+  }
+  std::printf("\nafter bob prunes one import: his=%zu links, alice still=%zu links\n",
+              bob.ReadDir("/research/fp").value().size(),
+              alice.ReadDir("/work/fp_reading").value().size());
+
+  // --- A central catalog indexes everyone's queries ---
+  HacFileSystem central;
+  CHECK_OK(central.Mkdir("/catalog"));
+  CHECK_OK(central.WriteFile("/catalog/alice_fp_reading.txt",
+                             "owner alice\npath /work/fp_reading\nquery " +
+                                 alice.GetQuery("/work/fp_reading").value()));
+  CHECK_OK(central.WriteFile("/catalog/bob_web_fp.txt",
+                             "owner bob\npath /web/fp\nquery " +
+                                 bob.GetQuery("/web/fp").value()));
+  CHECK_OK(central.Reindex());
+  CHECK_OK(central.SMkdir("/interested_in_fingerprints", "fingerprint"));
+  std::printf("\n=== central catalog: who organizes fingerprint material? ===\n");
+  Show(central, "/interested_in_fingerprints");
+  return 0;
+}

@@ -1,0 +1,143 @@
+#include "src/baseline/jade_fs.h"
+
+#include <vector>
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+JadeFs::JadeFs(FsInterface* backing) : backing_(backing) {
+  logical_to_physical_.emplace("/", "/");
+}
+
+Result<std::string> JadeFs::Translate(const std::string& logical) {
+  std::string norm = NormalizePath(logical);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + logical);
+  }
+  // Component-wise walk: each mapped prefix is looked up in the translation table; the
+  // first unmapped component ends the walk (files are not mapped, directories are).
+  std::string physical = "/";
+  std::string logical_prefix = "/";
+  for (const std::string& comp : SplitPath(norm)) {
+    logical_prefix = JoinPath(logical_prefix == "/" ? "" : logical_prefix, comp);
+    auto it = logical_to_physical_.find(logical_prefix);
+    if (it != logical_to_physical_.end()) {
+      physical = it->second;
+    } else {
+      physical = JoinPath(physical == "/" ? "" : physical, comp);
+    }
+  }
+  return physical;
+}
+
+void JadeFs::RecordMapping(const std::string& logical, const std::string& physical) {
+  logical_to_physical_[logical] = physical;
+}
+
+void JadeFs::DropMappingSubtree(const std::string& logical) {
+  for (auto it = logical_to_physical_.begin(); it != logical_to_physical_.end();) {
+    if (PathIsWithin(it->first, logical)) {
+      it = logical_to_physical_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Result<void> JadeFs::Mkdir(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  HAC_RETURN_IF_ERROR(backing_->Mkdir(physical));
+  RecordMapping(NormalizePath(path), physical);
+  return OkResult();
+}
+
+Result<void> JadeFs::Rmdir(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  HAC_RETURN_IF_ERROR(backing_->Rmdir(physical));
+  DropMappingSubtree(NormalizePath(path));
+  return OkResult();
+}
+
+Result<std::vector<DirEntry>> JadeFs::ReadDir(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  return backing_->ReadDir(physical);
+}
+
+Result<Fd> JadeFs::Open(const std::string& path, uint32_t flags) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  HAC_ASSIGN_OR_RETURN(Fd fd, backing_->Open(physical, flags));
+  open_bookkeeping_[fd] = 0;
+  return fd;
+}
+
+Result<void> JadeFs::Close(Fd fd) {
+  open_bookkeeping_.erase(fd);
+  return backing_->Close(fd);
+}
+
+Result<size_t> JadeFs::Read(Fd fd, void* buf, size_t n) {
+  auto it = open_bookkeeping_.find(fd);
+  if (it != open_bookkeeping_.end()) {
+    ++it->second;
+  }
+  return backing_->Read(fd, buf, n);
+}
+
+Result<size_t> JadeFs::Write(Fd fd, const void* buf, size_t n) {
+  auto it = open_bookkeeping_.find(fd);
+  if (it != open_bookkeeping_.end()) {
+    ++it->second;
+  }
+  return backing_->Write(fd, buf, n);
+}
+
+Result<uint64_t> JadeFs::Seek(Fd fd, uint64_t offset) { return backing_->Seek(fd, offset); }
+
+Result<void> JadeFs::Unlink(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  return backing_->Unlink(physical);
+}
+
+Result<void> JadeFs::Rename(const std::string& from, const std::string& to) {
+  HAC_ASSIGN_OR_RETURN(std::string phys_from, Translate(from));
+  HAC_ASSIGN_OR_RETURN(std::string phys_to, Translate(to));
+  HAC_RETURN_IF_ERROR(backing_->Rename(phys_from, phys_to));
+  std::string norm_from = NormalizePath(from);
+  std::string norm_to = NormalizePath(to);
+  // Remap the moved subtree.
+  std::vector<std::pair<std::string, std::string>> moved;
+  for (const auto& [logical, physical] : logical_to_physical_) {
+    if (PathIsWithin(logical, norm_from)) {
+      moved.emplace_back(RebasePath(logical, norm_from, norm_to),
+                         RebasePath(physical, phys_from, phys_to));
+    }
+  }
+  DropMappingSubtree(norm_from);
+  for (auto& [logical, physical] : moved) {
+    RecordMapping(logical, physical);
+  }
+  return OkResult();
+}
+
+Result<void> JadeFs::Symlink(const std::string& target, const std::string& link_path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(link_path));
+  return backing_->Symlink(target, physical);
+}
+
+Result<std::string> JadeFs::ReadLink(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  return backing_->ReadLink(physical);
+}
+
+Result<Stat> JadeFs::StatPath(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  return backing_->StatPath(physical);
+}
+
+Result<Stat> JadeFs::LstatPath(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(std::string physical, Translate(path));
+  return backing_->LstatPath(physical);
+}
+
+}  // namespace hac

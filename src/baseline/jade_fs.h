@@ -1,0 +1,58 @@
+// Jade-like user-level file system layer (Table 2 comparator).
+//
+// Jade (Rao & Peterson, 1993) gives each user a private logical name space mapped onto
+// physical file systems: every call translates a logical path through per-directory
+// mapping tables before reaching the underlying system. We model that faithfully at the
+// cost level: a logical->physical translation table maintained per directory, a
+// per-call pathname translation walk, and per-open descriptor bookkeeping — but no
+// content-based machinery (which is HAC's extra cost in the paper's comparison).
+#ifndef HAC_BASELINE_JADE_FS_H_
+#define HAC_BASELINE_JADE_FS_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+class JadeFs final : public FsInterface {
+ public:
+  // `backing` is not owned and must outlive this object.
+  explicit JadeFs(FsInterface* backing);
+
+  Result<void> Mkdir(const std::string& path) override;
+  Result<void> Rmdir(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Result<Fd> Open(const std::string& path, uint32_t flags) override;
+  Result<void> Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t n) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t n) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Result<void> Unlink(const std::string& path) override;
+  Result<void> Rename(const std::string& from, const std::string& to) override;
+  Result<void> Symlink(const std::string& target, const std::string& link_path) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+  Result<Stat> StatPath(const std::string& path) override;
+  Result<Stat> LstatPath(const std::string& path) override;
+
+  size_t TableEntries() const { return logical_to_physical_.size(); }
+
+ private:
+  // Walks the logical path component-by-component through the mapping tables,
+  // producing the physical path (Jade's per-call translation cost).
+  Result<std::string> Translate(const std::string& logical);
+
+  void RecordMapping(const std::string& logical, const std::string& physical);
+  void DropMappingSubtree(const std::string& logical);
+
+  FsInterface* backing_;
+  // logical directory path -> physical directory path. Identity in this model, but the
+  // walk and the table maintenance are the measured work.
+  std::unordered_map<std::string, std::string> logical_to_physical_;
+  std::unordered_map<Fd, uint64_t> open_bookkeeping_;  // fd -> ops through it
+};
+
+}  // namespace hac
+
+#endif  // HAC_BASELINE_JADE_FS_H_

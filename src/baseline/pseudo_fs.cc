@@ -1,0 +1,314 @@
+#include "src/baseline/pseudo_fs.h"
+
+#include <cstring>
+
+namespace hac {
+
+PseudoFs::PseudoFs(FsInterface* backing) : backing_(backing) {}
+
+void PseudoFs::EncodeStat(ByteWriter& w, const Stat& st) {
+  w.PutU64(st.inode);
+  w.PutU8(static_cast<uint8_t>(st.type));
+  w.PutU64(st.size);
+  w.PutU64(st.mtime);
+  w.PutU32(st.nlink);
+}
+
+Result<Stat> PseudoFs::DecodeStat(ByteReader& r) {
+  Stat st;
+  HAC_ASSIGN_OR_RETURN(st.inode, r.GetU64());
+  HAC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+  st.type = static_cast<NodeType>(type);
+  HAC_ASSIGN_OR_RETURN(st.size, r.GetU64());
+  HAC_ASSIGN_OR_RETURN(st.mtime, r.GetU64());
+  HAC_ASSIGN_OR_RETURN(st.nlink, r.GetU32());
+  return st;
+}
+
+Result<std::vector<uint8_t>> PseudoFs::Call(OpCode op, const std::vector<uint8_t>& request) {
+  // Client -> channel: the request is copied into the channel buffer (one "message").
+  channel_.assign(request.begin(), request.end());
+  ++messages_;
+  channel_bytes_ += channel_.size();
+  // Server side picks the message out of the channel.
+  ByteReader req(channel_);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> reply, Dispatch(op, req));
+  // Server -> channel -> client: the reply is copied back.
+  channel_.assign(reply.begin(), reply.end());
+  ++messages_;
+  channel_bytes_ += channel_.size();
+  return std::vector<uint8_t>(channel_.begin(), channel_.end());
+}
+
+Result<std::vector<uint8_t>> PseudoFs::Dispatch(OpCode op, ByteReader& req) {
+  ByteWriter reply;
+  switch (op) {
+    case OpCode::kMkdir: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_RETURN_IF_ERROR(backing_->Mkdir(path));
+      break;
+    }
+    case OpCode::kRmdir: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_RETURN_IF_ERROR(backing_->Rmdir(path));
+      break;
+    }
+    case OpCode::kReadDir: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, backing_->ReadDir(path));
+      reply.PutVarint(entries.size());
+      for (const DirEntry& e : entries) {
+        reply.PutString(e.name);
+        reply.PutU8(static_cast<uint8_t>(e.type));
+        reply.PutU64(e.inode);
+      }
+      break;
+    }
+    case OpCode::kOpen: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_ASSIGN_OR_RETURN(uint32_t flags, req.GetU32());
+      HAC_ASSIGN_OR_RETURN(Fd fd, backing_->Open(path, flags));
+      reply.PutU32(static_cast<uint32_t>(fd));
+      break;
+    }
+    case OpCode::kClose: {
+      HAC_ASSIGN_OR_RETURN(uint32_t fd, req.GetU32());
+      HAC_RETURN_IF_ERROR(backing_->Close(static_cast<Fd>(fd)));
+      break;
+    }
+    case OpCode::kRead: {
+      HAC_ASSIGN_OR_RETURN(uint32_t fd, req.GetU32());
+      HAC_ASSIGN_OR_RETURN(uint64_t n, req.GetVarint());
+      std::vector<uint8_t> buf(n);
+      HAC_ASSIGN_OR_RETURN(size_t got,
+                           backing_->Read(static_cast<Fd>(fd), buf.data(), buf.size()));
+      reply.PutVarint(got);
+      reply.PutBytes(buf.data(), got);
+      break;
+    }
+    case OpCode::kWrite: {
+      HAC_ASSIGN_OR_RETURN(uint32_t fd, req.GetU32());
+      HAC_ASSIGN_OR_RETURN(std::string data, req.GetString());
+      HAC_ASSIGN_OR_RETURN(size_t put,
+                           backing_->Write(static_cast<Fd>(fd), data.data(), data.size()));
+      reply.PutVarint(put);
+      break;
+    }
+    case OpCode::kSeek: {
+      HAC_ASSIGN_OR_RETURN(uint32_t fd, req.GetU32());
+      HAC_ASSIGN_OR_RETURN(uint64_t offset, req.GetU64());
+      HAC_ASSIGN_OR_RETURN(uint64_t pos, backing_->Seek(static_cast<Fd>(fd), offset));
+      reply.PutU64(pos);
+      break;
+    }
+    case OpCode::kUnlink: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_RETURN_IF_ERROR(backing_->Unlink(path));
+      break;
+    }
+    case OpCode::kRename: {
+      HAC_ASSIGN_OR_RETURN(std::string from, req.GetString());
+      HAC_ASSIGN_OR_RETURN(std::string to, req.GetString());
+      HAC_RETURN_IF_ERROR(backing_->Rename(from, to));
+      break;
+    }
+    case OpCode::kSymlink: {
+      HAC_ASSIGN_OR_RETURN(std::string target, req.GetString());
+      HAC_ASSIGN_OR_RETURN(std::string link_path, req.GetString());
+      HAC_RETURN_IF_ERROR(backing_->Symlink(target, link_path));
+      break;
+    }
+    case OpCode::kReadLink: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_ASSIGN_OR_RETURN(std::string target, backing_->ReadLink(path));
+      reply.PutString(target);
+      break;
+    }
+    case OpCode::kStat: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_ASSIGN_OR_RETURN(Stat st, backing_->StatPath(path));
+      EncodeStat(reply, st);
+      break;
+    }
+    case OpCode::kLstat: {
+      HAC_ASSIGN_OR_RETURN(std::string path, req.GetString());
+      HAC_ASSIGN_OR_RETURN(Stat st, backing_->LstatPath(path));
+      EncodeStat(reply, st);
+      break;
+    }
+    case OpCode::kReadBulk: {
+      HAC_ASSIGN_OR_RETURN(uint32_t fd, req.GetU32());
+      HAC_ASSIGN_OR_RETURN(uint64_t n, req.GetVarint());
+      HAC_ASSIGN_OR_RETURN(size_t got,
+                           backing_->Read(static_cast<Fd>(fd), shared_read_buf_, n));
+      reply.PutVarint(got);  // data already sits in the shared buffer
+      break;
+    }
+    case OpCode::kWriteBulk: {
+      HAC_ASSIGN_OR_RETURN(uint32_t fd, req.GetU32());
+      HAC_ASSIGN_OR_RETURN(uint64_t n, req.GetVarint());
+      HAC_ASSIGN_OR_RETURN(size_t put,
+                           backing_->Write(static_cast<Fd>(fd), shared_write_buf_, n));
+      reply.PutVarint(put);
+      break;
+    }
+  }
+  return reply.TakeBuffer();
+}
+
+Result<void> PseudoFs::Mkdir(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_RETURN_IF_ERROR(Call(OpCode::kMkdir, req.buffer()));
+  return OkResult();
+}
+
+Result<void> PseudoFs::Rmdir(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_RETURN_IF_ERROR(Call(OpCode::kRmdir, req.buffer()));
+  return OkResult();
+}
+
+Result<std::vector<DirEntry>> PseudoFs::ReadDir(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kReadDir, req.buffer()));
+  ByteReader r(raw);
+  HAC_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<DirEntry> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    DirEntry e;
+    HAC_ASSIGN_OR_RETURN(e.name, r.GetString());
+    HAC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+    e.type = static_cast<NodeType>(type);
+    HAC_ASSIGN_OR_RETURN(e.inode, r.GetU64());
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+Result<Fd> PseudoFs::Open(const std::string& path, uint32_t flags) {
+  ByteWriter req;
+  req.PutString(path);
+  req.PutU32(flags);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kOpen, req.buffer()));
+  ByteReader r(raw);
+  HAC_ASSIGN_OR_RETURN(uint32_t fd, r.GetU32());
+  return static_cast<Fd>(fd);
+}
+
+Result<void> PseudoFs::Close(Fd fd) {
+  ByteWriter req;
+  req.PutU32(static_cast<uint32_t>(fd));
+  HAC_RETURN_IF_ERROR(Call(OpCode::kClose, req.buffer()));
+  return OkResult();
+}
+
+Result<size_t> PseudoFs::Read(Fd fd, void* buf, size_t n) {
+  if (n > kInlineLimit) {
+    // Bulk path: the data lands in the shared buffer; only control info is marshalled.
+    shared_read_buf_ = buf;
+    ByteWriter req;
+    req.PutU32(static_cast<uint32_t>(fd));
+    req.PutVarint(n);
+    HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kReadBulk, req.buffer()));
+    shared_read_buf_ = nullptr;
+    ByteReader r(raw);
+    HAC_ASSIGN_OR_RETURN(uint64_t got, r.GetVarint());
+    return static_cast<size_t>(got);
+  }
+  ByteWriter req;
+  req.PutU32(static_cast<uint32_t>(fd));
+  req.PutVarint(n);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kRead, req.buffer()));
+  ByteReader r(raw);
+  HAC_ASSIGN_OR_RETURN(uint64_t got, r.GetVarint());
+  if (got > n || got > r.remaining()) {
+    return Error(ErrorCode::kCorrupt, "short read reply");
+  }
+  // Final copy out of the channel into the caller's buffer.
+  HAC_RETURN_IF_ERROR(r.GetBytes(buf, got));
+  return static_cast<size_t>(got);
+}
+
+Result<size_t> PseudoFs::Write(Fd fd, const void* buf, size_t n) {
+  if (n > kInlineLimit) {
+    shared_write_buf_ = buf;
+    ByteWriter req;
+    req.PutU32(static_cast<uint32_t>(fd));
+    req.PutVarint(n);
+    HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw,
+                         Call(OpCode::kWriteBulk, req.buffer()));
+    shared_write_buf_ = nullptr;
+    ByteReader r(raw);
+    HAC_ASSIGN_OR_RETURN(uint64_t put, r.GetVarint());
+    return static_cast<size_t>(put);
+  }
+  ByteWriter req;
+  req.PutU32(static_cast<uint32_t>(fd));
+  req.PutString(std::string_view(static_cast<const char*>(buf), n));
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kWrite, req.buffer()));
+  ByteReader r(raw);
+  HAC_ASSIGN_OR_RETURN(uint64_t put, r.GetVarint());
+  return static_cast<size_t>(put);
+}
+
+Result<uint64_t> PseudoFs::Seek(Fd fd, uint64_t offset) {
+  ByteWriter req;
+  req.PutU32(static_cast<uint32_t>(fd));
+  req.PutU64(offset);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kSeek, req.buffer()));
+  ByteReader r(raw);
+  return r.GetU64();
+}
+
+Result<void> PseudoFs::Unlink(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_RETURN_IF_ERROR(Call(OpCode::kUnlink, req.buffer()));
+  return OkResult();
+}
+
+Result<void> PseudoFs::Rename(const std::string& from, const std::string& to) {
+  ByteWriter req;
+  req.PutString(from);
+  req.PutString(to);
+  HAC_RETURN_IF_ERROR(Call(OpCode::kRename, req.buffer()));
+  return OkResult();
+}
+
+Result<void> PseudoFs::Symlink(const std::string& target, const std::string& link_path) {
+  ByteWriter req;
+  req.PutString(target);
+  req.PutString(link_path);
+  HAC_RETURN_IF_ERROR(Call(OpCode::kSymlink, req.buffer()));
+  return OkResult();
+}
+
+Result<std::string> PseudoFs::ReadLink(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kReadLink, req.buffer()));
+  ByteReader r(raw);
+  return r.GetString();
+}
+
+Result<Stat> PseudoFs::StatPath(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kStat, req.buffer()));
+  ByteReader r(raw);
+  return DecodeStat(r);
+}
+
+Result<Stat> PseudoFs::LstatPath(const std::string& path) {
+  ByteWriter req;
+  req.PutString(path);
+  HAC_ASSIGN_OR_RETURN(std::vector<uint8_t> raw, Call(OpCode::kLstat, req.buffer()));
+  ByteReader r(raw);
+  return DecodeStat(r);
+}
+
+}  // namespace hac

@@ -1,0 +1,77 @@
+// Pseudo-file-system-like layer (Table 2's second comparator).
+//
+// The pseudo-file-system approach (Welch & Ousterhout's pseudo-devices lineage; the
+// paper cites [13]) services file operations in a user-level server reached through a
+// message channel. We model the cost structure: each call is marshalled into a request
+// message, moved through an in-process channel, unmarshalled and dispatched by a server
+// loop, and its reply marshalled back. Small payloads travel inline in the message;
+// bulk reads/writes use the shared-memory buffer (as Sprite's pseudo-devices do) and
+// pay only the control-message round trip.
+#ifndef HAC_BASELINE_PSEUDO_FS_H_
+#define HAC_BASELINE_PSEUDO_FS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/serializer.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+class PseudoFs final : public FsInterface {
+ public:
+  // `backing` is not owned and must outlive this object.
+  explicit PseudoFs(FsInterface* backing);
+
+  Result<void> Mkdir(const std::string& path) override;
+  Result<void> Rmdir(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Result<Fd> Open(const std::string& path, uint32_t flags) override;
+  Result<void> Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t n) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t n) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Result<void> Unlink(const std::string& path) override;
+  Result<void> Rename(const std::string& from, const std::string& to) override;
+  Result<void> Symlink(const std::string& target, const std::string& link_path) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+  Result<Stat> StatPath(const std::string& path) override;
+  Result<Stat> LstatPath(const std::string& path) override;
+
+  uint64_t MessagesExchanged() const { return messages_; }
+  uint64_t BytesThroughChannel() const { return channel_bytes_; }
+
+ private:
+  enum class OpCode : uint8_t {
+    kMkdir = 1, kRmdir, kReadDir, kOpen, kClose, kRead, kWrite, kSeek,
+    kUnlink, kRename, kSymlink, kReadLink, kStat, kLstat,
+    kReadBulk, kWriteBulk,  // payload via the shared-memory buffer
+  };
+
+  // Payloads at or below this size travel inline in the message.
+  static constexpr size_t kInlineLimit = 256;
+
+  // Marshals a request, "sends" it through the channel, and dispatches it in the
+  // server. Returns the server's raw reply buffer.
+  Result<std::vector<uint8_t>> Call(OpCode op, const std::vector<uint8_t>& request);
+
+  // Server side: decode the request, run it against the backing FS, encode the reply.
+  Result<std::vector<uint8_t>> Dispatch(OpCode op, ByteReader& req);
+
+  static void EncodeStat(ByteWriter& w, const Stat& st);
+  static Result<Stat> DecodeStat(ByteReader& r);
+
+  FsInterface* backing_;
+  std::vector<uint8_t> channel_;  // the "message channel" buffer
+  // The "shared memory" region: client and server sides both see these during a bulk
+  // call (set by the client immediately before Call()).
+  void* shared_read_buf_ = nullptr;
+  const void* shared_write_buf_ = nullptr;
+  uint64_t messages_ = 0;
+  uint64_t channel_bytes_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_BASELINE_PSEUDO_FS_H_

@@ -1,0 +1,133 @@
+#include "src/baseline/sfs_like.h"
+
+#include <algorithm>
+
+#include "src/index/tokenizer.h"
+#include "src/support/string_util.h"
+#include "src/vfs/path.h"
+
+namespace hac {
+
+SfsLikeSystem::SfsLikeSystem(FsInterface* backing) : backing_(backing) {}
+
+void SfsLikeSystem::TextTransducer(const std::string& content, FileAttrs& out) {
+  Tokenizer tokenizer;
+  for (const std::string& token : tokenizer.UniqueTokens(content)) {
+    out.attrs["text"].push_back(token);
+  }
+}
+
+void SfsLikeSystem::MailTransducer(const std::string& content, FileAttrs& out) {
+  // RFC-822-ish headers until the first blank line.
+  size_t start = 0;
+  while (start < content.size()) {
+    size_t end = content.find('\n', start);
+    if (end == std::string::npos) {
+      end = content.size();
+    }
+    std::string_view line(content.data() + start, end - start);
+    if (TrimWhitespace(line).empty()) {
+      break;
+    }
+    size_t colon = line.find(':');
+    if (colon != std::string_view::npos) {
+      std::string key = ToLowerAscii(TrimWhitespace(line.substr(0, colon)));
+      std::string value = ToLowerAscii(TrimWhitespace(line.substr(colon + 1)));
+      if (key == "from" || key == "to" || key == "subject") {
+        // SFS stores the first token of the value for people fields, whole words for
+        // subjects; we keep all tokens, which is strictly more permissive.
+        Tokenizer tokenizer;
+        for (const std::string& token : tokenizer.UniqueTokens(value)) {
+          out.attrs[key].push_back(token);
+        }
+      }
+    }
+    start = end + 1;
+  }
+}
+
+Result<void> SfsLikeSystem::IndexAll(const std::string& root) {
+  files_.clear();
+  HAC_ASSIGN_OR_RETURN(std::vector<std::string> tree, backing_->ListTree(root));
+  for (const std::string& path : tree) {
+    auto st = backing_->StatPath(path);
+    if (!st.ok() || st.value().type != NodeType::kFile) {
+      continue;
+    }
+    auto content = backing_->ReadFileToString(path);
+    if (!content.ok()) {
+      continue;
+    }
+    FileAttrs fa;
+    fa.path = path;
+    TextTransducer(content.value(), fa);
+    if (EndsWith(path, ".eml") || EndsWith(path, ".mail")) {
+      MailTransducer(content.value(), fa);
+    }
+    // Every file also carries its own name and extension as attributes ("name:",
+    // "ext:"), like SFS's directory transducer.
+    std::string base = BaseName(path);
+    fa.attrs["name"].push_back(ToLowerAscii(base));
+    size_t dot = base.rfind('.');
+    if (dot != std::string::npos && dot + 1 < base.size()) {
+      fa.attrs["ext"].push_back(ToLowerAscii(base.substr(dot + 1)));
+    }
+    for (auto& [attr, values] : fa.attrs) {
+      std::sort(values.begin(), values.end());
+      values.erase(std::unique(values.begin(), values.end()), values.end());
+    }
+    files_.push_back(std::move(fa));
+  }
+  return OkResult();
+}
+
+Result<std::vector<std::string>> SfsLikeSystem::Lookup(
+    const std::string& virtual_path) const {
+  std::string norm = NormalizePath(virtual_path);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "virtual path must be absolute");
+  }
+  // Parse the attribute:value components; the SFS model supports nothing else.
+  std::vector<std::pair<std::string, std::string>> conjuncts;
+  for (const std::string& comp : SplitPath(norm)) {
+    size_t colon = comp.find(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= comp.size()) {
+      return Error(ErrorCode::kUnsupported,
+                   "SFS virtual directories are attribute:value chains; got '" + comp +
+                       "'");
+    }
+    conjuncts.emplace_back(ToLowerAscii(comp.substr(0, colon)),
+                           ToLowerAscii(comp.substr(colon + 1)));
+  }
+  std::vector<std::string> out;
+  for (const FileAttrs& fa : files_) {
+    bool all = true;
+    for (const auto& [attr, value] : conjuncts) {
+      auto it = fa.attrs.find(attr);
+      if (it == fa.attrs.end() ||
+          !std::binary_search(it->second.begin(), it->second.end(), value)) {
+        all = false;
+        break;
+      }
+    }
+    if (all) {
+      out.push_back(fa.path);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::string> SfsLikeSystem::AttributeNames() const {
+  std::vector<std::string> out;
+  for (const FileAttrs& fa : files_) {
+    for (const auto& [attr, values] : fa.attrs) {
+      out.push_back(attr);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace hac

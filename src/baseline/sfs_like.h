@@ -1,0 +1,65 @@
+// SFS-like virtual directories: a minimal re-creation of the MIT Semantic File System
+// access model (Gifford et al. 1991), the paper's primary related-work comparison.
+//
+// In SFS, a *virtual directory* is named by its query: listing
+// /virtual/author:smith/text:fingerprint materializes links to files whose attributes
+// match the conjunction. Virtual directories are read-only views computed on demand —
+// they do not live in the real file system, cannot be edited, and evaporate when the
+// query changes.
+//
+// This model demonstrates by construction the four §5 limitations HAC removes:
+//   1. queries are AND-chains of attribute:value pairs only;
+//   2. virtual directories are not part of the physical name space (no files inside);
+//   3. results cannot be customized (no permanent/prohibited links);
+//   4. no sharing of classifications (views are per-lookup, nothing is stored).
+//
+// Transducers: like SFS, typed extractors derive attributes from file content — here a
+// generic text transducer (attribute "text") and a mail transducer ("from", "to",
+// "subject") chosen by file extension.
+#ifndef HAC_BASELINE_SFS_LIKE_H_
+#define HAC_BASELINE_SFS_LIKE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+class SfsLikeSystem {
+ public:
+  // `backing` is the real file system the virtual tree points into; not owned.
+  explicit SfsLikeSystem(FsInterface* backing);
+
+  // (Re-)runs the transducers over every file under `root` in the backing system.
+  Result<void> IndexAll(const std::string& root = "/");
+
+  // Resolves a virtual path: each component is "attribute:value"; the result is the
+  // conjunction, as a list of physical paths (what an `ls` of the virtual directory
+  // would show as links). Example: Lookup("/author:alice/text:fingerprint").
+  Result<std::vector<std::string>> Lookup(const std::string& virtual_path) const;
+
+  // The attribute names a "field-names" listing would show (SFS exposes these).
+  std::vector<std::string> AttributeNames() const;
+
+  size_t IndexedFiles() const { return files_.size(); }
+
+ private:
+  struct FileAttrs {
+    std::string path;
+    // attribute -> set of values (sorted).
+    std::map<std::string, std::vector<std::string>> attrs;
+  };
+
+  static void TextTransducer(const std::string& content, FileAttrs& out);
+  static void MailTransducer(const std::string& content, FileAttrs& out);
+
+  FsInterface* backing_;
+  std::vector<FileAttrs> files_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_BASELINE_SFS_LIKE_H_

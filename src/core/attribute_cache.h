@@ -1,0 +1,45 @@
+// Attribute cache: HAC's stand-in for the paper's shared-memory attribute cache that
+// "helps to speed up Scan and Read operations". Caches Stat results by inode; mutations
+// invalidate. Shared across all HAC processes (the paper stores it in UNIX shared
+// memory for the same reason).
+#ifndef HAC_CORE_ATTRIBUTE_CACHE_H_
+#define HAC_CORE_ATTRIBUTE_CACHE_H_
+
+#include <optional>
+#include <unordered_map>
+
+#include "src/vfs/types.h"
+
+namespace hac {
+
+class AttributeCache {
+ public:
+  std::optional<Stat> Get(InodeId inode) {
+    auto it = cache_.find(inode);
+    if (it == cache_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+  }
+
+  void Put(InodeId inode, const Stat& st) { cache_[inode] = st; }
+
+  void Invalidate(InodeId inode) { cache_.erase(inode); }
+  void Clear() { cache_.clear(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  size_t EntryCount() const { return cache_.size(); }
+  size_t SizeBytes() const { return cache_.size() * (sizeof(InodeId) + sizeof(Stat) + 48); }
+
+ private:
+  std::unordered_map<InodeId, Stat> cache_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_ATTRIBUTE_CACHE_H_

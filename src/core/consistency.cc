@@ -1,0 +1,341 @@
+// The scope-consistency engine (sections 2.3-2.5) and the deferred data-consistency
+// pass (section 2.4).
+//
+// Invariant maintained for every semantic directory sd with parent p:
+//   transient(sd) == Eval(query(sd)) ∩ scope(p)  −  permanent(sd)  −  prohibited(sd)
+// where scope(p) is p's current link set plus the files physically under p. Parent
+// refinement is implemented, exactly as the paper describes, by evaluating the
+// *effective query*  `<query> AND dir(p)`; the engine itself only knows the dependency
+// DAG and recomputes dependents in topological order.
+#include <algorithm>
+#include <cctype>
+
+#include "src/core/hac_file_system.h"
+#include "src/index/query_optimizer.h"
+#include "src/vfs/path.h"
+
+namespace hac {
+
+Result<Bitmap> HacFileSystem::DirContentsOfUid(DirUid uid) {
+  // What a dir(X) reference denotes: X's current (edited) link set plus the files
+  // physically inside X's subtree — nothing inherited.
+  HAC_ASSIGN_OR_RETURN(std::string path, uid_map_.PathOf(uid));
+  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
+  Bitmap contents = meta->links.LinkSet();
+  contents |= registry_.FilesWithin(path);
+  return contents;
+}
+
+Result<Bitmap> HacFileSystem::ScopeOfUid(DirUid uid) {
+  // What a directory PROVIDES to semantic children. Semantic directories provide
+  // exactly their contents (the paper's refinement rule); the root provides everything.
+  // Plain syntactic directories are scope-transparent: they pass their parent's scope
+  // through in addition to their own contents, so a semantic directory created inside
+  // any ordinary folder still searches what the enclosing hierarchy provides (the
+  // paper pins down only the root and semantic parents; this completes the rule for
+  // the case in between).
+  HAC_ASSIGN_OR_RETURN(Bitmap scope, DirContentsOfUid(uid));
+  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
+  HAC_ASSIGN_OR_RETURN(std::string path, uid_map_.PathOf(uid));
+  // Semantic mount points provide only what lives under them (local files plus cached
+  // imports) — inheriting the whole local hierarchy would leak it into remote views.
+  if (!meta->IsSemantic() && uid != uid_map_.root_uid() &&
+      mounts_.FindSemanticAt(path) == nullptr) {
+    HAC_ASSIGN_OR_RETURN(DirUid parent, uid_map_.UidOf(DirName(path)));
+    HAC_ASSIGN_OR_RETURN(Bitmap inherited, ScopeOfUid(parent));
+    scope |= inherited;
+  }
+  return scope;
+}
+
+Result<std::vector<DirUid>> HacFileSystem::ComputeDeps(DirUid uid,
+                                                       const std::string& norm_path,
+                                                       const QueryExpr* query) {
+  std::vector<DirUid> deps;
+  if (uid != uid_map_.root_uid()) {
+    HAC_ASSIGN_OR_RETURN(DirUid parent, uid_map_.UidOf(DirName(norm_path)));
+    deps.push_back(parent);
+  }
+  if (query != nullptr) {
+    for (DirUid ref : query->ReferencedDirs()) {
+      deps.push_back(ref);
+    }
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  return deps;
+}
+
+QueryExprPtr HacFileSystem::ContentOnly(const QueryExpr& query) {
+  QueryExprPtr out = query.Clone();
+  std::vector<QueryExpr*> refs;
+  out->CollectDirRefs(refs);
+  for (QueryExpr* ref : refs) {
+    // dir() references are local; remotely every document passes this conjunct.
+    ref->kind = QueryKind::kAll;
+    ref->text.clear();
+    ref->dir_uid = kInvalidDirUid;
+  }
+  return out;
+}
+
+Result<void> HacFileSystem::ImportRemoteResults(const SemanticMount& mount,
+                                                const QueryExpr& query) {
+  QueryExprPtr content = ContentOnly(query);
+  for (NameSpace* space : mount.spaces) {
+    ++stats_.remote_searches;
+    HAC_ASSIGN_OR_RETURN(std::vector<RemoteDoc> docs, space->Search(*content));
+    if (docs.empty()) {
+      continue;
+    }
+    std::string cache_dir = JoinPath(mount.mount_path == "/" ? "" : mount.mount_path,
+                                     ".remote");
+    cache_dir = JoinPath(cache_dir, space->Name());
+    HAC_RETURN_IF_ERROR(MkdirAll(cache_dir));
+    for (const RemoteDoc& doc : docs) {
+      std::string key = mount.mount_path + "\x1f" + space->Name() + "\x1f" + doc.handle;
+      if (registry_.FindRemote(key).ok()) {
+        continue;  // already imported
+      }
+      HAC_ASSIGN_OR_RETURN(std::string body, space->Fetch(doc.handle));
+      // Cached file name: sanitized title + sanitized handle for uniqueness.
+      auto sanitize = [](const std::string& s, size_t cap) {
+        std::string out;
+        for (char c : s) {
+          out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+        }
+        if (out.size() > cap) {
+          out.resize(cap);
+        }
+        return out;
+      };
+      std::string base = sanitize(doc.title, 48);
+      std::string suffix = sanitize(doc.handle, 48);
+      std::string name = base.empty() ? suffix : base + "_" + suffix;
+      std::string cache_path = JoinPath(cache_dir, name);
+      for (int n = 2; vfs_.Exists(cache_path); ++n) {
+        cache_path = JoinPath(cache_dir, name + "~" + std::to_string(n));
+      }
+      HAC_RETURN_IF_ERROR(vfs_.WriteFile(cache_path, body));
+      HAC_ASSIGN_OR_RETURN(InodeId inode, vfs_.Lookup(cache_path));
+      HAC_ASSIGN_OR_RETURN(DocId id, registry_.AddRemote(inode, cache_path, key));
+      HAC_RETURN_IF_ERROR(index_->IndexDocument(id, body));
+      registry_.ClearDirty(id);
+      ++stats_.remote_imports;
+      ++stats_.docs_indexed;
+    }
+  }
+  return OkResult();
+}
+
+Result<void> HacFileSystem::RecomputeDir(DirUid uid) {
+  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
+  if (!meta->IsSemantic()) {
+    return OkResult();  // syntactic directories own no transient links
+  }
+  HAC_ASSIGN_OR_RETURN(std::string path, uid_map_.PathOf(uid));
+  std::string parent_path = DirName(path);
+
+  // If the parent is a semantic mount point, the query's scope includes the mounted
+  // name spaces: forward the content part and import the results first (section 3.1).
+  if (const SemanticMount* mount = mounts_.FindSemanticAt(parent_path); mount != nullptr) {
+    HAC_RETURN_IF_ERROR(ImportRemoteResults(*mount, *meta->query));
+  }
+
+  // Hierarchical refinement: the query is evaluated against the scope the parent
+  // provides (equivalent to the paper's `<query> AND dir(parent)` encoding, since the
+  // evaluator interprets NOT relative to the supplied scope). User-written dir()
+  // references resolve to the referenced directory's own contents.
+  HAC_ASSIGN_OR_RETURN(DirUid parent_uid, uid_map_.UidOf(parent_path));
+  HAC_ASSIGN_OR_RETURN(Bitmap parent_scope, ScopeOfUid(parent_uid));
+
+  DirResolver resolver = [this](DirUid ref) -> Result<Bitmap> {
+    return this->DirContentsOfUid(ref);
+  };
+  ++stats_.query_evaluations;
+  // The stored query stays as written (GetQuery renders it back); evaluation runs the
+  // optimized form, re-derived here so selectivity ordering uses current statistics.
+  QueryExprPtr optimized = OptimizeQuery(meta->query->Clone(), index_.get());
+  HAC_ASSIGN_OR_RETURN(Bitmap result,
+                       index_->Evaluate(*optimized, parent_scope, &resolver));
+
+  // A file physically sitting in this very directory is already "here": no self-link.
+  result.AndNot(registry_.DirectChildrenOf(path));
+
+  // The user's edits always win: permanent links are never re-derived, prohibited links
+  // never return.
+  Bitmap new_transient = result;
+  new_transient.AndNot(meta->links.permanent());
+  new_transient.AndNot(meta->links.prohibited());
+
+  // Materialize the diff as symlink churn in the VFS.
+  Bitmap old_transient = meta->links.transient();
+  Bitmap removed = old_transient;
+  removed.AndNot(new_transient);
+  Bitmap added = new_transient;
+  added.AndNot(old_transient);
+
+  Result<void> status = OkResult();
+  removed.ForEach([&](DocId doc) {
+    if (!status.ok()) {
+      return;
+    }
+    auto name = meta->links.NameOf(doc);
+    if (!name.ok()) {
+      return;
+    }
+    (void)meta->links.RemoveLink(name.value());
+    (void)vfs_.Unlink(JoinPath(path == "/" ? "" : path, name.value()));
+    ++stats_.transient_links_removed;
+  });
+  HAC_RETURN_IF_ERROR(status);
+
+  auto taken = [this, &path](const std::string& candidate) {
+    return vfs_.Exists(JoinPath(path == "/" ? "" : path, candidate));
+  };
+  added.ForEach([&](DocId doc) {
+    if (!status.ok()) {
+      return;
+    }
+    const FileRecord* rec = registry_.Get(doc);
+    if (rec == nullptr || !rec->alive) {
+      return;
+    }
+    std::string name = meta->links.UniqueName(BaseName(rec->path), taken);
+    Result<void> s = vfs_.Symlink(rec->path, JoinPath(path == "/" ? "" : path, name));
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    s = meta->links.AddLink(name, doc, LinkClass::kTransient);
+    if (!s.ok()) {
+      status = s;
+      return;
+    }
+    ++stats_.transient_links_added;
+  });
+  HAC_RETURN_IF_ERROR(status);
+
+  // Refresh stale symlink targets (files may have been renamed since materialization).
+  for (const auto& [name, rec] : meta->links.links()) {
+    if (rec.doc == kInvalidDocId) {
+      continue;
+    }
+    const FileRecord* file = registry_.Get(rec.doc);
+    if (file == nullptr || !file->alive) {
+      continue;
+    }
+    std::string link_path = JoinPath(path == "/" ? "" : path, name);
+    auto target = vfs_.ReadLink(link_path);
+    if (target.ok() && target.value() != file->path) {
+      (void)vfs_.Unlink(link_path);
+      (void)vfs_.Symlink(file->path, link_path);
+    }
+  }
+  return OkResult();
+}
+
+Result<void> HacFileSystem::PropagateFrom(DirUid uid) {
+  if (in_recompute_) {
+    return OkResult();  // the outer propagation already covers this change
+  }
+  in_recompute_ = true;
+  Result<void> status = RecomputeDir(uid);
+  ++stats_.scope_propagations;
+  if (status.ok()) {
+    for (DirUid dep : graph_.DependentsInTopoOrder(uid)) {
+      status = RecomputeDir(dep);
+      ++stats_.scope_propagations;
+      if (!status.ok()) {
+        break;
+      }
+    }
+  }
+  in_recompute_ = false;
+  return status;
+}
+
+Result<void> HacFileSystem::FlushDirtyDocs(const std::string& subtree_root) {
+  for (DocId doc : registry_.DirtyDocs()) {
+    const FileRecord* rec = registry_.Get(doc);
+    if (rec == nullptr) {
+      continue;
+    }
+    if (!PathIsWithin(rec->path, subtree_root)) {
+      continue;
+    }
+    if (!rec->alive) {
+      if (index_->RemoveDocument(doc).ok()) {
+        ++stats_.docs_purged;
+      }
+      registry_.ClearDirty(doc);
+      continue;
+    }
+    // Content is read through HAC's own call surface (descriptor table, attribute
+    // cache), exactly as the paper's prototype drives Glimpse through the HAC library.
+    auto body = ReadFileToString(rec->path);
+    if (!body.ok()) {
+      continue;  // transiently unreadable; stays dirty
+    }
+    HAC_RETURN_IF_ERROR(index_->IndexDocument(doc, body.value()));
+    ++stats_.docs_indexed;
+    registry_.ClearDirty(doc);
+  }
+  return OkResult();
+}
+
+Result<void> HacFileSystem::RecomputeAll() {
+  in_recompute_ = true;
+  Result<void> status = OkResult();
+  for (DirUid uid : graph_.FullTopoOrder()) {
+    status = RecomputeDir(uid);
+    ++stats_.scope_propagations;
+    if (!status.ok()) {
+      break;
+    }
+  }
+  in_recompute_ = false;
+  return status;
+}
+
+Result<void> HacFileSystem::Reindex() {
+  HAC_RETURN_IF_ERROR(FlushDirtyDocs("/"));
+  HAC_RETURN_IF_ERROR(RecomputeAll());
+  content_mutations_since_reindex_ = 0;
+  last_reindex_tick_ = vfs_.clock().Now();
+  return OkResult();
+}
+
+Result<void> HacFileSystem::ReindexSubtree(const std::string& path) {
+  std::string norm = NormalizePath(path);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + path);
+  }
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
+  HAC_RETURN_IF_ERROR(FlushDirtyDocs(norm));
+  return PropagateFrom(uid);
+}
+
+void HacFileSystem::MaybeAutoReindex() {
+  const SyncPolicy& policy = options_.sync_policy;
+  bool due = false;
+  switch (policy.mode) {
+    case SyncMode::kManual:
+      break;
+    case SyncMode::kEveryNMutations:
+      due = policy.n > 0 && content_mutations_since_reindex_ >= policy.n;
+      break;
+    case SyncMode::kIntervalTicks:
+      due = policy.n > 0 && vfs_.clock().Now() - last_reindex_tick_ >= policy.n;
+      break;
+    case SyncMode::kImmediate:
+      due = true;
+      break;
+  }
+  if (due && !in_recompute_) {
+    ++stats_.auto_reindexes;
+    (void)Reindex();
+  }
+}
+
+}  // namespace hac

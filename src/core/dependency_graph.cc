@@ -1,0 +1,192 @@
+#include "src/core/dependency_graph.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace hac {
+
+Result<void> DependencyGraph::AddNode(DirUid uid) {
+  if (deps_.count(uid) != 0) {
+    return Error(ErrorCode::kAlreadyExists, "dep node " + std::to_string(uid));
+  }
+  deps_.emplace(uid, std::unordered_set<DirUid>{});
+  dependents_.emplace(uid, std::unordered_set<DirUid>{});
+  return OkResult();
+}
+
+bool DependencyGraph::Reaches(DirUid start, DirUid target) const {
+  std::vector<DirUid> stack = {start};
+  std::unordered_set<DirUid> seen;
+  while (!stack.empty()) {
+    DirUid cur = stack.back();
+    stack.pop_back();
+    if (cur == target) {
+      return true;
+    }
+    if (!seen.insert(cur).second) {
+      continue;
+    }
+    auto it = dependents_.find(cur);
+    if (it != dependents_.end()) {
+      stack.insert(stack.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return false;
+}
+
+Result<void> DependencyGraph::SetDependencies(DirUid uid, const std::vector<DirUid>& new_deps) {
+  auto it = deps_.find(uid);
+  if (it == deps_.end()) {
+    return Error(ErrorCode::kNotFound, "dep node " + std::to_string(uid));
+  }
+  for (DirUid dep : new_deps) {
+    if (dep == uid) {
+      return Error(ErrorCode::kCycle, "directory cannot depend on itself");
+    }
+    if (deps_.count(dep) == 0) {
+      return Error(ErrorCode::kNotFound, "dep node " + std::to_string(dep));
+    }
+    // Adding edge dep -> uid creates a cycle iff dep is already downstream of uid.
+    if (it->second.count(dep) == 0 && Reaches(uid, dep)) {
+      return Error(ErrorCode::kCycle,
+                   "dependency on " + std::to_string(dep) + " would create a cycle");
+    }
+  }
+  for (DirUid old_dep : it->second) {
+    dependents_[old_dep].erase(uid);
+  }
+  it->second.clear();
+  for (DirUid dep : new_deps) {
+    it->second.insert(dep);
+    dependents_[dep].insert(uid);
+  }
+  return OkResult();
+}
+
+Result<void> DependencyGraph::RemoveNode(DirUid uid) {
+  auto it = deps_.find(uid);
+  if (it == deps_.end()) {
+    return Error(ErrorCode::kNotFound, "dep node " + std::to_string(uid));
+  }
+  if (!dependents_.at(uid).empty()) {
+    return Error(ErrorCode::kBusy,
+                 "directory " + std::to_string(uid) + " is referenced by other queries");
+  }
+  for (DirUid dep : it->second) {
+    dependents_[dep].erase(uid);
+  }
+  deps_.erase(it);
+  dependents_.erase(uid);
+  return OkResult();
+}
+
+std::vector<DirUid> DependencyGraph::DependenciesOf(DirUid uid) const {
+  auto it = deps_.find(uid);
+  if (it == deps_.end()) {
+    return {};
+  }
+  std::vector<DirUid> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DirUid> DependencyGraph::DirectDependentsOf(DirUid uid) const {
+  auto it = dependents_.find(uid);
+  if (it == dependents_.end()) {
+    return {};
+  }
+  std::vector<DirUid> out(it->second.begin(), it->second.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<DirUid> DependencyGraph::DependentsInTopoOrder(DirUid uid) const {
+  // Collect the affected subgraph.
+  std::unordered_set<DirUid> affected;
+  std::vector<DirUid> stack = {uid};
+  while (!stack.empty()) {
+    DirUid cur = stack.back();
+    stack.pop_back();
+    auto it = dependents_.find(cur);
+    if (it == dependents_.end()) {
+      continue;
+    }
+    for (DirUid next : it->second) {
+      if (affected.insert(next).second) {
+        stack.push_back(next);
+      }
+    }
+  }
+  // Kahn over the affected subgraph; only edges internal to it count.
+  std::unordered_map<DirUid, size_t> in_degree;
+  for (DirUid node : affected) {
+    size_t d = 0;
+    for (DirUid dep : deps_.at(node)) {
+      if (affected.count(dep) != 0) {
+        ++d;
+      }
+    }
+    in_degree[node] = d;
+  }
+  // Deterministic order: smallest uid first among ready nodes.
+  std::priority_queue<DirUid, std::vector<DirUid>, std::greater<>> ready;
+  for (const auto& [node, d] : in_degree) {
+    if (d == 0) {
+      ready.push(node);
+    }
+  }
+  std::vector<DirUid> order;
+  order.reserve(affected.size());
+  while (!ready.empty()) {
+    DirUid cur = ready.top();
+    ready.pop();
+    order.push_back(cur);
+    for (DirUid next : dependents_.at(cur)) {
+      auto it = in_degree.find(next);
+      if (it != in_degree.end() && --it->second == 0) {
+        ready.push(next);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<DirUid> DependencyGraph::FullTopoOrder() const {
+  std::unordered_map<DirUid, size_t> in_degree;
+  for (const auto& [node, node_deps] : deps_) {
+    in_degree[node] = node_deps.size();
+  }
+  std::priority_queue<DirUid, std::vector<DirUid>, std::greater<>> ready;
+  for (const auto& [node, d] : in_degree) {
+    if (d == 0) {
+      ready.push(node);
+    }
+  }
+  std::vector<DirUid> order;
+  order.reserve(deps_.size());
+  while (!ready.empty()) {
+    DirUid cur = ready.top();
+    ready.pop();
+    order.push_back(cur);
+    for (DirUid next : dependents_.at(cur)) {
+      if (--in_degree[next] == 0) {
+        ready.push(next);
+      }
+    }
+  }
+  return order;
+}
+
+size_t DependencyGraph::EdgeCount() const {
+  size_t n = 0;
+  for (const auto& [node, node_deps] : deps_) {
+    n += node_deps.size();
+  }
+  return n;
+}
+
+size_t DependencyGraph::SizeBytes() const {
+  return deps_.size() * 96 + EdgeCount() * 2 * 16;
+}
+
+}  // namespace hac

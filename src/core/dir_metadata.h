@@ -1,0 +1,49 @@
+// Per-directory HAC metadata. The paper creates these structures for *every* directory
+// at mkdir time (that is the measured Makedir overhead): the query slot, the link/result
+// sets, the global-map entry and the dependency-graph node. A directory is "semantic"
+// when its query is non-empty.
+#ifndef HAC_CORE_DIR_METADATA_H_
+#define HAC_CORE_DIR_METADATA_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/link_table.h"
+#include "src/index/query.h"
+
+namespace hac {
+
+struct DirMetadata {
+  DirUid uid = kInvalidDirUid;
+  InodeId inode = kInvalidInode;
+
+  // The query as the user wrote it ("" for syntactic directories).
+  std::string query_text;
+  // Bound AST (dir() references resolved to UIDs); null when query_text is empty.
+  QueryExprPtr query;
+
+  LinkTable links;
+
+  bool IsSemantic() const { return query != nullptr; }
+
+  size_t SizeBytes() const {
+    size_t ast = 0;
+    if (query != nullptr) {
+      // Rough per-node cost; exact enough for the space-overhead experiment.
+      std::vector<const QueryExpr*> stack = {query.get()};
+      while (!stack.empty()) {
+        const QueryExpr* e = stack.back();
+        stack.pop_back();
+        ast += sizeof(QueryExpr) + e->text.size();
+        for (const auto& c : e->children) {
+          stack.push_back(c.get());
+        }
+      }
+    }
+    return sizeof(DirMetadata) + query_text.size() + ast + links.SizeBytes();
+  }
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_DIR_METADATA_H_

@@ -1,0 +1,478 @@
+// Ordinary file-system call surface of HacFileSystem: forwarding plus HAC bookkeeping.
+// The scope-consistency engine lives in consistency.cc.
+#include "src/core/hac_file_system.h"
+
+#include <algorithm>
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+HacFileSystem::HacFileSystem(HacOptions options)
+    : options_(options), index_(std::make_unique<InvertedIndex>(options.tokenizer)) {
+  // The root's bookkeeping: UID 1 (pre-registered by UidMap), a dependency-graph node,
+  // and metadata with no query.
+  DirUid root = uid_map_.root_uid();
+  (void)graph_.AddNode(root);
+  DirMetadata meta;
+  meta.uid = root;
+  meta.inode = vfs_.root_id();
+  metadata_.emplace(root, std::move(meta));
+  processes_.emplace_back();  // process 0
+  if (options_.verify_results_with_content) {
+    index_->SetContentVerifier([this](DocId doc) -> Result<std::string> {
+      const FileRecord* rec = registry_.Get(doc);
+      if (rec == nullptr || !rec->alive) {
+        return Error(ErrorCode::kNotFound, "doc " + std::to_string(doc));
+      }
+      return vfs_.ReadFileToString(rec->path);
+    });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Routing & lookup helpers
+// ---------------------------------------------------------------------------
+
+Result<HacFileSystem::Routed> HacFileSystem::Route(const std::string& path) const {
+  std::string norm = NormalizePath(path);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + path);
+  }
+  const SyntacticMount* m = mounts_.FindSyntacticCovering(norm);
+  if (m != nullptr) {
+    return Routed{m->fs, RebasePath(norm, m->mount_path, m->remote_root), false};
+  }
+  return Routed{const_cast<FileSystem*>(&vfs_), norm, true};
+}
+
+Result<DirMetadata*> HacFileSystem::MetaOfPath(const std::string& norm_path) {
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm_path));
+  return MetaOfUid(uid);
+}
+
+Result<DirMetadata*> HacFileSystem::MetaOfUid(DirUid uid) {
+  auto it = metadata_.find(uid);
+  if (it == metadata_.end()) {
+    return Error(ErrorCode::kNotFound, "no metadata for uid " + std::to_string(uid));
+  }
+  return &it->second;
+}
+
+void HacFileSystem::NoteContentMutation() {
+  ++content_mutations_since_reindex_;
+  MaybeAutoReindex();
+}
+
+// ---------------------------------------------------------------------------
+// Directories
+// ---------------------------------------------------------------------------
+
+Result<void> HacFileSystem::RegisterDirectory(const std::string& norm_path) {
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.Register(norm_path));
+  HAC_RETURN_IF_ERROR(graph_.AddNode(uid));
+  HAC_ASSIGN_OR_RETURN(DirUid parent_uid, uid_map_.UidOf(DirName(norm_path)));
+  HAC_RETURN_IF_ERROR(graph_.SetDependencies(uid, {parent_uid}));
+  DirMetadata meta;
+  meta.uid = uid;
+  auto inode = vfs_.Lookup(norm_path, /*follow_final=*/false);
+  meta.inode = inode.ok() ? inode.value() : kInvalidInode;
+  metadata_.emplace(uid, std::move(meta));
+  journal_.Append(JournalOp::kDirCreated, uid, norm_path);
+  return OkResult();
+}
+
+Result<void> HacFileSystem::Mkdir(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (!r.local) {
+    return r.fs->Mkdir(r.path);
+  }
+  HAC_RETURN_IF_ERROR(vfs_.Mkdir(r.path));
+  return RegisterDirectory(r.path);
+}
+
+Result<void> HacFileSystem::Rmdir(const std::string& path) {
+  std::string norm = NormalizePath(path);
+  if (mounts_.FindSemanticAt(norm) != nullptr) {
+    return Error(ErrorCode::kBusy, norm + " is a semantic mount point");
+  }
+  for (const SyntacticMount& m : mounts_.syntactic()) {
+    if (m.mount_path == norm) {
+      return Error(ErrorCode::kBusy, norm + " is a syntactic mount point");
+    }
+  }
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (!r.local) {
+    return r.fs->Rmdir(r.path);
+  }
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(r.path));
+  if (!graph_.DirectDependentsOf(uid).empty()) {
+    // Either child directories (then the directory is not empty) or query references
+    // from elsewhere (then removal would orphan those queries).
+    HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, vfs_.ReadDir(r.path));
+    if (!entries.empty()) {
+      return Error(ErrorCode::kNotEmpty, r.path);
+    }
+    return Error(ErrorCode::kBusy, r.path + " is referenced by other queries");
+  }
+  HAC_RETURN_IF_ERROR(vfs_.Rmdir(r.path));
+  (void)graph_.RemoveNode(uid);
+  metadata_.erase(uid);
+  (void)uid_map_.Remove(r.path);
+  journal_.Append(JournalOp::kDirRemoved, uid, r.path);
+  return OkResult();
+}
+
+Result<std::vector<DirEntry>> HacFileSystem::ReadDir(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  return r.fs->ReadDir(r.path);
+}
+
+// ---------------------------------------------------------------------------
+// Files & descriptors
+// ---------------------------------------------------------------------------
+
+Result<Fd> HacFileSystem::Open(const std::string& path, uint32_t flags) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (!r.local) {
+    HAC_ASSIGN_OR_RETURN(Fd backend_fd, r.fs->Open(r.path, flags));
+    return processes_[current_process_].Allocate(
+        HacOpenFile{r.fs, backend_fd, kInvalidInode, NormalizePath(path)});
+  }
+  const bool existed = vfs_.Exists(r.path);
+  HAC_ASSIGN_OR_RETURN(Fd backend_fd, vfs_.Open(r.path, flags));
+  HAC_ASSIGN_OR_RETURN(InodeId inode, vfs_.Lookup(r.path));
+  if (!existed) {
+    // Phase-2 bookkeeping: register the file, seed the attribute cache, journal it.
+    auto doc = registry_.Add(inode, r.path);
+    if (doc.ok()) {
+      journal_.Append(JournalOp::kFileRegistered, doc.value(), r.path);
+    }
+    const Inode* node = vfs_.FindInode(inode);
+    if (node != nullptr) {
+      attr_cache_.Put(inode, vfs_.StatOf(*node));
+    }
+    NoteContentMutation();
+  } else if ((flags & kOpenTruncate) != 0) {
+    if (auto doc = registry_.FindByInode(inode); doc.ok()) {
+      (void)registry_.MarkDirty(doc.value());
+    }
+    attr_cache_.Invalidate(inode);
+    NoteContentMutation();
+  }
+  return processes_[current_process_].Allocate(HacOpenFile{&vfs_, backend_fd, inode, r.path});
+}
+
+Result<void> HacFileSystem::Close(Fd fd) {
+  HAC_ASSIGN_OR_RETURN(HacOpenFile of, processes_[current_process_].Release(fd));
+  return of.backend->Close(of.backend_fd);
+}
+
+Result<size_t> HacFileSystem::Read(Fd fd, void* buf, size_t n) {
+  HAC_ASSIGN_OR_RETURN(HacOpenFile * of, processes_[current_process_].Get(fd));
+  HAC_ASSIGN_OR_RETURN(size_t got, of->backend->Read(of->backend_fd, buf, n));
+  ++of->reads;
+  return got;
+}
+
+Result<size_t> HacFileSystem::Write(Fd fd, const void* buf, size_t n) {
+  HAC_ASSIGN_OR_RETURN(HacOpenFile * of, processes_[current_process_].Get(fd));
+  HAC_ASSIGN_OR_RETURN(size_t put, of->backend->Write(of->backend_fd, buf, n));
+  ++of->writes;
+  if (of->inode != kInvalidInode) {
+    if (auto doc = registry_.FindByInode(of->inode); doc.ok()) {
+      (void)registry_.MarkDirty(doc.value());
+    }
+    attr_cache_.Invalidate(of->inode);
+    NoteContentMutation();
+  }
+  return put;
+}
+
+Result<uint64_t> HacFileSystem::Seek(Fd fd, uint64_t offset) {
+  HAC_ASSIGN_OR_RETURN(HacOpenFile * of, processes_[current_process_].Get(fd));
+  return of->backend->Seek(of->backend_fd, offset);
+}
+
+// ---------------------------------------------------------------------------
+// Namespace mutations
+// ---------------------------------------------------------------------------
+
+Result<void> HacFileSystem::Unlink(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (!r.local) {
+    return r.fs->Unlink(r.path);
+  }
+  HAC_ASSIGN_OR_RETURN(Stat st, vfs_.LstatPath(r.path));
+  std::string parent_path = DirName(r.path);
+  std::string name = BaseName(r.path);
+
+  if (st.type == NodeType::kSymlink) {
+    HAC_RETURN_IF_ERROR(vfs_.Unlink(r.path));
+    auto meta = MetaOfPath(parent_path);
+    if (meta.ok() && meta.value()->links.Find(name) != nullptr) {
+      DirMetadata* m = meta.value();
+      auto removed = m->links.RemoveLink(name);
+      if (removed.ok() && removed.value().doc != kInvalidDocId) {
+        // Explicit user deletion: the link becomes prohibited and must never be
+        // silently re-added (section 2.3).
+        m->links.Prohibit(removed.value().doc);
+        journal_.Append(JournalOp::kLinkRemoved, m->uid, name);
+        return PropagateFrom(m->uid);
+      }
+      journal_.Append(JournalOp::kLinkRemoved, m->uid, name);
+    }
+    return OkResult();
+  }
+
+  // Regular file: deferred data consistency — links elsewhere dangle until reindex.
+  HAC_RETURN_IF_ERROR(vfs_.Unlink(r.path));
+  if (auto doc = registry_.FindByInode(st.inode); doc.ok()) {
+    (void)registry_.Deactivate(doc.value());
+    journal_.Append(JournalOp::kFileDeactivated, doc.value(), r.path);
+  }
+  attr_cache_.Invalidate(st.inode);
+  NoteContentMutation();
+  return OkResult();
+}
+
+Result<void> HacFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::string norm_from = NormalizePath(from);
+  for (const SyntacticMount& m : mounts_.syntactic()) {
+    if (m.mount_path == norm_from) {
+      return Error(ErrorCode::kBusy, norm_from + " is a mount point");
+    }
+  }
+  HAC_ASSIGN_OR_RETURN(Routed src, Route(from));
+  HAC_ASSIGN_OR_RETURN(Routed dst, Route(to));
+  if (src.fs != dst.fs) {
+    return Error(ErrorCode::kCrossDevice, "rename across a mount boundary");
+  }
+  if (!src.local) {
+    return src.fs->Rename(src.path, dst.path);
+  }
+  HAC_ASSIGN_OR_RETURN(Stat st, vfs_.LstatPath(src.path));
+
+  if (st.type == NodeType::kSymlink) {
+    // Moving a query-result link: leaving a directory prohibits it there; arriving in a
+    // directory makes it a permanent, user-chosen link (section 2.2: results of queries
+    // can be moved like regular files).
+    std::string src_parent = DirName(src.path);
+    std::string dst_parent = DirName(dst.path);
+    std::string src_name = BaseName(src.path);
+    std::string dst_name = BaseName(dst.path);
+    HAC_RETURN_IF_ERROR(vfs_.Rename(src.path, dst.path));
+    DocId doc = kInvalidDocId;
+    if (auto meta = MetaOfPath(src_parent); meta.ok()) {
+      if (meta.value()->links.Find(src_name) != nullptr) {
+        auto removed = meta.value()->links.RemoveLink(src_name);
+        if (removed.ok()) {
+          doc = removed.value().doc;
+        }
+        if (src_parent != dst_parent && doc != kInvalidDocId) {
+          meta.value()->links.Prohibit(doc);
+        }
+        journal_.Append(JournalOp::kLinkRemoved, meta.value()->uid, src_name);
+        HAC_RETURN_IF_ERROR(PropagateFrom(meta.value()->uid));
+      }
+    }
+    if (auto meta = MetaOfPath(dst_parent); meta.ok()) {
+      DirMetadata* m = meta.value();
+      if (doc != kInvalidDocId && !m->links.HasDoc(doc)) {
+        m->links.Unprohibit(doc);
+        HAC_RETURN_IF_ERROR(m->links.AddLink(dst_name, doc, LinkClass::kPermanent));
+      } else {
+        HAC_RETURN_IF_ERROR(m->links.AddForeignLink(dst_name));
+      }
+      journal_.Append(JournalOp::kLinkAdded, m->uid, dst_name);
+      HAC_RETURN_IF_ERROR(PropagateFrom(m->uid));
+    }
+    journal_.Append(JournalOp::kRename, 0, src.path, dst.path);
+    return OkResult();
+  }
+
+  if (st.type == NodeType::kFile) {
+    // The replaced target (if any) disappears.
+    auto old_target = vfs_.LstatPath(dst.path);
+    HAC_RETURN_IF_ERROR(vfs_.Rename(src.path, dst.path));
+    if (old_target.ok() && old_target.value().type == NodeType::kFile) {
+      if (auto doc = registry_.FindByInode(old_target.value().inode); doc.ok()) {
+        (void)registry_.Deactivate(doc.value());
+        journal_.Append(JournalOp::kFileDeactivated, doc.value(), dst.path);
+      }
+      attr_cache_.Invalidate(old_target.value().inode);
+    }
+    if (auto doc = registry_.FindByInode(st.inode); doc.ok()) {
+      (void)registry_.SetPath(doc.value(), dst.path);
+    }
+    journal_.Append(JournalOp::kRename, 0, src.path, dst.path);
+    // Scope effects of a file move are data consistency: settled at the next reindex
+    // (the paper's "moved to archive" example).
+    NoteContentMutation();
+    return OkResult();
+  }
+
+  // Directory move. UIDs are stable, so queries referencing the directory survive; only
+  // the moved directory's parent dependency changes.
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(src.path));
+  HAC_RETURN_IF_ERROR(vfs_.Rename(src.path, dst.path));
+  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
+  auto deps = ComputeDeps(uid, dst.path, meta->query.get());
+  Result<void> dep_update =
+      deps.ok() ? graph_.SetDependencies(uid, deps.value()) : Result<void>(deps.error());
+  if (!dep_update.ok()) {
+    (void)vfs_.Rename(dst.path, src.path);
+    return dep_update.error();
+  }
+  uid_map_.RenameSubtree(src.path, dst.path);
+  registry_.RenameSubtree(src.path, dst.path);
+  mounts_.RenameSubtree(src.path, dst.path);
+  journal_.Append(JournalOp::kRename, uid, src.path, dst.path);
+  // Immediate scope consistency: the directory's scope (and its descendants') changed.
+  return PropagateFrom(uid);
+}
+
+Result<void> HacFileSystem::Symlink(const std::string& target, const std::string& link_path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(link_path));
+  if (!r.local) {
+    return r.fs->Symlink(target, r.path);
+  }
+  HAC_RETURN_IF_ERROR(vfs_.Symlink(target, r.path));
+  std::string parent_path = DirName(r.path);
+  std::string name = BaseName(r.path);
+  auto meta = MetaOfPath(parent_path);
+  if (!meta.ok()) {
+    return OkResult();  // parent untracked (shouldn't happen for local dirs)
+  }
+  DirMetadata* m = meta.value();
+  // Resolve the target to a registered document if possible.
+  std::string abs_target = target;
+  if (abs_target.empty() || abs_target[0] != '/') {
+    abs_target = JoinPath(parent_path == "/" ? "" : parent_path, target);
+  }
+  abs_target = NormalizePath(abs_target);
+  auto doc = registry_.FindByPath(abs_target);
+  if (doc.ok() && !m->links.HasDoc(doc.value())) {
+    // An explicit user action: re-adding a prohibited file un-prohibits it.
+    m->links.Unprohibit(doc.value());
+    HAC_RETURN_IF_ERROR(m->links.AddLink(name, doc.value(), LinkClass::kPermanent));
+  } else if (doc.ok()) {
+    // The file is already linked here; the user's explicit symlink pins it. Promote the
+    // existing link to permanent and track the new entry as a plain alias.
+    HAC_ASSIGN_OR_RETURN(std::string existing, m->links.NameOf(doc.value()));
+    HAC_RETURN_IF_ERROR(m->links.Promote(existing));
+    HAC_RETURN_IF_ERROR(m->links.AddForeignLink(name));
+  } else {
+    HAC_RETURN_IF_ERROR(m->links.AddForeignLink(name));
+  }
+  journal_.Append(JournalOp::kLinkAdded, m->uid, name, abs_target);
+  return PropagateFrom(m->uid);
+}
+
+Result<std::string> HacFileSystem::ReadLink(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  return r.fs->ReadLink(r.path);
+}
+
+// ---------------------------------------------------------------------------
+// Metadata
+// ---------------------------------------------------------------------------
+
+Result<Stat> HacFileSystem::StatPath(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (!r.local) {
+    return r.fs->StatPath(r.path);
+  }
+  // Phase-3 path: resolve, then consult the shared attribute cache.
+  HAC_ASSIGN_OR_RETURN(InodeId inode, vfs_.Lookup(r.path, /*follow_final=*/true));
+  if (auto cached = attr_cache_.Get(inode); cached.has_value()) {
+    ++stats_.attr_cache_hits;
+    return *cached;
+  }
+  ++stats_.attr_cache_misses;
+  HAC_ASSIGN_OR_RETURN(Stat st, vfs_.StatPath(r.path));
+  attr_cache_.Put(inode, st);
+  return st;
+}
+
+Result<Stat> HacFileSystem::LstatPath(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (!r.local) {
+    return r.fs->LstatPath(r.path);
+  }
+  return vfs_.LstatPath(r.path);
+}
+
+// ---------------------------------------------------------------------------
+// Processes & stats
+// ---------------------------------------------------------------------------
+
+ProcessId HacFileSystem::CreateProcess() {
+  processes_.emplace_back();
+  return static_cast<ProcessId>(processes_.size() - 1);
+}
+
+Result<void> HacFileSystem::SetCurrentProcess(ProcessId pid) {
+  if (pid >= processes_.size()) {
+    return Error(ErrorCode::kInvalidArgument, "unknown process " + std::to_string(pid));
+  }
+  current_process_ = pid;
+  return OkResult();
+}
+
+HacStats HacFileSystem::Stats() const {
+  HacStats s = stats_;
+  s.attr_cache_hits = attr_cache_.hits();
+  s.attr_cache_misses = attr_cache_.misses();
+  return s;
+}
+
+Result<Bitmap> HacFileSystem::ScopeOf(const std::string& dir_path) {
+  std::string norm = NormalizePath(dir_path);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + dir_path);
+  }
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
+  return ScopeOfUid(uid);
+}
+
+Result<Bitmap> HacFileSystem::DirectoryResultOf(const std::string& dir_path) {
+  std::string norm = NormalizePath(dir_path);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + dir_path);
+  }
+  HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
+  return DirContentsOfUid(uid);
+}
+
+Result<std::string> HacFileSystem::PathOfDoc(DocId doc) const {
+  const FileRecord* rec = registry_.Get(doc);
+  if (rec == nullptr) {
+    return Error(ErrorCode::kNotFound, "doc " + std::to_string(doc));
+  }
+  return rec->path;
+}
+
+size_t HacFileSystem::MetadataSizeBytes() const {
+  // Resident HAC structures. The append-only journal is excluded: it is this
+  // implementation's stand-in for the paper's synchronous metadata writes and is
+  // reported separately (journal().SizeBytes()); a production system would checkpoint
+  // and truncate it.
+  size_t total = uid_map_.SizeBytes() + graph_.SizeBytes() + registry_.SizeBytes() +
+                 mounts_.SizeBytes();
+  for (const auto& [uid, meta] : metadata_) {
+    total += meta.SizeBytes();
+  }
+  return total;
+}
+
+size_t HacFileSystem::SharedMemoryBytesPerProcess() const {
+  size_t fd_total = 0;
+  for (const HacFdTable& t : processes_) {
+    fd_total += t.SizeBytes();
+  }
+  return attr_cache_.SizeBytes() / std::max<size_t>(1, processes_.size()) +
+         fd_total / std::max<size_t>(1, processes_.size());
+}
+
+}  // namespace hac

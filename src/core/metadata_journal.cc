@@ -1,0 +1,42 @@
+#include "src/core/metadata_journal.h"
+
+namespace hac {
+
+void MetadataJournal::Append(JournalOp op, uint64_t subject, std::string_view a,
+                             std::string_view b) {
+  ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(op));
+  w.PutVarint(subject);
+  w.PutString(a);
+  w.PutString(b);
+  const std::vector<uint8_t>& rec = w.buffer();
+  ByteWriter frame;
+  frame.PutVarint(rec.size());
+  buf_.insert(buf_.end(), frame.buffer().begin(), frame.buffer().end());
+  buf_.insert(buf_.end(), rec.begin(), rec.end());
+  ++records_;
+}
+
+Result<std::vector<JournalRecord>> MetadataJournal::Decode() const {
+  std::vector<JournalRecord> out;
+  ByteReader r(buf_);
+  while (!r.AtEnd()) {
+    HAC_ASSIGN_OR_RETURN(uint64_t len, r.GetVarint());
+    (void)len;
+    JournalRecord rec;
+    HAC_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    rec.op = static_cast<JournalOp>(op);
+    HAC_ASSIGN_OR_RETURN(rec.subject, r.GetVarint());
+    HAC_ASSIGN_OR_RETURN(rec.a, r.GetString());
+    HAC_ASSIGN_OR_RETURN(rec.b, r.GetString());
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+void MetadataJournal::Clear() {
+  buf_.clear();
+  records_ = 0;
+}
+
+}  // namespace hac

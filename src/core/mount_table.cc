@@ -1,0 +1,112 @@
+#include "src/core/mount_table.h"
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+Result<void> MountTable::AddSyntactic(const std::string& mount_path, FsInterface* fs,
+                                      const std::string& remote_root) {
+  if (fs == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "null file system");
+  }
+  for (const SyntacticMount& m : syntactic_) {
+    if (PathIsWithin(mount_path, m.mount_path) || PathIsWithin(m.mount_path, mount_path)) {
+      return Error(ErrorCode::kAlreadyExists,
+                   "overlaps existing syntactic mount at " + m.mount_path);
+    }
+  }
+  syntactic_.push_back(SyntacticMount{mount_path, fs, remote_root});
+  return OkResult();
+}
+
+Result<void> MountTable::AddSemantic(const std::string& mount_path, NameSpace* space) {
+  if (space == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "null name space");
+  }
+  for (SemanticMount& m : semantic_) {
+    if (m.mount_path == mount_path) {
+      if (m.language != space->QueryLanguage()) {
+        return Error(ErrorCode::kLanguageMismatch,
+                     "mount speaks '" + m.language + "', name space '" + space->Name() +
+                         "' speaks '" + space->QueryLanguage() + "'");
+      }
+      for (const NameSpace* existing : m.spaces) {
+        if (existing == space) {
+          return Error(ErrorCode::kAlreadyExists, "name space already mounted");
+        }
+      }
+      m.spaces.push_back(space);
+      return OkResult();
+    }
+  }
+  semantic_.push_back(SemanticMount{mount_path, space->QueryLanguage(), {space}});
+  return OkResult();
+}
+
+Result<void> MountTable::RemoveSyntactic(const std::string& mount_path) {
+  for (auto it = syntactic_.begin(); it != syntactic_.end(); ++it) {
+    if (it->mount_path == mount_path) {
+      syntactic_.erase(it);
+      return OkResult();
+    }
+  }
+  return Error(ErrorCode::kNotFound, "no syntactic mount at " + mount_path);
+}
+
+Result<void> MountTable::RemoveSemantic(const std::string& mount_path) {
+  for (auto it = semantic_.begin(); it != semantic_.end(); ++it) {
+    if (it->mount_path == mount_path) {
+      semantic_.erase(it);
+      return OkResult();
+    }
+  }
+  return Error(ErrorCode::kNotFound, "no semantic mount at " + mount_path);
+}
+
+const SyntacticMount* MountTable::FindSyntacticCovering(const std::string& path) const {
+  const SyntacticMount* best = nullptr;
+  for (const SyntacticMount& m : syntactic_) {
+    if (PathIsWithin(path, m.mount_path)) {
+      if (best == nullptr || m.mount_path.size() > best->mount_path.size()) {
+        best = &m;
+      }
+    }
+  }
+  return best;
+}
+
+const SemanticMount* MountTable::FindSemanticAt(const std::string& path) const {
+  for (const SemanticMount& m : semantic_) {
+    if (m.mount_path == path) {
+      return &m;
+    }
+  }
+  return nullptr;
+}
+
+void MountTable::RenameSubtree(const std::string& from, const std::string& to) {
+  for (SyntacticMount& m : syntactic_) {
+    if (PathIsWithin(m.mount_path, from)) {
+      m.mount_path = RebasePath(m.mount_path, from, to);
+    }
+  }
+  for (SemanticMount& m : semantic_) {
+    if (PathIsWithin(m.mount_path, from)) {
+      m.mount_path = RebasePath(m.mount_path, from, to);
+    }
+  }
+}
+
+size_t MountTable::SizeBytes() const {
+  size_t total = 0;
+  for (const SyntacticMount& m : syntactic_) {
+    total += sizeof(m) + m.mount_path.size() + m.remote_root.size();
+  }
+  for (const SemanticMount& m : semantic_) {
+    total += sizeof(m) + m.mount_path.size() + m.language.size() +
+             m.spaces.size() * sizeof(NameSpace*);
+  }
+  return total;
+}
+
+}  // namespace hac

@@ -1,0 +1,67 @@
+// Mount table for syntactic and semantic mount points (section 3).
+//
+// Syntactic mounts graft a foreign FsInterface under a local path: pure name-based
+// access, nothing is indexed. Semantic mounts attach one or more NameSpaces to a local
+// directory: queries evaluated under the mount are forwarded and the results imported.
+// The two are deliberately independent — that is the paper's "decoupling" of name-based
+// from content-based access.
+#ifndef HAC_CORE_MOUNT_TABLE_H_
+#define HAC_CORE_MOUNT_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/remote/name_space.h"
+#include "src/support/result.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+struct SyntacticMount {
+  std::string mount_path;   // local directory the foreign tree appears under
+  FsInterface* fs = nullptr;
+  std::string remote_root;  // path inside `fs` that corresponds to mount_path
+};
+
+struct SemanticMount {
+  std::string mount_path;
+  std::string language;               // query language shared by all name spaces
+  std::vector<NameSpace*> spaces;     // not owned
+};
+
+class MountTable {
+ public:
+  // Registers a syntactic mount. Nested syntactic mounts are rejected for simplicity.
+  Result<void> AddSyntactic(const std::string& mount_path, FsInterface* fs,
+                            const std::string& remote_root);
+
+  // Attaches `space` at `mount_path`; creates the semantic mount on first use. All
+  // spaces on one mount must share a query language (kLanguageMismatch otherwise).
+  Result<void> AddSemantic(const std::string& mount_path, NameSpace* space);
+
+  Result<void> RemoveSyntactic(const std::string& mount_path);
+  Result<void> RemoveSemantic(const std::string& mount_path);
+
+  // Longest-prefix syntactic mount covering `path`. The mount directory itself is
+  // covered (listing it shows the mounted tree, like a POSIX mount).
+  const SyntacticMount* FindSyntacticCovering(const std::string& path) const;
+
+  // Semantic mount rooted exactly at `path`.
+  const SemanticMount* FindSemanticAt(const std::string& path) const;
+
+  // Rewrites mount paths after a directory rename.
+  void RenameSubtree(const std::string& from, const std::string& to);
+
+  const std::vector<SyntacticMount>& syntactic() const { return syntactic_; }
+  const std::vector<SemanticMount>& semantic() const { return semantic_; }
+
+  size_t SizeBytes() const;
+
+ private:
+  std::vector<SyntacticMount> syntactic_;
+  std::vector<SemanticMount> semantic_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_MOUNT_TABLE_H_

@@ -1,0 +1,74 @@
+// Per-process HAC state: the user-level descriptor table the paper charges to the Read
+// phase of the Andrew benchmark ("HAC accesses and updates the per-process
+// file-descriptor table to implement the read-operation").
+//
+// A HAC descriptor maps to a backend (the local VFS or a syntactically mounted file
+// system) plus the backend's descriptor.
+#ifndef HAC_CORE_PROCESS_STATE_H_
+#define HAC_CORE_PROCESS_STATE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+using ProcessId = uint32_t;
+
+struct HacOpenFile {
+  FsInterface* backend = nullptr;  // where the descriptor lives
+  Fd backend_fd = -1;
+  InodeId inode = kInvalidInode;   // local files only; kInvalidInode through mounts
+  std::string path;                // as opened (HAC-namespace path)
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+class HacFdTable {
+ public:
+  Fd Allocate(HacOpenFile file) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].has_value()) {
+        slots_[i] = std::move(file);
+        return static_cast<Fd>(i);
+      }
+    }
+    slots_.push_back(std::move(file));
+    return static_cast<Fd>(slots_.size() - 1);
+  }
+
+  Result<HacOpenFile*> Get(Fd fd) {
+    if (fd < 0 || static_cast<size_t>(fd) >= slots_.size() ||
+        !slots_[static_cast<size_t>(fd)]) {
+      return Error(ErrorCode::kBadDescriptor, "hac fd " + std::to_string(fd));
+    }
+    return &*slots_[static_cast<size_t>(fd)];
+  }
+
+  Result<HacOpenFile> Release(Fd fd) {
+    HAC_ASSIGN_OR_RETURN(HacOpenFile * of, Get(fd));
+    HacOpenFile out = std::move(*of);
+    slots_[static_cast<size_t>(fd)].reset();
+    return out;
+  }
+
+  size_t SizeBytes() const {
+    size_t total = slots_.capacity() * sizeof(slots_[0]);
+    for (const auto& slot : slots_) {
+      if (slot) {
+        total += slot->path.size();
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::vector<std::optional<HacOpenFile>> slots_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_PROCESS_STATE_H_

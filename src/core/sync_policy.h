@@ -1,0 +1,33 @@
+// Data-consistency policy (section 2.4): HAC deliberately does not chase every file
+// mutation; it re-indexes periodically or on demand. The policy picks "periodically".
+#ifndef HAC_CORE_SYNC_POLICY_H_
+#define HAC_CORE_SYNC_POLICY_H_
+
+#include <cstdint>
+
+namespace hac {
+
+enum class SyncMode : uint8_t {
+  kManual = 0,          // only explicit Reindex()/SSync() calls
+  kEveryNMutations = 1, // reindex after N content mutations
+  kIntervalTicks = 2,   // reindex when the virtual clock advanced by N ticks
+  // Reindex after EVERY content mutation: the database-style instant consistency the
+  // paper declines by default ("we could have adopted such a policy; similar to
+  // databases") and names as future work. Costly — each write pays an index update
+  // plus a consistency pass — but queries never see stale results.
+  kImmediate = 3,
+};
+
+struct SyncPolicy {
+  SyncMode mode = SyncMode::kManual;
+  uint64_t n = 0;  // mutation count or tick interval, depending on mode
+
+  static SyncPolicy Manual() { return {SyncMode::kManual, 0}; }
+  static SyncPolicy EveryNMutations(uint64_t n) { return {SyncMode::kEveryNMutations, n}; }
+  static SyncPolicy IntervalTicks(uint64_t ticks) { return {SyncMode::kIntervalTicks, ticks}; }
+  static SyncPolicy Immediate() { return {SyncMode::kImmediate, 0}; }
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_SYNC_POLICY_H_

@@ -1,0 +1,86 @@
+#include "src/core/uid_map.h"
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+UidMap::UidMap() {
+  // The root is always registered; it anchors every scope chain.
+  root_uid_ = next_uid_++;
+  uid_to_path_.emplace(root_uid_, "/");
+  path_to_uid_.emplace("/", root_uid_);
+}
+
+Result<DirUid> UidMap::Register(const std::string& path) {
+  if (path_to_uid_.count(path) != 0) {
+    return Error(ErrorCode::kAlreadyExists, path);
+  }
+  DirUid uid = next_uid_++;
+  uid_to_path_.emplace(uid, path);
+  path_to_uid_.emplace(path, uid);
+  return uid;
+}
+
+Result<DirUid> UidMap::UidOf(const std::string& path) const {
+  auto it = path_to_uid_.find(path);
+  if (it == path_to_uid_.end()) {
+    return Error(ErrorCode::kNotFound, "unregistered directory: " + path);
+  }
+  return it->second;
+}
+
+Result<std::string> UidMap::PathOf(DirUid uid) const {
+  auto it = uid_to_path_.find(uid);
+  if (it == uid_to_path_.end()) {
+    return Error(ErrorCode::kNotFound, "unknown uid " + std::to_string(uid));
+  }
+  return it->second;
+}
+
+Result<void> UidMap::Remove(const std::string& path) {
+  auto it = path_to_uid_.find(path);
+  if (it == path_to_uid_.end()) {
+    return Error(ErrorCode::kNotFound, path);
+  }
+  uid_to_path_.erase(it->second);
+  path_to_uid_.erase(it);
+  return OkResult();
+}
+
+std::vector<DirUid> UidMap::RenameSubtree(const std::string& from, const std::string& to) {
+  std::vector<DirUid> changed;
+  std::vector<std::pair<std::string, DirUid>> moves;
+  for (const auto& [path, uid] : path_to_uid_) {
+    if (PathIsWithin(path, from)) {
+      moves.emplace_back(path, uid);
+    }
+  }
+  for (const auto& [old_path, uid] : moves) {
+    std::string new_path = RebasePath(old_path, from, to);
+    path_to_uid_.erase(old_path);
+    path_to_uid_.emplace(new_path, uid);
+    uid_to_path_[uid] = new_path;
+    changed.push_back(uid);
+  }
+  return changed;
+}
+
+std::vector<DirUid> UidMap::UidsWithin(const std::string& root) const {
+  std::vector<DirUid> out;
+  for (const auto& [path, uid] : path_to_uid_) {
+    if (PathIsWithin(path, root)) {
+      out.push_back(uid);
+    }
+  }
+  return out;
+}
+
+size_t UidMap::SizeBytes() const {
+  size_t total = 0;
+  for (const auto& [uid, path] : uid_to_path_) {
+    total += 2 * (path.size() + sizeof(DirUid)) + 96;  // two hash-map nodes
+  }
+  return total;
+}
+
+}  // namespace hac

@@ -1,0 +1,57 @@
+// Global UID <-> directory-path map.
+//
+// Queries never embed path names: `dir(/a/b)` is bound to a stable DirUid at query-set
+// time (section 2.5 of the paper). Renaming a directory updates this one map; every
+// query that references the directory stays valid. Every directory in a HAC file system
+// gets a UID at creation ("HAC keeps track of the name of this directory in a global
+// map"), the root included.
+#ifndef HAC_CORE_UID_MAP_H_
+#define HAC_CORE_UID_MAP_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/index/query.h"  // DirUid
+#include "src/support/result.h"
+
+namespace hac {
+
+class UidMap {
+ public:
+  UidMap();
+
+  // Registers `path` (normalized absolute), returning its new UID.
+  // Fails with kAlreadyExists if the path is registered.
+  Result<DirUid> Register(const std::string& path);
+
+  Result<DirUid> UidOf(const std::string& path) const;
+  Result<std::string> PathOf(DirUid uid) const;
+  bool Contains(DirUid uid) const { return uid_to_path_.count(uid) != 0; }
+
+  // Removes the entry for `path`.
+  Result<void> Remove(const std::string& path);
+
+  // Rewrites every registered path inside `from`'s subtree to live under `to`.
+  // Returns the UIDs whose paths changed.
+  std::vector<DirUid> RenameSubtree(const std::string& from, const std::string& to);
+
+  // UIDs of all registered directories inside `root`'s subtree (including `root` itself
+  // when registered).
+  std::vector<DirUid> UidsWithin(const std::string& root) const;
+
+  size_t Size() const { return uid_to_path_.size(); }
+  size_t SizeBytes() const;
+
+  DirUid root_uid() const { return root_uid_; }
+
+ private:
+  std::unordered_map<DirUid, std::string> uid_to_path_;
+  std::unordered_map<std::string, DirUid> path_to_uid_;
+  DirUid next_uid_ = 1;
+  DirUid root_uid_ = kInvalidDirUid;
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_UID_MAP_H_

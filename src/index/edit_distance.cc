@@ -1,0 +1,41 @@
+#include "src/index/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace hac {
+
+bool WithinEditDistance(std::string_view a, std::string_view b, size_t max_dist) {
+  if (a.size() > b.size()) {
+    std::swap(a, b);
+  }
+  if (b.size() - a.size() > max_dist) {
+    return false;
+  }
+  if (max_dist == 0) {
+    return a == b;
+  }
+  // Classic row-by-row DP over the shorter string's prefix distances, with a band
+  // cutoff: if every entry of a row exceeds max_dist the answer is "no".
+  std::vector<size_t> prev(a.size() + 1);
+  std::vector<size_t> cur(a.size() + 1);
+  for (size_t j = 0; j <= a.size(); ++j) {
+    prev[j] = j;
+  }
+  for (size_t i = 1; i <= b.size(); ++i) {
+    cur[0] = i;
+    size_t row_min = cur[0];
+    for (size_t j = 1; j <= a.size(); ++j) {
+      size_t sub = prev[j - 1] + (a[j - 1] == b[i - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+      row_min = std::min(row_min, cur[j]);
+    }
+    if (row_min > max_dist) {
+      return false;
+    }
+    std::swap(prev, cur);
+  }
+  return prev[a.size()] <= max_dist;
+}
+
+}  // namespace hac

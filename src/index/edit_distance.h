@@ -1,0 +1,17 @@
+// Bounded Levenshtein distance for approximate term matching (the agrep capability
+// behind Glimpse: "glimpse -1 fingerprnt" finds fingerprint).
+#ifndef HAC_INDEX_EDIT_DISTANCE_H_
+#define HAC_INDEX_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace hac {
+
+// True iff the Levenshtein distance between a and b is <= max_dist.
+// Banded dynamic program: O(max_dist * min(|a|,|b|)) time, O(|b|) space.
+bool WithinEditDistance(std::string_view a, std::string_view b, size_t max_dist);
+
+}  // namespace hac
+
+#endif  // HAC_INDEX_EDIT_DISTANCE_H_

@@ -1,0 +1,108 @@
+// InvertedIndex snapshot persistence: dictionary + delta-varint postings + per-doc
+// term lists. Loading replaces the receiving index's contents wholesale.
+#include "src/index/inverted_index.h"
+#include "src/support/serializer.h"
+
+namespace hac {
+
+namespace {
+constexpr uint32_t kIndexMagic = 0x48414349;  // "HACI"
+constexpr uint32_t kIndexVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> InvertedIndex::SaveSnapshot() const {
+  ByteWriter w;
+  w.PutU32(kIndexMagic);
+  w.PutU32(kIndexVersion);
+  // Dictionary + postings, in term order. Term ids are re-assigned densely on load in
+  // this same order, so per-doc term lists are saved translated.
+  w.PutVarint(dictionary_.size());
+  std::vector<TermId> new_id_of(postings_.size());
+  TermId next = 0;
+  for (const auto& [term, id] : dictionary_) {
+    new_id_of[id] = next++;
+    w.PutString(term);
+    const std::vector<uint32_t>& docs = postings_[id].docs();
+    w.PutVarint(docs.size());
+    uint32_t prev = 0;
+    for (uint32_t doc : docs) {
+      w.PutVarint(doc - prev);  // sorted unique => non-negative deltas
+      prev = doc;
+    }
+  }
+  w.PutVarint(doc_terms_.size());
+  for (const auto& [doc, terms] : doc_terms_) {
+    w.PutU32(doc);
+    w.PutVarint(terms.size());
+    for (TermId id : terms) {
+      w.PutVarint(new_id_of[id]);
+    }
+  }
+  return w.TakeBuffer();
+}
+
+Result<void> InvertedIndex::LoadSnapshot(const std::vector<uint8_t>& image) {
+  ByteReader r(image);
+  HAC_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kIndexMagic) {
+    return Error(ErrorCode::kCorrupt, "bad index magic");
+  }
+  HAC_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+  if (version != kIndexVersion) {
+    return Error(ErrorCode::kCorrupt, "unsupported index version");
+  }
+  std::map<std::string, TermId> dictionary;
+  std::vector<PostingList> postings;
+  std::vector<const std::string*> term_names;
+  HAC_ASSIGN_OR_RETURN(uint64_t n_terms, r.GetVarint());
+  for (TermId id = 0; id < n_terms; ++id) {
+    HAC_ASSIGN_OR_RETURN(std::string term, r.GetString());
+    auto [it, inserted] = dictionary.emplace(std::move(term), id);
+    if (!inserted) {
+      return Error(ErrorCode::kCorrupt, "duplicate dictionary term");
+    }
+    PostingList list;
+    HAC_ASSIGN_OR_RETURN(uint64_t n_docs, r.GetVarint());
+    uint32_t doc = 0;
+    bool first = true;
+    for (uint64_t i = 0; i < n_docs; ++i) {
+      HAC_ASSIGN_OR_RETURN(uint64_t delta, r.GetVarint());
+      if (!first && delta == 0) {
+        return Error(ErrorCode::kCorrupt, "non-increasing posting");
+      }
+      doc += static_cast<uint32_t>(delta);
+      first = false;
+      list.Add(doc);
+    }
+    postings.push_back(std::move(list));
+    term_names.push_back(&it->first);
+  }
+  std::unordered_map<DocId, std::vector<TermId>> doc_terms;
+  HAC_ASSIGN_OR_RETURN(uint64_t n_docs, r.GetVarint());
+  for (uint64_t i = 0; i < n_docs; ++i) {
+    HAC_ASSIGN_OR_RETURN(DocId doc, r.GetU32());
+    HAC_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+    std::vector<TermId> terms;
+    terms.reserve(n);
+    for (uint64_t t = 0; t < n; ++t) {
+      HAC_ASSIGN_OR_RETURN(uint64_t id, r.GetVarint());
+      if (id >= postings.size()) {
+        return Error(ErrorCode::kCorrupt, "term id out of range");
+      }
+      terms.push_back(static_cast<TermId>(id));
+    }
+    if (!doc_terms.emplace(doc, std::move(terms)).second) {
+      return Error(ErrorCode::kCorrupt, "duplicate document");
+    }
+  }
+  if (!r.AtEnd()) {
+    return Error(ErrorCode::kCorrupt, "trailing bytes in index image");
+  }
+  dictionary_ = std::move(dictionary);
+  postings_ = std::move(postings);
+  term_names_ = std::move(term_names);
+  doc_terms_ = std::move(doc_terms);
+  return OkResult();
+}
+
+}  // namespace hac

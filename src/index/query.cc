@@ -1,0 +1,422 @@
+#include "src/index/query.h"
+
+#include <cctype>
+
+#include "src/support/string_util.h"
+
+namespace hac {
+
+QueryExprPtr QueryExpr::All() {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kAll;
+  return e;
+}
+
+QueryExprPtr QueryExpr::Term(std::string token) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kTerm;
+  e->text = ToLowerAscii(token);
+  return e;
+}
+
+QueryExprPtr QueryExpr::Prefix(std::string token) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kPrefix;
+  e->text = ToLowerAscii(token);
+  return e;
+}
+
+QueryExprPtr QueryExpr::Approx(std::string token, uint8_t max_distance) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kApprox;
+  e->text = ToLowerAscii(token);
+  e->approx_distance = max_distance;
+  return e;
+}
+
+QueryExprPtr QueryExpr::DirRef(std::string path) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kDirRef;
+  e->text = std::move(path);
+  return e;
+}
+
+QueryExprPtr QueryExpr::BoundDirRef(DirUid uid) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kDirRef;
+  e->dir_uid = uid;
+  return e;
+}
+
+QueryExprPtr QueryExpr::And(QueryExprPtr lhs, QueryExprPtr rhs) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kAnd;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+QueryExprPtr QueryExpr::Or(QueryExprPtr lhs, QueryExprPtr rhs) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kOr;
+  e->children.push_back(std::move(lhs));
+  e->children.push_back(std::move(rhs));
+  return e;
+}
+
+QueryExprPtr QueryExpr::Not(QueryExprPtr operand) {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = QueryKind::kNot;
+  e->children.push_back(std::move(operand));
+  return e;
+}
+
+QueryExprPtr QueryExpr::Clone() const {
+  auto e = std::make_unique<QueryExpr>();
+  e->kind = kind;
+  e->text = text;
+  e->dir_uid = dir_uid;
+  e->approx_distance = approx_distance;
+  e->children.reserve(children.size());
+  for (const auto& c : children) {
+    e->children.push_back(c->Clone());
+  }
+  return e;
+}
+
+void QueryExpr::CollectDirRefs(std::vector<QueryExpr*>& out) {
+  if (kind == QueryKind::kDirRef) {
+    out.push_back(this);
+  }
+  for (auto& c : children) {
+    c->CollectDirRefs(out);
+  }
+}
+
+std::vector<DirUid> QueryExpr::ReferencedDirs() const {
+  std::vector<DirUid> out;
+  std::vector<const QueryExpr*> stack = {this};
+  while (!stack.empty()) {
+    const QueryExpr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == QueryKind::kDirRef && e->dir_uid != kInvalidDirUid) {
+      out.push_back(e->dir_uid);
+    }
+    for (const auto& c : e->children) {
+      stack.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> QueryExpr::CollectTerms() const {
+  std::vector<std::string> out;
+  std::vector<const QueryExpr*> stack = {this};
+  while (!stack.empty()) {
+    const QueryExpr* e = stack.back();
+    stack.pop_back();
+    if (e->kind == QueryKind::kTerm || e->kind == QueryKind::kPrefix ||
+        e->kind == QueryKind::kApprox) {
+      out.push_back(e->text);
+    }
+    for (const auto& c : e->children) {
+      stack.push_back(c.get());
+    }
+  }
+  return out;
+}
+
+std::string QueryExpr::ToString(const std::function<std::string(DirUid)>* uid_to_path) const {
+  switch (kind) {
+    case QueryKind::kAll:
+      return "ALL";
+    case QueryKind::kTerm:
+      return text;
+    case QueryKind::kPrefix:
+      return text + "*";
+    case QueryKind::kApprox:
+      return text + "~" + std::to_string(approx_distance);
+    case QueryKind::kDirRef:
+      if (dir_uid != kInvalidDirUid && uid_to_path != nullptr) {
+        return "dir(" + (*uid_to_path)(dir_uid) + ")";
+      }
+      if (dir_uid != kInvalidDirUid) {
+        return "dir(#" + std::to_string(dir_uid) + ")";
+      }
+      return "dir(" + text + ")";
+    case QueryKind::kAnd:
+      return "(" + children[0]->ToString(uid_to_path) + " AND " +
+             children[1]->ToString(uid_to_path) + ")";
+    case QueryKind::kOr:
+      return "(" + children[0]->ToString(uid_to_path) + " OR " +
+             children[1]->ToString(uid_to_path) + ")";
+    case QueryKind::kNot:
+      return "(NOT " + children[0]->ToString(uid_to_path) + ")";
+  }
+  return "?";
+}
+
+bool QueryExpr::StructurallyEquals(const QueryExpr& other) const {
+  if (kind != other.kind || text != other.text || dir_uid != other.dir_uid ||
+      approx_distance != other.approx_distance ||
+      children.size() != other.children.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (!children[i]->StructurallyEquals(*other.children[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class TokKind { kWord, kLParen, kRParen, kAnd, kOr, kNot, kAll, kDir, kEnd };
+
+struct Token {
+  TokKind kind;
+  std::string text;  // kWord: the word (may end with '*'); kDir: the path
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : input_(input) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpace();
+      if (pos_ >= input_.size()) {
+        out.push_back({TokKind::kEnd, "", pos_});
+        return out;
+      }
+      char c = input_[pos_];
+      if (c == '(') {
+        out.push_back({TokKind::kLParen, "(", pos_++});
+        continue;
+      }
+      if (c == ')') {
+        out.push_back({TokKind::kRParen, ")", pos_++});
+        continue;
+      }
+      if (c == '&') {
+        out.push_back({TokKind::kAnd, "&", pos_++});
+        continue;
+      }
+      if (c == '|') {
+        out.push_back({TokKind::kOr, "|", pos_++});
+        continue;
+      }
+      if (c == '!') {
+        out.push_back({TokKind::kNot, "!", pos_++});
+        continue;
+      }
+      if (IsWordChar(c)) {
+        size_t start = pos_;
+        while (pos_ < input_.size() && IsWordChar(input_[pos_])) {
+          ++pos_;
+        }
+        bool star = pos_ < input_.size() && input_[pos_] == '*';
+        if (star) {
+          ++pos_;
+        } else if (pos_ + 1 < input_.size() && input_[pos_] == '~' &&
+                   input_[pos_ + 1] >= '0' && input_[pos_ + 1] <= '9') {
+          pos_ += 2;  // approximate-match suffix "~K", validated by the parser
+        }
+        std::string word(input_.substr(start, pos_ - start));
+        std::string lower = ToLowerAscii(star ? word.substr(0, word.size() - 1) : word);
+        if (!star && lower == "and") {
+          out.push_back({TokKind::kAnd, lower, start});
+        } else if (!star && lower == "or") {
+          out.push_back({TokKind::kOr, lower, start});
+        } else if (!star && lower == "not") {
+          out.push_back({TokKind::kNot, lower, start});
+        } else if (!star && lower == "all") {
+          out.push_back({TokKind::kAll, lower, start});
+        } else if (!star && lower == "dir" && pos_ < input_.size() && input_[pos_] == '(') {
+          HAC_ASSIGN_OR_RETURN(Token dir_tok, LexDirRef(start));
+          out.push_back(std::move(dir_tok));
+        } else {
+          out.push_back({TokKind::kWord, std::move(word), start});
+        }
+        continue;
+      }
+      return Error(ErrorCode::kParseError,
+                   "unexpected character '" + std::string(1, c) + "' at position " +
+                       std::to_string(pos_));
+    }
+  }
+
+ private:
+  Result<Token> LexDirRef(size_t start) {
+    ++pos_;  // consume '('
+    size_t path_start = pos_;
+    int depth = 1;
+    while (pos_ < input_.size() && depth > 0) {
+      if (input_[pos_] == '(') {
+        ++depth;
+      } else if (input_[pos_] == ')') {
+        --depth;
+      }
+      if (depth > 0) {
+        ++pos_;
+      }
+    }
+    if (pos_ >= input_.size()) {
+      return Error(ErrorCode::kParseError, "unterminated dir( at position " +
+                                               std::to_string(start));
+    }
+    std::string path(TrimWhitespace(input_.substr(path_start, pos_ - path_start)));
+    ++pos_;  // consume ')'
+    if (path.empty()) {
+      return Error(ErrorCode::kParseError, "empty dir() reference");
+    }
+    return Token{TokKind::kDir, std::move(path), start};
+  }
+
+  void SkipSpace() {
+    while (pos_ < input_.size() && std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Matches the tokenizer's token alphabet so a query word always denotes a single
+  // indexed token ("report.txt" lexes as two adjacent words => implicit AND).
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+  }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<QueryExprPtr> Run() {
+    HAC_ASSIGN_OR_RETURN(QueryExprPtr e, ParseOr());
+    if (Cur().kind != TokKind::kEnd) {
+      return Unexpected("end of query");
+    }
+    return e;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+  void Advance() { ++pos_; }
+
+  Error Unexpected(const std::string& wanted) const {
+    return Error(ErrorCode::kParseError, "expected " + wanted + " at position " +
+                                             std::to_string(Cur().pos));
+  }
+
+  Result<QueryExprPtr> ParseOr() {
+    HAC_ASSIGN_OR_RETURN(QueryExprPtr lhs, ParseAnd());
+    while (Cur().kind == TokKind::kOr) {
+      Advance();
+      HAC_ASSIGN_OR_RETURN(QueryExprPtr rhs, ParseAnd());
+      lhs = QueryExpr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<QueryExprPtr> ParseAnd() {
+    HAC_ASSIGN_OR_RETURN(QueryExprPtr lhs, ParseUnary());
+    for (;;) {
+      if (Cur().kind == TokKind::kAnd) {
+        Advance();
+      } else if (Cur().kind != TokKind::kWord && Cur().kind != TokKind::kNot &&
+                 Cur().kind != TokKind::kLParen && Cur().kind != TokKind::kAll &&
+                 Cur().kind != TokKind::kDir) {
+        break;  // no implicit-AND continuation
+      }
+      HAC_ASSIGN_OR_RETURN(QueryExprPtr rhs, ParseUnary());
+      lhs = QueryExpr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<QueryExprPtr> ParseUnary() {
+    if (Cur().kind == TokKind::kNot) {
+      Advance();
+      HAC_ASSIGN_OR_RETURN(QueryExprPtr operand, ParseUnary());
+      return QueryExpr::Not(std::move(operand));
+    }
+    return ParsePrimary();
+  }
+
+  Result<QueryExprPtr> ParsePrimary() {
+    switch (Cur().kind) {
+      case TokKind::kLParen: {
+        Advance();
+        HAC_ASSIGN_OR_RETURN(QueryExprPtr e, ParseOr());
+        if (Cur().kind != TokKind::kRParen) {
+          return Unexpected("')'");
+        }
+        Advance();
+        return e;
+      }
+      case TokKind::kAll: {
+        Advance();
+        return QueryExpr::All();
+      }
+      case TokKind::kDir: {
+        std::string path = Cur().text;
+        Advance();
+        return QueryExpr::DirRef(std::move(path));
+      }
+      case TokKind::kWord: {
+        std::string word = Cur().text;
+        size_t pos = Cur().pos;
+        Advance();
+        if (!word.empty() && word.back() == '*') {
+          word.pop_back();
+          if (word.empty()) {
+            return Error(ErrorCode::kParseError, "bare '*' is not a valid query");
+          }
+          return QueryExpr::Prefix(std::move(word));
+        }
+        if (word.size() >= 2 && word[word.size() - 2] == '~') {
+          int dist = word.back() - '0';
+          word.resize(word.size() - 2);
+          if (word.empty()) {
+            return Error(ErrorCode::kParseError, "bare '~K' is not a valid query");
+          }
+          if (dist < 1 || dist > 3) {
+            return Error(ErrorCode::kParseError,
+                         "approximate distance must be 1..3 at position " +
+                             std::to_string(pos));
+          }
+          return QueryExpr::Approx(std::move(word), static_cast<uint8_t>(dist));
+        }
+        return QueryExpr::Term(std::move(word));
+      }
+      default:
+        return Unexpected("a term, '(', NOT, ALL or dir(...)");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<QueryExprPtr> ParseQuery(std::string_view input) {
+  if (TrimWhitespace(input).empty()) {
+    return Error(ErrorCode::kParseError, "empty query");
+  }
+  Lexer lexer(input);
+  HAC_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.Run();
+}
+
+}  // namespace hac

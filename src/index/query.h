@@ -1,0 +1,94 @@
+// Query language AST.
+//
+// Grammar (case-insensitive keywords; '&' '|' '!' accepted as symbols):
+//
+//   expr    := or
+//   or      := and ( OR and )*
+//   and     := unary ( [AND] unary )*          -- adjacency is implicit AND
+//   unary   := NOT unary | primary
+//   primary := '(' expr ')' | ALL | TERM | TERM'*' | TERM'~'K | dir( PATH )
+//
+// TERM~K is approximate matching with edit distance K in 1..3 (Glimpse's agrep
+// heritage: "fingerprnt~1" matches fingerprint).
+//
+// `dir(/some/path)` names another directory: its *current link set* (the paper's edited
+// query result) is used as a sub-result. After parsing, HAC binds each DirRef to the
+// directory's stable UID (see core/uid_map.h) so renames cannot break queries; the
+// pretty-printer maps UIDs back to current paths.
+#ifndef HAC_INDEX_QUERY_H_
+#define HAC_INDEX_QUERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace hac {
+
+// Stable identity of a directory, survives renames. Allocated by core/uid_map.h.
+using DirUid = uint64_t;
+inline constexpr DirUid kInvalidDirUid = 0;
+
+enum class QueryKind : uint8_t {
+  kAll = 0,     // matches everything in scope
+  kTerm = 1,    // word match
+  kPrefix = 2,  // word prefix match ("fing*")
+  kAnd = 3,
+  kOr = 4,
+  kNot = 5,
+  kDirRef = 6,  // link set of another directory
+  kApprox = 7,  // word match within edit distance ("fingerprnt~1")
+};
+
+struct QueryExpr;
+using QueryExprPtr = std::unique_ptr<QueryExpr>;
+
+struct QueryExpr {
+  QueryKind kind = QueryKind::kAll;
+
+  // kTerm/kPrefix/kApprox: lowercase token. kDirRef (unbound): the user-written path.
+  std::string text;
+
+  // kDirRef once bound.
+  DirUid dir_uid = kInvalidDirUid;
+
+  // kApprox: maximum edit distance (1..3).
+  uint8_t approx_distance = 0;
+
+  // kAnd/kOr: exactly two; kNot: exactly one.
+  std::vector<QueryExprPtr> children;
+
+  static QueryExprPtr All();
+  static QueryExprPtr Term(std::string token);
+  static QueryExprPtr Prefix(std::string token);
+  static QueryExprPtr Approx(std::string token, uint8_t max_distance);
+  static QueryExprPtr DirRef(std::string path);
+  static QueryExprPtr BoundDirRef(DirUid uid);
+  static QueryExprPtr And(QueryExprPtr lhs, QueryExprPtr rhs);
+  static QueryExprPtr Or(QueryExprPtr lhs, QueryExprPtr rhs);
+  static QueryExprPtr Not(QueryExprPtr operand);
+
+  QueryExprPtr Clone() const;
+
+  // All DirRef nodes (mutable, for binding paths -> uids).
+  void CollectDirRefs(std::vector<QueryExpr*>& out);
+  // UIDs of all bound DirRef nodes.
+  std::vector<DirUid> ReferencedDirs() const;
+  // All kTerm/kPrefix tokens.
+  std::vector<std::string> CollectTerms() const;
+
+  // Renders the query. `uid_to_path` may be null when no DirRefs are bound.
+  std::string ToString(const std::function<std::string(DirUid)>* uid_to_path = nullptr) const;
+
+  bool StructurallyEquals(const QueryExpr& other) const;
+};
+
+// Parses the query language. On syntax errors returns kParseError with position info.
+Result<QueryExprPtr> ParseQuery(std::string_view input);
+
+}  // namespace hac
+
+#endif  // HAC_INDEX_QUERY_H_

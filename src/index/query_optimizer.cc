@@ -1,0 +1,144 @@
+#include "src/index/query_optimizer.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace hac {
+namespace {
+
+constexpr uint64_t kUnknownCardinality = std::numeric_limits<uint64_t>::max();
+
+// Upper-bound estimate of the result size; kUnknownCardinality when no bound is known.
+uint64_t EstimateCardinality(const QueryExpr& node, const InvertedIndex* index) {
+  if (index == nullptr) {
+    return kUnknownCardinality;
+  }
+  switch (node.kind) {
+    case QueryKind::kTerm:
+      return index->TermFrequency(node.text);
+    case QueryKind::kAnd: {
+      uint64_t lhs = EstimateCardinality(*node.children[0], index);
+      uint64_t rhs = EstimateCardinality(*node.children[1], index);
+      return std::min(lhs, rhs);
+    }
+    case QueryKind::kOr: {
+      uint64_t lhs = EstimateCardinality(*node.children[0], index);
+      uint64_t rhs = EstimateCardinality(*node.children[1], index);
+      if (lhs == kUnknownCardinality || rhs == kUnknownCardinality) {
+        return kUnknownCardinality;
+      }
+      return lhs + rhs;
+    }
+    case QueryKind::kAll:
+    case QueryKind::kNot:
+    case QueryKind::kPrefix:
+    case QueryKind::kApprox:
+    case QueryKind::kDirRef:
+      return kUnknownCardinality;
+  }
+  return kUnknownCardinality;
+}
+
+QueryExprPtr Rewrite(QueryExprPtr node, const InvertedIndex* index,
+                     OptimizerStats& stats) {
+  // Bottom-up: children first.
+  for (QueryExprPtr& child : node->children) {
+    child = Rewrite(std::move(child), index, stats);
+  }
+
+  switch (node->kind) {
+    case QueryKind::kNot: {
+      // NOT NOT x -> x
+      if (node->children[0]->kind == QueryKind::kNot) {
+        ++stats.double_negations;
+        return std::move(node->children[0]->children[0]);
+      }
+      return node;
+    }
+    case QueryKind::kAnd: {
+      QueryExpr& lhs = *node->children[0];
+      QueryExpr& rhs = *node->children[1];
+      if (lhs.kind == QueryKind::kAll) {
+        ++stats.all_identities;
+        return std::move(node->children[1]);
+      }
+      if (rhs.kind == QueryKind::kAll) {
+        ++stats.all_identities;
+        return std::move(node->children[0]);
+      }
+      if (lhs.StructurallyEquals(rhs)) {
+        ++stats.idempotent_merges;
+        return std::move(node->children[0]);
+      }
+      // x AND (x OR y) -> x   (and the mirrored forms)
+      auto absorbed_by = [](const QueryExpr& a, const QueryExpr& b) {
+        return b.kind == QueryKind::kOr && (b.children[0]->StructurallyEquals(a) ||
+                                            b.children[1]->StructurallyEquals(a));
+      };
+      if (absorbed_by(lhs, rhs)) {
+        ++stats.absorptions;
+        return std::move(node->children[0]);
+      }
+      if (absorbed_by(rhs, lhs)) {
+        ++stats.absorptions;
+        return std::move(node->children[1]);
+      }
+      // Cheaper side first (short-circuit on empty intermediate results).
+      uint64_t lhs_cost = EstimateCardinality(lhs, index);
+      uint64_t rhs_cost = EstimateCardinality(rhs, index);
+      if (rhs_cost < lhs_cost) {
+        std::swap(node->children[0], node->children[1]);
+        ++stats.reorderings;
+      }
+      return node;
+    }
+    case QueryKind::kOr: {
+      QueryExpr& lhs = *node->children[0];
+      QueryExpr& rhs = *node->children[1];
+      if (lhs.kind == QueryKind::kAll || rhs.kind == QueryKind::kAll) {
+        ++stats.all_identities;
+        return QueryExpr::All();
+      }
+      if (lhs.StructurallyEquals(rhs)) {
+        ++stats.idempotent_merges;
+        return std::move(node->children[0]);
+      }
+      // x OR (x AND y) -> x   (and the mirrored forms)
+      auto absorbed_by = [](const QueryExpr& a, const QueryExpr& b) {
+        return b.kind == QueryKind::kAnd && (b.children[0]->StructurallyEquals(a) ||
+                                             b.children[1]->StructurallyEquals(a));
+      };
+      if (absorbed_by(lhs, rhs)) {
+        ++stats.absorptions;
+        return std::move(node->children[0]);
+      }
+      if (absorbed_by(rhs, lhs)) {
+        ++stats.absorptions;
+        return std::move(node->children[1]);
+      }
+      return node;
+    }
+    default:
+      return node;
+  }
+}
+
+}  // namespace
+
+QueryExprPtr OptimizeQuery(QueryExprPtr query, const InvertedIndex* index,
+                           OptimizerStats* stats) {
+  OptimizerStats local;
+  OptimizerStats& s = stats != nullptr ? *stats : local;
+  // Iterate to a fixed point: a rewrite can expose another (e.g. absorption after a
+  // double-negation elimination). Bounded: every rule shrinks or reorders once.
+  for (int round = 0; round < 8; ++round) {
+    uint64_t before = s.total();
+    query = Rewrite(std::move(query), index, s);
+    if (s.total() == before) {
+      break;
+    }
+  }
+  return query;
+}
+
+}  // namespace hac

@@ -1,0 +1,42 @@
+// Query optimizer: semantics-preserving rewrites applied before evaluation.
+//
+// Rules (all sound under the scope-relative NOT semantics the evaluator implements):
+//   * double negation:       NOT NOT x -> x
+//   * ALL identities:        x AND ALL -> x,  ALL AND x -> x,  x OR ALL -> ALL
+//     (NOT ALL — the empty set — is left in place; it evaluates cheaply anyway)
+//   * idempotence:           x AND x -> x,  x OR x -> x        (structural equality)
+//   * absorption:            x AND (x OR y) -> x,  x OR (x AND y) -> x
+//   * selectivity ordering:  AND children are reordered so the side with the smaller
+//     estimated result evaluates first (the evaluator short-circuits empty ANDs).
+//
+// The estimator asks the index for term document frequencies; OR sums, AND takes the
+// minimum, NOT and dir() fall back to "unknown" (kept in place).
+#ifndef HAC_INDEX_QUERY_OPTIMIZER_H_
+#define HAC_INDEX_QUERY_OPTIMIZER_H_
+
+#include "src/index/inverted_index.h"
+#include "src/index/query.h"
+
+namespace hac {
+
+struct OptimizerStats {
+  uint64_t double_negations = 0;
+  uint64_t all_identities = 0;
+  uint64_t idempotent_merges = 0;
+  uint64_t absorptions = 0;
+  uint64_t reorderings = 0;
+
+  uint64_t total() const {
+    return double_negations + all_identities + idempotent_merges + absorptions +
+           reorderings;
+  }
+};
+
+// Rewrites `query` in place (consuming and returning the root). `index` may be null:
+// selectivity reordering is skipped, the algebraic rules still apply.
+QueryExprPtr OptimizeQuery(QueryExprPtr query, const InvertedIndex* index,
+                           OptimizerStats* stats = nullptr);
+
+}  // namespace hac
+
+#endif  // HAC_INDEX_QUERY_OPTIMIZER_H_

@@ -1,0 +1,74 @@
+#include "src/index/tokenizer.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hac {
+namespace {
+
+const char* const kDefaultStopwords[] = {
+    "a",   "an",  "and", "are", "as",   "at",   "be",   "by",   "for", "from", "has",
+    "he",  "in",  "is",  "it",  "its",  "of",   "on",   "that", "the", "to",   "was",
+    "we",  "were", "will", "with", "this", "but", "they", "have", "had", "what",
+    "when", "who", "which", "you", "your", "can", "not", "all", "if", "or",
+};
+
+bool IsTokenChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(TokenizerOptions options) : options_(options) {
+  if (options_.use_default_stopwords) {
+    for (const char* w : kDefaultStopwords) {
+      stopwords_.insert(w);
+    }
+  }
+}
+
+void Tokenizer::Tokenize(std::string_view text, std::vector<std::string>& out) const {
+  size_t i = 0;
+  std::string token;
+  while (i < text.size()) {
+    while (i < text.size() && !IsTokenChar(text[i])) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && IsTokenChar(text[i])) {
+      ++i;
+    }
+    size_t len = i - start;
+    if (len < options_.min_token_length) {
+      continue;
+    }
+    len = std::min(len, options_.max_token_length);
+    token.assign(text.substr(start, len));
+    for (char& c : token) {
+      c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    }
+    if (IsStopword(token)) {
+      continue;
+    }
+    out.push_back(token);
+  }
+}
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> out;
+  Tokenize(text, out);
+  return out;
+}
+
+std::vector<std::string> Tokenizer::UniqueTokens(std::string_view text) const {
+  std::vector<std::string> out = Tokenize(text);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Tokenizer::IsStopword(std::string_view token) const {
+  return stopwords_.count(std::string(token)) != 0;
+}
+
+}  // namespace hac

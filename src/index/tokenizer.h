@@ -1,0 +1,42 @@
+// Word tokenizer for the content index. ASCII-lowercase alphanumeric runs; digits are
+// kept (file contents include identifiers and dates). Very short tokens and an optional
+// stopword list are dropped — both knobs mirror what word-level indexers like Glimpse do
+// to keep the dictionary small.
+#ifndef HAC_INDEX_TOKENIZER_H_
+#define HAC_INDEX_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace hac {
+
+struct TokenizerOptions {
+  size_t min_token_length = 2;
+  size_t max_token_length = 64;  // longer runs are truncated, not dropped
+  bool use_default_stopwords = true;
+};
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  // Appends the tokens of `text` to `out` (duplicates preserved, document order).
+  void Tokenize(std::string_view text, std::vector<std::string>& out) const;
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  // Unique tokens, sorted.
+  std::vector<std::string> UniqueTokens(std::string_view text) const;
+
+  bool IsStopword(std::string_view token) const;
+
+ private:
+  TokenizerOptions options_;
+  std::unordered_set<std::string> stopwords_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_INDEX_TOKENIZER_H_

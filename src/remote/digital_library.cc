@@ -1,0 +1,36 @@
+#include "src/remote/digital_library.h"
+
+namespace hac {
+
+DigitalLibrary::DigitalLibrary(std::string name) : name_(std::move(name)) {}
+
+void DigitalLibrary::AddArticle(Article article) {
+  size_t idx = articles_.size();
+  std::string text = article.title + "\n" + article.authors + "\n" + article.abstract +
+                     "\n" + article.body;
+  (void)index_.IndexDocument(static_cast<DocId>(idx), text);
+  by_id_.emplace(article.id, idx);
+  articles_.push_back(std::move(article));
+}
+
+Result<std::vector<RemoteDoc>> DigitalLibrary::Search(const QueryExpr& query) {
+  ++searches_served_;
+  Bitmap scope = Bitmap::AllUpTo(static_cast<uint32_t>(articles_.size()));
+  HAC_ASSIGN_OR_RETURN(Bitmap result, index_.Evaluate(query, scope, nullptr));
+  std::vector<RemoteDoc> out;
+  result.ForEach([&](uint32_t idx) {
+    out.push_back(RemoteDoc{articles_[idx].id, articles_[idx].title});
+  });
+  return out;
+}
+
+Result<std::string> DigitalLibrary::Fetch(const std::string& handle) {
+  auto it = by_id_.find(handle);
+  if (it == by_id_.end()) {
+    return Error(ErrorCode::kNotFound, "article " + handle);
+  }
+  const Article& a = articles_[it->second];
+  return a.title + "\nby " + a.authors + "\n\n" + a.abstract + "\n\n" + a.body;
+}
+
+}  // namespace hac

@@ -1,0 +1,52 @@
+// Simulated digital library of scientific articles (the paper's running-example remote
+// source: "we may have access to a digital library with scientific articles").
+//
+// Speaks the full "hac-bool" language: it evaluates boolean queries over its own
+// article index, so it can be mounted together with other hac-bool name spaces on one
+// multiple semantic mount point.
+#ifndef HAC_REMOTE_DIGITAL_LIBRARY_H_
+#define HAC_REMOTE_DIGITAL_LIBRARY_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/index/inverted_index.h"
+#include "src/remote/name_space.h"
+
+namespace hac {
+
+struct Article {
+  std::string id;      // e.g. "a42"
+  std::string title;
+  std::string authors;
+  std::string abstract;
+  std::string body;
+};
+
+class DigitalLibrary final : public NameSpace {
+ public:
+  explicit DigitalLibrary(std::string name);
+
+  void AddArticle(Article article);
+
+  // NameSpace:
+  std::string Name() const override { return name_; }
+  std::string QueryLanguage() const override { return "hac-bool"; }
+  Result<std::vector<RemoteDoc>> Search(const QueryExpr& query) override;
+  Result<std::string> Fetch(const std::string& handle) override;
+
+  size_t ArticleCount() const { return articles_.size(); }
+  uint64_t searches_served() const { return searches_served_; }
+
+ private:
+  std::string name_;
+  std::vector<Article> articles_;
+  std::unordered_map<std::string, size_t> by_id_;
+  InvertedIndex index_;
+  uint64_t searches_served_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_REMOTE_DIGITAL_LIBRARY_H_

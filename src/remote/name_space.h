@@ -1,0 +1,47 @@
+// NameSpace: the abstraction behind semantic mount points (section 3).
+//
+// A name space is anything that can answer a content query with a list of documents:
+// another HAC file system, a web search engine, a digital library. HAC imports results
+// into the local file system as cached files, so all further refinement, browsing and
+// link editing happen locally.
+//
+// Name spaces advertise a query-language tag; all name spaces mounted on one semantic
+// mount point must share it (the paper's one restriction on multiple semantic mounts).
+#ifndef HAC_REMOTE_NAME_SPACE_H_
+#define HAC_REMOTE_NAME_SPACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/index/query.h"
+#include "src/support/result.h"
+
+namespace hac {
+
+struct RemoteDoc {
+  std::string handle;  // stable id within the name space
+  std::string title;   // display name; becomes the cached file's base name
+};
+
+class NameSpace {
+ public:
+  virtual ~NameSpace() = default;
+
+  // Short identifier; used in cache paths, must be a valid entry name.
+  virtual std::string Name() const = 0;
+
+  // Query-language tag, e.g. "hac-bool" (full boolean) or "keyword" (conjunctions only).
+  virtual std::string QueryLanguage() const = 0;
+
+  // Evaluates the content part of `query`. dir() references have already been stripped
+  // by the caller (they are local concepts). Returns kUnsupported when the query cannot
+  // be expressed in this name space's language.
+  virtual Result<std::vector<RemoteDoc>> Search(const QueryExpr& query) = 0;
+
+  // Full content of one document.
+  virtual Result<std::string> Fetch(const std::string& handle) = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_REMOTE_NAME_SPACE_H_

@@ -1,0 +1,45 @@
+#include "src/remote/remote_hac.h"
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+RemoteHacNameSpace::RemoteHacNameSpace(std::string name, HacFileSystem* fs,
+                                       std::string export_root)
+    : name_(std::move(name)), fs_(fs), export_root_(NormalizePath(export_root)) {}
+
+Result<std::vector<RemoteDoc>> RemoteHacNameSpace::Search(const QueryExpr& query) {
+  if (fs_ == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "no backing file system");
+  }
+  // Scope: everything exported. Handles are the remote paths themselves.
+  HAC_ASSIGN_OR_RETURN(Bitmap scope, fs_->DirectoryResultOf(export_root_));
+  DirResolver resolver = [this](DirUid uid) -> Result<Bitmap> {
+    (void)uid;
+    return Error(ErrorCode::kUnsupported, "remote queries cannot reference directories");
+  };
+  HAC_ASSIGN_OR_RETURN(Bitmap result, fs_->index().Evaluate(query, scope, &resolver));
+  std::vector<RemoteDoc> out;
+  Result<void> status = OkResult();
+  result.ForEach([&](DocId doc) {
+    if (!status.ok()) {
+      return;
+    }
+    auto path = fs_->PathOfDoc(doc);
+    if (!path.ok()) {
+      return;
+    }
+    out.push_back(RemoteDoc{path.value(), BaseName(path.value())});
+  });
+  HAC_RETURN_IF_ERROR(status);
+  return out;
+}
+
+Result<std::string> RemoteHacNameSpace::Fetch(const std::string& handle) {
+  if (fs_ == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "no backing file system");
+  }
+  return fs_->ReadFileToString(handle);
+}
+
+}  // namespace hac

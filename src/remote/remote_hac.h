@@ -1,0 +1,33 @@
+// Adapter exposing another HAC file system as a NameSpace — the paper's "other HAC
+// file systems" case: one user's whole file system (or a subtree of it) becomes a
+// content-searchable remote source for another user. Combined with a syntactic mount of
+// the same HacFileSystem, this reproduces the coworker-sharing scenario of section 3.2.
+#ifndef HAC_REMOTE_REMOTE_HAC_H_
+#define HAC_REMOTE_REMOTE_HAC_H_
+
+#include <string>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/name_space.h"
+
+namespace hac {
+
+class RemoteHacNameSpace final : public NameSpace {
+ public:
+  // Exposes the subtree of `fs` rooted at `export_root` (default: everything).
+  RemoteHacNameSpace(std::string name, HacFileSystem* fs, std::string export_root = "/");
+
+  std::string Name() const override { return name_; }
+  std::string QueryLanguage() const override { return "hac-bool"; }
+  Result<std::vector<RemoteDoc>> Search(const QueryExpr& query) override;
+  Result<std::string> Fetch(const std::string& handle) override;
+
+ private:
+  std::string name_;
+  HacFileSystem* fs_;  // not owned
+  std::string export_root_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_REMOTE_REMOTE_HAC_H_

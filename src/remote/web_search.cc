@@ -1,0 +1,92 @@
+#include "src/remote/web_search.h"
+
+#include <algorithm>
+
+namespace hac {
+
+WebSearchEngine::WebSearchEngine(std::string name, size_t max_results)
+    : name_(std::move(name)), max_results_(max_results) {}
+
+void WebSearchEngine::AddPage(const std::string& url, const std::string& title,
+                              const std::string& body) {
+  Page page;
+  page.url = url;
+  page.title = title;
+  page.body = body;
+  page.tokens = tokenizer_.UniqueTokens(title + "\n" + body);
+  std::string handle = "p" + std::to_string(pages_.size());
+  by_handle_.emplace(handle, pages_.size());
+  pages_.push_back(std::move(page));
+}
+
+Result<std::vector<std::string>> WebSearchEngine::ExtractKeywords(const QueryExpr& query) {
+  switch (query.kind) {
+    case QueryKind::kTerm:
+      return std::vector<std::string>{query.text};
+    case QueryKind::kAll:
+      return std::vector<std::string>{};
+    case QueryKind::kAnd: {
+      HAC_ASSIGN_OR_RETURN(std::vector<std::string> lhs,
+                           ExtractKeywords(*query.children[0]));
+      HAC_ASSIGN_OR_RETURN(std::vector<std::string> rhs,
+                           ExtractKeywords(*query.children[1]));
+      lhs.insert(lhs.end(), rhs.begin(), rhs.end());
+      return lhs;
+    }
+    case QueryKind::kPrefix:
+    case QueryKind::kApprox:
+    case QueryKind::kOr:
+    case QueryKind::kNot:
+    case QueryKind::kDirRef:
+      return Error(ErrorCode::kUnsupported,
+                   "keyword engines accept only conjunctions of terms");
+  }
+  return Error(ErrorCode::kUnsupported, "bad query node");
+}
+
+Result<std::vector<RemoteDoc>> WebSearchEngine::Search(const QueryExpr& query) {
+  HAC_ASSIGN_OR_RETURN(std::vector<std::string> keywords, ExtractKeywords(query));
+  ++searches_served_;
+  if (keywords.empty()) {
+    return Error(ErrorCode::kUnsupported, "refusing to return the entire web");
+  }
+  struct Hit {
+    size_t page;
+    size_t score;
+  };
+  std::vector<Hit> hits;
+  for (size_t i = 0; i < pages_.size(); ++i) {
+    const Page& page = pages_[i];
+    size_t matched = 0;
+    for (const std::string& kw : keywords) {
+      if (std::binary_search(page.tokens.begin(), page.tokens.end(), kw)) {
+        ++matched;
+      }
+    }
+    if (matched == keywords.size()) {
+      hits.push_back(Hit{i, matched});
+    }
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const Hit& a, const Hit& b) { return a.score > b.score; });
+  if (hits.size() > max_results_) {
+    hits.resize(max_results_);
+  }
+  std::vector<RemoteDoc> out;
+  out.reserve(hits.size());
+  for (const Hit& hit : hits) {
+    out.push_back(RemoteDoc{"p" + std::to_string(hit.page), pages_[hit.page].title});
+  }
+  return out;
+}
+
+Result<std::string> WebSearchEngine::Fetch(const std::string& handle) {
+  auto it = by_handle_.find(handle);
+  if (it == by_handle_.end()) {
+    return Error(ErrorCode::kNotFound, "page " + handle);
+  }
+  const Page& page = pages_[it->second];
+  return page.title + "\n" + page.url + "\n\n" + page.body;
+}
+
+}  // namespace hac

@@ -1,0 +1,57 @@
+// Simulated web search engine: the paper's "commercial search engines on the web"
+// mounted through a semantic mount point.
+//
+// It speaks the restricted "keyword" query language: only a conjunction of positive
+// terms is expressible. Queries using OR/NOT are rejected with kUnsupported, modelling
+// a real engine whose query language differs from HAC's. Results are ranked by match
+// count and truncated to `max_results` like a real result page.
+#ifndef HAC_REMOTE_WEB_SEARCH_H_
+#define HAC_REMOTE_WEB_SEARCH_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/index/tokenizer.h"
+#include "src/remote/name_space.h"
+
+namespace hac {
+
+class WebSearchEngine final : public NameSpace {
+ public:
+  WebSearchEngine(std::string name, size_t max_results = 10);
+
+  // Adds a page to the simulated web.
+  void AddPage(const std::string& url, const std::string& title, const std::string& body);
+
+  // NameSpace:
+  std::string Name() const override { return name_; }
+  std::string QueryLanguage() const override { return "keyword"; }
+  Result<std::vector<RemoteDoc>> Search(const QueryExpr& query) override;
+  Result<std::string> Fetch(const std::string& handle) override;
+
+  size_t PageCount() const { return pages_.size(); }
+  uint64_t searches_served() const { return searches_served_; }
+
+ private:
+  struct Page {
+    std::string url;
+    std::string title;
+    std::string body;
+    std::vector<std::string> tokens;  // sorted unique
+  };
+
+  // Extracts the positive conjunction of terms; kUnsupported for anything else.
+  static Result<std::vector<std::string>> ExtractKeywords(const QueryExpr& query);
+
+  std::string name_;
+  size_t max_results_;
+  Tokenizer tokenizer_;
+  std::vector<Page> pages_;
+  std::unordered_map<std::string, size_t> by_handle_;
+  uint64_t searches_served_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_REMOTE_WEB_SEARCH_H_

@@ -1,0 +1,140 @@
+#include "src/support/bitmap.h"
+
+#include <algorithm>
+
+namespace hac {
+
+Bitmap Bitmap::FromIds(const std::vector<uint32_t>& ids) {
+  Bitmap bm;
+  for (uint32_t id : ids) {
+    bm.Set(id);
+  }
+  return bm;
+}
+
+Bitmap Bitmap::AllUpTo(uint32_t n) {
+  Bitmap bm(n);
+  size_t full_words = n / 64;
+  for (size_t i = 0; i < full_words; ++i) {
+    bm.words_[i] = ~0ULL;
+  }
+  uint32_t rem = n % 64;
+  if (rem != 0) {
+    bm.words_[full_words] = (1ULL << rem) - 1;
+  }
+  return bm;
+}
+
+void Bitmap::Set(uint32_t bit) {
+  size_t w = bit / 64;
+  if (w >= words_.size()) {
+    words_.resize(w + 1, 0);
+  }
+  words_[w] |= 1ULL << (bit % 64);
+}
+
+void Bitmap::Clear(uint32_t bit) {
+  size_t w = bit / 64;
+  if (w < words_.size()) {
+    words_[w] &= ~(1ULL << (bit % 64));
+  }
+}
+
+bool Bitmap::Test(uint32_t bit) const {
+  size_t w = bit / 64;
+  if (w >= words_.size()) {
+    return false;
+  }
+  return (words_[w] >> (bit % 64)) & 1ULL;
+}
+
+size_t Bitmap::Count() const {
+  size_t n = 0;
+  for (uint64_t word : words_) {
+    n += static_cast<size_t>(__builtin_popcountll(word));
+  }
+  return n;
+}
+
+Bitmap& Bitmap::operator|=(const Bitmap& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] |= other.words_[i];
+  }
+  return *this;
+}
+
+Bitmap& Bitmap::operator&=(const Bitmap& other) {
+  size_t n = std::min(words_.size(), other.words_.size());
+  words_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    words_[i] &= other.words_[i];
+  }
+  return *this;
+}
+
+Bitmap& Bitmap::AndNot(const Bitmap& other) {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    words_[i] &= ~other.words_[i];
+  }
+  return *this;
+}
+
+bool Bitmap::operator==(const Bitmap& other) const {
+  size_t n = std::max(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t a = i < words_.size() ? words_[i] : 0;
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if (a != b) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Bitmap::IsSubsetOf(const Bitmap& other) const {
+  for (size_t i = 0; i < words_.size(); ++i) {
+    uint64_t b = i < other.words_.size() ? other.words_[i] : 0;
+    if ((words_[i] & ~b) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Bitmap::DisjointWith(const Bitmap& other) const {
+  size_t n = std::min(words_.size(), other.words_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if ((words_[i] & other.words_[i]) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<uint32_t> Bitmap::ToIds() const {
+  std::vector<uint32_t> ids;
+  ids.reserve(Count());
+  ForEach([&ids](uint32_t bit) { ids.push_back(bit); });
+  return ids;
+}
+
+void Bitmap::Reserve(size_t capacity_bits) {
+  size_t need = (capacity_bits + 63) / 64;
+  if (need > words_.size()) {
+    words_.resize(need, 0);
+  }
+}
+
+void Bitmap::ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+
+void Bitmap::TrimTrailingZeros() {
+  while (!words_.empty() && words_.back() == 0) {
+    words_.pop_back();
+  }
+}
+
+}  // namespace hac

@@ -1,0 +1,90 @@
+// Dynamic bitmap over a dense id space.
+//
+// This is the representation the paper uses for per-semantic-directory query results
+// ("we use bitmaps ... the extra space we need per semantic directory is therefore N/8
+// bytes, where N is the number of indexed files"). Bit i set means file-id i is a member.
+//
+// The bitmap grows on demand; all binary operations treat missing tail words as zero.
+#ifndef HAC_SUPPORT_BITMAP_H_
+#define HAC_SUPPORT_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hac {
+
+class Bitmap {
+ public:
+  Bitmap() = default;
+  // Creates a bitmap able to hold bits [0, capacity_bits) without growing.
+  explicit Bitmap(size_t capacity_bits) { Reserve(capacity_bits); }
+
+  // Builds a bitmap from a list of set bit positions.
+  static Bitmap FromIds(const std::vector<uint32_t>& ids);
+
+  // Bitmap with bits [0, n) all set.
+  static Bitmap AllUpTo(uint32_t n);
+
+  void Set(uint32_t bit);
+  void Clear(uint32_t bit);
+  bool Test(uint32_t bit) const;
+
+  // Number of set bits.
+  size_t Count() const;
+  bool Empty() const { return Count() == 0; }
+
+  // In-place set algebra. The result's capacity is the max of the operands'.
+  Bitmap& operator|=(const Bitmap& other);
+  Bitmap& operator&=(const Bitmap& other);
+  // this = this AND NOT other.
+  Bitmap& AndNot(const Bitmap& other);
+
+  friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
+  friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+
+  bool operator==(const Bitmap& other) const;
+  bool operator!=(const Bitmap& other) const { return !(*this == other); }
+
+  // True iff every set bit of *this is also set in `other`.
+  bool IsSubsetOf(const Bitmap& other) const;
+  // True iff the two bitmaps share no set bit.
+  bool DisjointWith(const Bitmap& other) const;
+
+  // Set bit positions in increasing order.
+  std::vector<uint32_t> ToIds() const;
+
+  // Calls fn(bit) for each set bit in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int tz = __builtin_ctzll(word);
+        fn(static_cast<uint32_t>(w * 64 + static_cast<size_t>(tz)));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Bytes used by the word storage (the paper's N/8 figure).
+  size_t SizeBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  // Number of addressable bits (multiple of 64).
+  size_t CapacityBits() const { return words_.size() * 64; }
+
+  void Reserve(size_t capacity_bits);
+  void ClearAll();
+
+  const std::vector<uint64_t>& words() const { return words_; }
+  void SetWords(std::vector<uint64_t> words) { words_ = std::move(words); }
+
+ private:
+  void TrimTrailingZeros();
+
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_BITMAP_H_

@@ -1,0 +1,22 @@
+// Virtual clock: a monotonically increasing tick counter advanced by the file-system
+// mutation path. Sync policies ("reindex once an hour") are expressed in ticks so tests
+// and benches stay deterministic; real deployments would advance it from wall time.
+#ifndef HAC_SUPPORT_CLOCK_H_
+#define HAC_SUPPORT_CLOCK_H_
+
+#include <cstdint>
+
+namespace hac {
+
+class VirtualClock {
+ public:
+  uint64_t Now() const { return now_; }
+  void Advance(uint64_t ticks = 1) { now_ += ticks; }
+
+ private:
+  uint64_t now_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_CLOCK_H_

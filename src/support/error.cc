@@ -1,0 +1,58 @@
+#include "src/support/error.h"
+
+namespace hac {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "ok";
+    case ErrorCode::kNotFound:
+      return "not_found";
+    case ErrorCode::kAlreadyExists:
+      return "already_exists";
+    case ErrorCode::kNotADirectory:
+      return "not_a_directory";
+    case ErrorCode::kIsADirectory:
+      return "is_a_directory";
+    case ErrorCode::kNotEmpty:
+      return "not_empty";
+    case ErrorCode::kInvalidArgument:
+      return "invalid_argument";
+    case ErrorCode::kBadDescriptor:
+      return "bad_descriptor";
+    case ErrorCode::kTooManyLinks:
+      return "too_many_links";
+    case ErrorCode::kNotSemantic:
+      return "not_semantic";
+    case ErrorCode::kCycle:
+      return "cycle";
+    case ErrorCode::kParseError:
+      return "parse_error";
+    case ErrorCode::kUnsupported:
+      return "unsupported";
+    case ErrorCode::kCorrupt:
+      return "corrupt";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kPermission:
+      return "permission";
+    case ErrorCode::kCrossDevice:
+      return "cross_device";
+    case ErrorCode::kLanguageMismatch:
+      return "language_mismatch";
+    case ErrorCode::kOutOfRange:
+      return "out_of_range";
+  }
+  return "unknown";
+}
+
+std::string Error::ToString() const {
+  std::string out(ErrorCodeName(code));
+  if (!message.empty()) {
+    out += ": ";
+    out += message;
+  }
+  return out;
+}
+
+}  // namespace hac

@@ -1,0 +1,64 @@
+#include "src/support/id_set.h"
+
+#include <algorithm>
+
+namespace hac {
+
+IdSet::IdSet(std::vector<uint32_t> ids) : ids_(std::move(ids)) {
+  std::sort(ids_.begin(), ids_.end());
+  ids_.erase(std::unique(ids_.begin(), ids_.end()), ids_.end());
+}
+
+IdSet IdSet::FromBitmap(const Bitmap& bm) {
+  IdSet s;
+  s.ids_ = bm.ToIds();
+  return s;
+}
+
+Bitmap IdSet::ToBitmap() const { return Bitmap::FromIds(ids_); }
+
+void IdSet::Insert(uint32_t id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it == ids_.end() || *it != id) {
+    ids_.insert(it, id);
+  }
+}
+
+void IdSet::Erase(uint32_t id) {
+  auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) {
+    ids_.erase(it);
+  }
+}
+
+bool IdSet::Contains(uint32_t id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+IdSet IdSet::Union(const IdSet& other) const {
+  IdSet out;
+  out.ids_.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                 std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::Intersect(const IdSet& other) const {
+  IdSet out;
+  std::set_intersection(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                        std::back_inserter(out.ids_));
+  return out;
+}
+
+IdSet IdSet::Difference(const IdSet& other) const {
+  IdSet out;
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(), other.ids_.end(),
+                      std::back_inserter(out.ids_));
+  return out;
+}
+
+bool IdSet::IsSubsetOf(const IdSet& other) const {
+  return std::includes(other.ids_.begin(), other.ids_.end(), ids_.begin(), ids_.end());
+}
+
+}  // namespace hac

@@ -1,0 +1,49 @@
+// Sorted-vector set of 32-bit ids: the "better sparse-set representation" the paper's
+// section 4 names as future work. Used by the ablation bench to compare against Bitmap
+// (space and set-operation speed across selectivities).
+#ifndef HAC_SUPPORT_ID_SET_H_
+#define HAC_SUPPORT_ID_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/support/bitmap.h"
+
+namespace hac {
+
+class IdSet {
+ public:
+  IdSet() = default;
+  // `ids` need not be sorted or unique.
+  explicit IdSet(std::vector<uint32_t> ids);
+
+  static IdSet FromBitmap(const Bitmap& bm);
+  Bitmap ToBitmap() const;
+
+  void Insert(uint32_t id);
+  void Erase(uint32_t id);
+  bool Contains(uint32_t id) const;
+
+  size_t Size() const { return ids_.size(); }
+  bool Empty() const { return ids_.empty(); }
+  size_t SizeBytes() const { return ids_.size() * sizeof(uint32_t); }
+
+  IdSet Union(const IdSet& other) const;
+  IdSet Intersect(const IdSet& other) const;
+  IdSet Difference(const IdSet& other) const;
+
+  bool IsSubsetOf(const IdSet& other) const;
+  bool operator==(const IdSet& other) const { return ids_ == other.ids_; }
+
+  const std::vector<uint32_t>& ids() const { return ids_; }
+  std::vector<uint32_t>::const_iterator begin() const { return ids_.begin(); }
+  std::vector<uint32_t>::const_iterator end() const { return ids_.end(); }
+
+ private:
+  std::vector<uint32_t> ids_;  // sorted, unique
+};
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_ID_SET_H_

@@ -1,0 +1,120 @@
+// Result<T>: value-or-Error return type used by every fallible HAC API.
+//
+// Usage:
+//   Result<InodeId> r = fs.Lookup("/a/b");
+//   if (!r.ok()) return r.error();
+//   InodeId id = r.value();
+//
+// The HAC_ASSIGN_OR_RETURN / HAC_RETURN_IF_ERROR macros remove most of the boilerplate
+// inside the library.
+#ifndef HAC_SUPPORT_RESULT_H_
+#define HAC_SUPPORT_RESULT_H_
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "src/support/error.h"
+
+namespace hac {
+
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return Error{...};`.
+  Result(T value) : data_(std::move(value)) {}
+  Result(Error error) : data_(std::move(error)) {
+    assert(std::get<Error>(data_).code != ErrorCode::kOk);
+  }
+  Result(ErrorCode code, std::string message) : data_(Error(code, std::move(message))) {}
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  T& value() & {
+    CheckOk();
+    return std::get<T>(data_);
+  }
+  // Returns by value on purpose: `for (auto& x : F().value())` would otherwise bind a
+  // reference into the destroyed Result temporary (range-for does not lifetime-extend
+  // through member calls until C++23).
+  T value() && {
+    CheckOk();
+    return std::get<T>(std::move(data_));
+  }
+
+  const Error& error() const {
+    assert(!ok());
+    return std::get<Error>(data_);
+  }
+  ErrorCode code() const { return ok() ? ErrorCode::kOk : error().code; }
+
+  // Returns value() or `fallback` when in the error state.
+  T value_or(T fallback) const& { return ok() ? std::get<T>(data_) : std::move(fallback); }
+
+ private:
+  void CheckOk() const {
+    if (!ok()) {
+      std::fprintf(stderr, "Result::value() on error: %s\n", error().ToString().c_str());
+      std::abort();
+    }
+  }
+
+  std::variant<T, Error> data_;
+};
+
+// void specialization: carries only success/Error.
+template <>
+class [[nodiscard]] Result<void> {
+ public:
+  Result() : error_(ErrorCode::kOk, "") {}
+  Result(Error error) : error_(std::move(error)) {}
+  Result(ErrorCode code, std::string message) : error_(Error(code, std::move(message))) {}
+
+  bool ok() const { return error_.code == ErrorCode::kOk; }
+  explicit operator bool() const { return ok(); }
+  const Error& error() const {
+    assert(!ok());
+    return error_;
+  }
+  ErrorCode code() const { return error_.code; }
+
+ private:
+  Error error_;
+};
+
+inline Result<void> OkResult() { return Result<void>(); }
+
+// Evaluates `expr` (a Result<T>); on error returns it from the enclosing function,
+// otherwise binds the value to `lhs`.
+#define HAC_ASSIGN_OR_RETURN(lhs, expr)                \
+  HAC_ASSIGN_OR_RETURN_IMPL_(HAC_CONCAT_(_hac_r, __LINE__), lhs, expr)
+#define HAC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) {                                 \
+    return tmp.error();                            \
+  }                                                \
+  lhs = std::move(tmp).value();
+
+// Evaluates `expr` (a Result<T>); on error returns it from the enclosing function.
+#define HAC_RETURN_IF_ERROR(expr)                     \
+  do {                                                \
+    auto _hac_status = (expr);                        \
+    if (!_hac_status.ok()) {                          \
+      return _hac_status.error();                     \
+    }                                                 \
+  } while (0)
+
+#define HAC_CONCAT_INNER_(a, b) a##b
+#define HAC_CONCAT_(a, b) HAC_CONCAT_INNER_(a, b)
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_RESULT_H_

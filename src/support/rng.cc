@@ -1,0 +1,82 @@
+#include "src/support/rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hac {
+namespace {
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) {
+    s = SplitMix64(sm);
+  }
+  zipf_n_ = 0;
+  zipf_s_ = -1.0;
+  zipf_cdf_.clear();
+}
+
+uint64_t Rng::Next() {
+  uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+double Rng::NextDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+bool Rng::NextBool(double p) { return NextDouble() < p; }
+
+size_t Rng::NextZipf(size_t n, double s) {
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_n_ = n;
+    zipf_s_ = s;
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = sum;
+    }
+    for (auto& c : zipf_cdf_) {
+      c /= sum;
+    }
+  }
+  double u = NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  if (it == zipf_cdf_.end()) {
+    return n - 1;
+  }
+  return static_cast<size_t>(it - zipf_cdf_.begin());
+}
+
+}  // namespace hac

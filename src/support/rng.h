@@ -1,0 +1,60 @@
+// Deterministic pseudo-random generator (xoshiro256**) used by workload generators and
+// property tests. Every workload in the benches is seeded, so runs are reproducible.
+#ifndef HAC_SUPPORT_RNG_H_
+#define HAC_SUPPORT_RNG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hac {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  uint64_t Next();
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t NextInRange(uint64_t lo, uint64_t hi);
+
+  // Uniform in [0, 1).
+  double NextDouble();
+
+  // True with probability p.
+  bool NextBool(double p = 0.5);
+
+  // Zipf-distributed rank in [0, n) with exponent s (s=0 is uniform). Uses a precomputed
+  // CDF cached per (n, s); cheap after the first call for a given shape.
+  size_t NextZipf(size_t n, double s);
+
+  // Picks a uniformly random element.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[NextBelow(v.size())];
+  }
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[NextBelow(i)]);
+    }
+  }
+
+ private:
+  uint64_t state_[4];
+  // Cache for NextZipf.
+  size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_RNG_H_

@@ -1,0 +1,60 @@
+// Byte-buffer serialization used by VFS snapshots and HAC metadata persistence.
+//
+// Format: little-endian fixed-width integers, LEB128 varints, and length-prefixed
+// strings. The Reader validates bounds and reports kCorrupt instead of reading past
+// the end.
+#ifndef HAC_SUPPORT_SERIALIZER_H_
+#define HAC_SUPPORT_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace hac {
+
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  void PutVarint(uint64_t v);
+  void PutString(std::string_view s);
+  void PutBytes(const void* data, size_t n);
+
+  const std::vector<uint8_t>& buffer() const { return buf_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& buf) : data_(buf.data()), size_(buf.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<uint64_t> GetVarint();
+  Result<std::string> GetString();
+  // Copies `n` raw bytes into `out`.
+  Result<void> GetBytes(void* out, size_t n);
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  Result<void> Need(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_SERIALIZER_H_

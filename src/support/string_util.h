@@ -1,0 +1,31 @@
+// Small string helpers shared across subsystems.
+#ifndef HAC_SUPPORT_STRING_UTIL_H_
+#define HAC_SUPPORT_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hac {
+
+// Splits on `sep`; empty pieces are kept unless skip_empty.
+std::vector<std::string> SplitString(std::string_view s, char sep, bool skip_empty = false);
+
+std::string JoinStrings(const std::vector<std::string>& parts, std::string_view sep);
+
+std::string ToLowerAscii(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+std::string_view TrimWhitespace(std::string_view s);
+
+// "12.3 KB" / "4.0 MB" style human-readable byte counts, for bench output.
+std::string HumanBytes(size_t bytes);
+
+// Fixed-point formatting helper ("%.*f") without iostreams.
+std::string FormatDouble(double v, int decimals);
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_STRING_UTIL_H_

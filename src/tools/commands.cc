@@ -1,0 +1,466 @@
+#include "src/tools/commands.h"
+
+#include "src/tools/fsck.h"
+#include "src/tools/inspect.h"
+#include "src/vfs/path.h"
+
+namespace hac {
+
+CommandInterpreter::CommandInterpreter(HacFileSystem* fs) : fs_(fs) {}
+
+void CommandInterpreter::RegisterFileSystem(const std::string& name, FsInterface* fs) {
+  file_systems_[name] = fs;
+}
+
+void CommandInterpreter::RegisterNameSpace(const std::string& name, NameSpace* space) {
+  name_spaces_[name] = space;
+}
+
+Result<std::vector<std::string>> CommandInterpreter::Tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_word = false;
+  char quote = '\0';
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      in_word = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t') {
+      if (in_word) {
+        out.push_back(cur);
+        cur.clear();
+        in_word = false;
+      }
+      continue;
+    }
+    cur += c;
+    in_word = true;
+  }
+  if (quote != '\0') {
+    return Error(ErrorCode::kParseError, "unterminated quote");
+  }
+  if (in_word) {
+    out.push_back(cur);
+  }
+  return out;
+}
+
+std::string CommandInterpreter::Abs(const std::string& arg) const {
+  if (!arg.empty() && arg[0] == '/') {
+    return NormalizePath(arg);
+  }
+  return NormalizePath(JoinPath(cwd_ == "/" ? "" : cwd_, arg));
+}
+
+Result<std::string> CommandInterpreter::Execute(const std::string& line) {
+  HAC_ASSIGN_OR_RETURN(std::vector<std::string> args, Tokenize(line));
+  if (args.empty() || args[0].empty() || args[0][0] == '#') {
+    return std::string();
+  }
+  return Dispatch(args);
+}
+
+Result<std::string> CommandInterpreter::Dispatch(const std::vector<std::string>& args) {
+  const std::string& cmd = args[0];
+  if (cmd == "cd") {
+    return CmdCd(args);
+  }
+  if (cmd == "pwd") {
+    return CmdPwd(args);
+  }
+  if (cmd == "ls") {
+    return CmdLs(args);
+  }
+  if (cmd == "mkdir") {
+    return CmdMkdir(args);
+  }
+  if (cmd == "rmdir") {
+    return CmdRmdir(args);
+  }
+  if (cmd == "rm") {
+    return CmdRm(args);
+  }
+  if (cmd == "mv") {
+    return CmdMv(args);
+  }
+  if (cmd == "ln") {
+    return CmdLn(args);
+  }
+  if (cmd == "cat") {
+    return CmdCat(args);
+  }
+  if (cmd == "echo") {
+    return CmdEcho(args);
+  }
+  if (cmd == "stat") {
+    return CmdStat(args);
+  }
+  if (cmd == "squery") {
+    return CmdSQuery(args);
+  }
+  if (cmd == "smkdir") {
+    return CmdSMkdir(args);
+  }
+  if (cmd == "schq") {
+    return CmdSChq(args);
+  }
+  if (cmd == "sreadq") {
+    return CmdSReadq(args);
+  }
+  if (cmd == "ssync") {
+    return CmdSSync(args);
+  }
+  if (cmd == "sact") {
+    return CmdSAct(args);
+  }
+  if (cmd == "smount") {
+    return CmdSMount(args);
+  }
+  if (cmd == "sumount") {
+    return CmdSUmount(args);
+  }
+  if (cmd == "slinks") {
+    return CmdSLinks(args);
+  }
+  if (cmd == "spromote") {
+    if (args.size() != 2) {
+      return Error(ErrorCode::kInvalidArgument, "usage: spromote <link>");
+    }
+    HAC_RETURN_IF_ERROR(fs_->PromoteLink(Abs(args[1])));
+    return std::string();
+  }
+  if (cmd == "sunprohibit") {
+    if (args.size() != 3) {
+      return Error(ErrorCode::kInvalidArgument, "usage: sunprohibit <dir> <file>");
+    }
+    HAC_RETURN_IF_ERROR(fs_->Unprohibit(Abs(args[1]), Abs(args[2])));
+    return std::string();
+  }
+  if (cmd == "sdump") {
+    if (args.size() > 2) {
+      return Error(ErrorCode::kInvalidArgument, "usage: sdump [dir]");
+    }
+    return DumpTree(*fs_, args.size() == 2 ? Abs(args[1]) : cwd_);
+  }
+  if (cmd == "sfsck") {
+    if (args.size() != 1) {
+      return Error(ErrorCode::kInvalidArgument, "usage: sfsck");
+    }
+    return RunFsck(*fs_).ToString();
+  }
+  if (cmd == "reindex") {
+    return CmdReindex(args);
+  }
+  if (cmd == "stats") {
+    return CmdStats(args);
+  }
+  if (cmd == "help") {
+    return HelpText();
+  }
+  return Error(ErrorCode::kInvalidArgument, "unknown command: " + cmd + " (try 'help')");
+}
+
+Result<std::string> CommandInterpreter::CmdCd(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: cd <dir>");
+  }
+  std::string target = Abs(args[1]);
+  HAC_ASSIGN_OR_RETURN(Stat st, fs_->StatPath(target));
+  if (st.type != NodeType::kDirectory) {
+    return Error(ErrorCode::kNotADirectory, target);
+  }
+  cwd_ = target;
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdPwd(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Error(ErrorCode::kInvalidArgument, "usage: pwd");
+  }
+  return cwd_ + "\n";
+}
+
+Result<std::string> CommandInterpreter::CmdLs(const std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: ls [dir]");
+  }
+  std::string dir = args.size() == 2 ? Abs(args[1]) : cwd_;
+  HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs_->ReadDir(dir));
+  std::string out;
+  for (const DirEntry& e : entries) {
+    out += e.name;
+    if (e.type == NodeType::kDirectory) {
+      out += '/';
+    } else if (e.type == NodeType::kSymlink) {
+      out += " -> ";
+      out += fs_->ReadLink(JoinPath(dir == "/" ? "" : dir, e.name)).value_or("?");
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> CommandInterpreter::CmdMkdir(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: mkdir <dir>");
+  }
+  HAC_RETURN_IF_ERROR(fs_->Mkdir(Abs(args[1])));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdRmdir(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: rmdir <dir>");
+  }
+  HAC_RETURN_IF_ERROR(fs_->Rmdir(Abs(args[1])));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdRm(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: rm <file-or-link>");
+  }
+  HAC_RETURN_IF_ERROR(fs_->Unlink(Abs(args[1])));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdMv(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Error(ErrorCode::kInvalidArgument, "usage: mv <from> <to>");
+  }
+  HAC_RETURN_IF_ERROR(fs_->Rename(Abs(args[1]), Abs(args[2])));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdLn(const std::vector<std::string>& args) {
+  // ln -s <target> <link>, mirroring the usual shell syntax.
+  if (args.size() != 4 || args[1] != "-s") {
+    return Error(ErrorCode::kInvalidArgument, "usage: ln -s <target> <link>");
+  }
+  HAC_RETURN_IF_ERROR(fs_->Symlink(Abs(args[2]), Abs(args[3])));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdCat(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: cat <file>");
+  }
+  return fs_->ReadFileToString(Abs(args[1]));
+}
+
+Result<std::string> CommandInterpreter::CmdEcho(const std::vector<std::string>& args) {
+  // echo <text> > <file>   |   echo <text> >> <file>
+  if (args.size() == 4 && (args[2] == ">" || args[2] == ">>")) {
+    std::string path = Abs(args[3]);
+    if (args[2] == ">") {
+      HAC_RETURN_IF_ERROR(fs_->WriteFile(path, args[1] + "\n"));
+    } else {
+      HAC_RETURN_IF_ERROR(fs_->AppendFile(path, args[1] + "\n"));
+    }
+    return std::string();
+  }
+  if (args.size() == 2) {
+    return args[1] + "\n";
+  }
+  return Error(ErrorCode::kInvalidArgument, "usage: echo <text> [>|>> <file>]");
+}
+
+Result<std::string> CommandInterpreter::CmdStat(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: stat <path>");
+  }
+  HAC_ASSIGN_OR_RETURN(Stat st, fs_->LstatPath(Abs(args[1])));
+  const char* kind = st.type == NodeType::kDirectory
+                         ? "directory"
+                         : (st.type == NodeType::kSymlink ? "symlink" : "file");
+  return std::string(kind) + " inode=" + std::to_string(st.inode) +
+         " size=" + std::to_string(st.size) + " mtime=" + std::to_string(st.mtime) +
+         "\n";
+}
+
+Result<std::string> CommandInterpreter::CmdSQuery(const std::vector<std::string>& args) {
+  if (args.size() < 2 || args.size() > 3) {
+    return Error(ErrorCode::kInvalidArgument, "usage: squery '<query>' [scope-dir]");
+  }
+  std::string scope = args.size() == 3 ? Abs(args[2]) : std::string("/");
+  HAC_ASSIGN_OR_RETURN(std::vector<std::string> paths, fs_->Search(args[1], scope));
+  std::string out;
+  for (const std::string& p : paths) {
+    out += p;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> CommandInterpreter::CmdSMkdir(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Error(ErrorCode::kInvalidArgument, "usage: smkdir <dir> '<query>'");
+  }
+  HAC_RETURN_IF_ERROR(fs_->SMkdir(Abs(args[1]), args[2]));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdSChq(const std::vector<std::string>& args) {
+  if (args.size() != 3) {
+    return Error(ErrorCode::kInvalidArgument, "usage: schq <dir> '<query>'");
+  }
+  HAC_RETURN_IF_ERROR(fs_->SetQuery(Abs(args[1]), args[2]));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdSReadq(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: sreadq <dir>");
+  }
+  HAC_ASSIGN_OR_RETURN(std::string query, fs_->GetQuery(Abs(args[1])));
+  return query + "\n";
+}
+
+Result<std::string> CommandInterpreter::CmdSSync(const std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: ssync [dir]");
+  }
+  HAC_RETURN_IF_ERROR(fs_->SSync(args.size() == 2 ? Abs(args[1]) : cwd_));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdSAct(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: sact <link>");
+  }
+  HAC_ASSIGN_OR_RETURN(std::vector<std::string> lines, fs_->SAct(Abs(args[1])));
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::string> CommandInterpreter::CmdSMount(const std::vector<std::string>& args) {
+  // smount -s <dir> <namespace>          (semantic)
+  // smount -n <dir> <fs> [remote-root]   (syntactic / name-based)
+  if (args.size() < 4 || (args[1] != "-s" && args[1] != "-n")) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "usage: smount -s <dir> <namespace> | smount -n <dir> <fs> [root]");
+  }
+  std::string dir = Abs(args[2]);
+  if (args[1] == "-s") {
+    auto it = name_spaces_.find(args[3]);
+    if (it == name_spaces_.end()) {
+      return Error(ErrorCode::kNotFound, "unregistered name space: " + args[3]);
+    }
+    HAC_RETURN_IF_ERROR(fs_->MountSemantic(dir, it->second));
+    return std::string();
+  }
+  auto it = file_systems_.find(args[3]);
+  if (it == file_systems_.end()) {
+    return Error(ErrorCode::kNotFound, "unregistered file system: " + args[3]);
+  }
+  std::string root = args.size() >= 5 ? args[4] : "/";
+  HAC_RETURN_IF_ERROR(fs_->MountSyntactic(dir, it->second, root));
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdSUmount(const std::vector<std::string>& args) {
+  if (args.size() != 3 || (args[1] != "-s" && args[1] != "-n")) {
+    return Error(ErrorCode::kInvalidArgument, "usage: sumount -s|-n <dir>");
+  }
+  std::string dir = Abs(args[2]);
+  if (args[1] == "-s") {
+    HAC_RETURN_IF_ERROR(fs_->UnmountSemantic(dir));
+  } else {
+    HAC_RETURN_IF_ERROR(fs_->UnmountSyntactic(dir));
+  }
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdSLinks(const std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: slinks [dir]");
+  }
+  std::string dir = args.size() == 2 ? Abs(args[1]) : cwd_;
+  HAC_ASSIGN_OR_RETURN(LinkClassView view, fs_->GetLinkClasses(dir));
+  std::string out;
+  for (const auto& [name, target] : view.permanent) {
+    out += "permanent  " + name + " -> " + target + "\n";
+  }
+  for (const auto& [name, target] : view.transient) {
+    out += "transient  " + name + " -> " + target + "\n";
+  }
+  for (const std::string& target : view.prohibited) {
+    out += "prohibited " + target + "\n";
+  }
+  return out;
+}
+
+Result<std::string> CommandInterpreter::CmdReindex(const std::vector<std::string>& args) {
+  if (args.size() > 2) {
+    return Error(ErrorCode::kInvalidArgument, "usage: reindex [dir]");
+  }
+  if (args.size() == 2) {
+    HAC_RETURN_IF_ERROR(fs_->ReindexSubtree(Abs(args[1])));
+  } else {
+    HAC_RETURN_IF_ERROR(fs_->Reindex());
+  }
+  return std::string();
+}
+
+Result<std::string> CommandInterpreter::CmdStats(const std::vector<std::string>& args) {
+  if (args.size() != 1) {
+    return Error(ErrorCode::kInvalidArgument, "usage: stats");
+  }
+  HacStats s = fs_->Stats();
+  std::string out;
+  out += "query evaluations     " + std::to_string(s.query_evaluations) + "\n";
+  out += "scope propagations    " + std::to_string(s.scope_propagations) + "\n";
+  out += "transient links +/-   " + std::to_string(s.transient_links_added) + "/" +
+         std::to_string(s.transient_links_removed) + "\n";
+  out += "docs indexed/purged   " + std::to_string(s.docs_indexed) + "/" +
+         std::to_string(s.docs_purged) + "\n";
+  out += "remote searches       " + std::to_string(s.remote_searches) + "\n";
+  out += "remote imports        " + std::to_string(s.remote_imports) + "\n";
+  out += "attr cache hit/miss   " + std::to_string(s.attr_cache_hits) + "/" +
+         std::to_string(s.attr_cache_misses) + "\n";
+  out += "metadata bytes        " + std::to_string(fs_->MetadataSizeBytes()) + "\n";
+  return out;
+}
+
+std::string CommandInterpreter::HelpText() {
+  return
+      "ordinary commands:\n"
+      "  cd <dir>            pwd                 ls [dir]\n"
+      "  mkdir <dir>         rmdir <dir>         rm <file-or-link>\n"
+      "  mv <from> <to>      ln -s <tgt> <link>  cat <file>\n"
+      "  echo <text> [>|>> <file>]               stat <path>\n"
+      "semantic commands (the paper's extensions):\n"
+      "  squery '<query>' [dir]   one-shot search, no directory created\n"
+      "  smkdir <dir> '<query>'   create a semantic directory\n"
+      "  schq <dir> '<query>'     change a directory's query ('' reverts to syntactic)\n"
+      "  sreadq <dir>             show the query (current paths, post-rename)\n"
+      "  ssync [dir]              re-evaluate dir + everything depending on it\n"
+      "  sact <link>              matching lines of the linked file\n"
+      "  smount -s <dir> <ns>     semantic mount of a registered name space\n"
+      "  smount -n <dir> <fs> [root]  syntactic mount of a registered file system\n"
+      "  sumount -s|-n <dir>      remove a mount\n"
+      "  slinks [dir]             link classification (permanent/transient/prohibited)\n"
+      "  spromote <link>          pin a transient link (make it permanent)\n"
+      "  sunprohibit <dir> <file> forget a prohibition so the file may return\n"
+      "  sdump [dir]              annotated tree + dependency graph + counters\n"
+      "  sfsck                    audit every HAC invariant ('clean' when consistent)\n"
+      "  reindex [dir]            data-consistency pass (full or subtree)\n"
+      "  stats                    HAC counters\n";
+}
+
+}  // namespace hac

@@ -1,0 +1,85 @@
+// The paper's command extensions as a string-command layer (section 4):
+//
+//   "HAC also provides additional commands that manipulate queries and semantic
+//    directories. ... smkdir creates a semantic directory, schq modifies the query of
+//    a directory and sreadq retrieves it, sact accepts a symbolic link in a semantic
+//    directory and returns the information in the corresponding file that matches the
+//    query of the directory, smount defines new syntactic and semantic mount points,
+//    and ssync re-evaluates the queries of all the directories that directly or
+//    indirectly depend on a given directory."
+//
+// Plus the ordinary commands (cd/ls/mkdir/mv/rm/...) "used in the usual way". The
+// interpreter keeps a current working directory so relative paths work like a shell.
+// Mount targets (file systems, name spaces) are registered by name beforehand.
+#ifndef HAC_TOOLS_COMMANDS_H_
+#define HAC_TOOLS_COMMANDS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/name_space.h"
+
+namespace hac {
+
+class CommandInterpreter {
+ public:
+  explicit CommandInterpreter(HacFileSystem* fs);
+
+  // Registers mountable targets for `smount`.
+  void RegisterFileSystem(const std::string& name, FsInterface* fs);
+  void RegisterNameSpace(const std::string& name, NameSpace* space);
+
+  // Executes one command line; returns the textual output (possibly empty).
+  // Errors are returned as Result errors, not printed.
+  Result<std::string> Execute(const std::string& line);
+
+  // Splits a line into whitespace-separated words; single/double quotes group words
+  // ("smkdir /fp 'fingerprint AND NOT murder'"). Exposed for tests.
+  static Result<std::vector<std::string>> Tokenize(const std::string& line);
+
+  const std::string& cwd() const { return cwd_; }
+
+  // One help line per command.
+  static std::string HelpText();
+
+ private:
+  // Resolves `arg` against the cwd.
+  std::string Abs(const std::string& arg) const;
+
+  Result<std::string> Dispatch(const std::vector<std::string>& args);
+
+  // Command handlers (args includes the command word).
+  Result<std::string> CmdCd(const std::vector<std::string>& args);
+  Result<std::string> CmdPwd(const std::vector<std::string>& args);
+  Result<std::string> CmdLs(const std::vector<std::string>& args);
+  Result<std::string> CmdMkdir(const std::vector<std::string>& args);
+  Result<std::string> CmdRmdir(const std::vector<std::string>& args);
+  Result<std::string> CmdRm(const std::vector<std::string>& args);
+  Result<std::string> CmdMv(const std::vector<std::string>& args);
+  Result<std::string> CmdLn(const std::vector<std::string>& args);
+  Result<std::string> CmdCat(const std::vector<std::string>& args);
+  Result<std::string> CmdEcho(const std::vector<std::string>& args);
+  Result<std::string> CmdStat(const std::vector<std::string>& args);
+  Result<std::string> CmdSQuery(const std::vector<std::string>& args);
+  Result<std::string> CmdSMkdir(const std::vector<std::string>& args);
+  Result<std::string> CmdSChq(const std::vector<std::string>& args);
+  Result<std::string> CmdSReadq(const std::vector<std::string>& args);
+  Result<std::string> CmdSSync(const std::vector<std::string>& args);
+  Result<std::string> CmdSAct(const std::vector<std::string>& args);
+  Result<std::string> CmdSMount(const std::vector<std::string>& args);
+  Result<std::string> CmdSUmount(const std::vector<std::string>& args);
+  Result<std::string> CmdSLinks(const std::vector<std::string>& args);
+  Result<std::string> CmdReindex(const std::vector<std::string>& args);
+  Result<std::string> CmdStats(const std::vector<std::string>& args);
+
+  HacFileSystem* fs_;
+  std::string cwd_ = "/";
+  std::unordered_map<std::string, FsInterface*> file_systems_;
+  std::unordered_map<std::string, NameSpace*> name_spaces_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_TOOLS_COMMANDS_H_

@@ -1,0 +1,118 @@
+#include "src/tools/inspect.h"
+
+#include "src/vfs/path.h"
+
+namespace hac {
+namespace {
+
+void Indent(std::string& out, int depth) { out.append(static_cast<size_t>(depth) * 2, ' '); }
+
+Result<void> DumpDir(HacFileSystem& fs, const std::string& dir, int depth,
+                     const InspectOptions& options, std::string& out) {
+  Indent(out, depth);
+  out += depth == 0 ? dir : BaseName(dir) + "/";
+  auto query = fs.GetQuery(dir);
+  if (query.ok() && !query.value().empty()) {
+    out += "   [query: " + query.value() + "]";
+  }
+  out += '\n';
+
+  auto classes = fs.GetLinkClasses(dir);
+  HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(dir));
+  size_t shown = 0;
+  for (const DirEntry& e : entries) {
+    std::string child = JoinPath(dir == "/" ? "" : dir, e.name);
+    if (e.type == NodeType::kDirectory) {
+      HAC_RETURN_IF_ERROR(DumpDir(fs, child, depth + 1, options, out));
+      continue;
+    }
+    if (++shown > options.max_entries_per_dir) {
+      continue;
+    }
+    if (e.type == NodeType::kSymlink) {
+      const char* cls = "link       ";
+      if (classes.ok()) {
+        for (const auto& [name, target] : classes.value().permanent) {
+          if (name == e.name) {
+            cls = "permanent  ";
+          }
+        }
+        for (const auto& [name, target] : classes.value().transient) {
+          if (name == e.name) {
+            cls = "transient  ";
+          }
+        }
+      }
+      Indent(out, depth + 1);
+      out += std::string(cls) + e.name + " -> " + fs.ReadLink(child).value_or("?") + "\n";
+    } else if (options.show_files) {
+      Indent(out, depth + 1);
+      out += "file       " + e.name + "\n";
+    }
+  }
+  if (shown > options.max_entries_per_dir) {
+    Indent(out, depth + 1);
+    out += "... (" + std::to_string(shown - options.max_entries_per_dir) +
+           " more entries)\n";
+  }
+  if (classes.ok() && !classes.value().prohibited.empty()) {
+    for (const std::string& target : classes.value().prohibited) {
+      Indent(out, depth + 1);
+      out += "prohibited " + target + "\n";
+    }
+  }
+  return OkResult();
+}
+
+}  // namespace
+
+Result<std::string> DumpTree(HacFileSystem& fs, const std::string& root,
+                             const InspectOptions& options) {
+  std::string norm = NormalizePath(root);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + root);
+  }
+  std::string out;
+  HAC_RETURN_IF_ERROR(DumpDir(fs, norm, 0, options, out));
+
+  if (options.show_dependencies) {
+    out += "\ndependency graph (reads-from):\n";
+    const UidMap& uids = fs.uid_map();
+    const DependencyGraph& graph = fs.dependency_graph();
+    for (DirUid uid : graph.FullTopoOrder()) {
+      auto path = uids.PathOf(uid);
+      if (!path.ok() || !PathIsWithin(path.value(), norm)) {
+        continue;
+      }
+      auto deps = graph.DependenciesOf(uid);
+      if (deps.empty()) {
+        continue;
+      }
+      out += "  " + path.value() + " <- {";
+      for (size_t i = 0; i < deps.size(); ++i) {
+        if (i != 0) {
+          out += ", ";
+        }
+        out += uids.PathOf(deps[i]).value_or("?");
+      }
+      out += "}\n";
+    }
+  }
+
+  if (options.show_counters) {
+    CbaStats index_stats = fs.index().Stats();
+    HacStats stats = fs.Stats();
+    out += "\ncounters:\n";
+    out += "  files: " + std::to_string(fs.registry().LiveCount()) + " live / " +
+           std::to_string(fs.registry().TotalRecords()) + " total\n";
+    out += "  index: " + std::to_string(index_stats.documents) + " docs, " +
+           std::to_string(index_stats.terms) + " terms, " +
+           std::to_string(index_stats.postings) + " postings\n";
+    out += "  activity: " + std::to_string(stats.query_evaluations) + " evaluations, " +
+           std::to_string(stats.transient_links_added) + "+" +
+           std::to_string(stats.transient_links_removed) + "- links\n";
+  }
+  return out;
+}
+
+}  // namespace hac

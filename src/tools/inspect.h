@@ -1,0 +1,26 @@
+// Human-readable inspection of a HAC file system: the directory tree annotated with
+// query and link-class information, the dependency graph, registry and index summary.
+// Backs the hacsh `sdump` command and is handy in tests and debugging sessions.
+#ifndef HAC_TOOLS_INSPECT_H_
+#define HAC_TOOLS_INSPECT_H_
+
+#include <string>
+
+#include "src/core/hac_file_system.h"
+
+namespace hac {
+
+struct InspectOptions {
+  bool show_files = true;        // include regular files, not just directories/links
+  bool show_dependencies = true; // append the dependency-graph section
+  bool show_counters = true;     // append registry/index/stats summary
+  size_t max_entries_per_dir = 64;
+};
+
+// Renders the subtree at `root`.
+Result<std::string> DumpTree(HacFileSystem& fs, const std::string& root = "/",
+                             const InspectOptions& options = {});
+
+}  // namespace hac
+
+#endif  // HAC_TOOLS_INSPECT_H_

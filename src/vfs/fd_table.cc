@@ -1,0 +1,43 @@
+#include "src/vfs/fd_table.h"
+
+namespace hac {
+
+Fd FdTable::Allocate(OpenFile file) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].has_value()) {
+      slots_[i] = file;
+      ++open_count_;
+      return static_cast<Fd>(i);
+    }
+  }
+  slots_.push_back(file);
+  ++open_count_;
+  return static_cast<Fd>(slots_.size() - 1);
+}
+
+Result<OpenFile*> FdTable::Get(Fd fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= slots_.size() || !slots_[static_cast<size_t>(fd)]) {
+    return Error(ErrorCode::kBadDescriptor, "fd " + std::to_string(fd));
+  }
+  return &*slots_[static_cast<size_t>(fd)];
+}
+
+Result<void> FdTable::Release(Fd fd) {
+  if (fd < 0 || static_cast<size_t>(fd) >= slots_.size() || !slots_[static_cast<size_t>(fd)]) {
+    return Error(ErrorCode::kBadDescriptor, "fd " + std::to_string(fd));
+  }
+  slots_[static_cast<size_t>(fd)].reset();
+  --open_count_;
+  return OkResult();
+}
+
+bool FdTable::HasOpen(InodeId inode) const {
+  for (const auto& slot : slots_) {
+    if (slot && slot->inode == inode) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hac

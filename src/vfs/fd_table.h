@@ -1,0 +1,46 @@
+// Open-file descriptor table. The VFS owns one ("kernel" descriptors); the HAC layer
+// keeps its own per-process table on top (see core/process_state.h), mirroring the
+// paper's user-level descriptor bookkeeping.
+#ifndef HAC_VFS_FD_TABLE_H_
+#define HAC_VFS_FD_TABLE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/vfs/types.h"
+
+namespace hac {
+
+struct OpenFile {
+  InodeId inode = kInvalidInode;
+  uint64_t offset = 0;
+  uint32_t flags = 0;
+};
+
+class FdTable {
+ public:
+  // Allocates the lowest free descriptor.
+  Fd Allocate(OpenFile file);
+
+  Result<OpenFile*> Get(Fd fd);
+
+  Result<void> Release(Fd fd);
+
+  // Number of currently open descriptors.
+  size_t OpenCount() const { return open_count_; }
+
+  // True if any open descriptor refers to `inode`.
+  bool HasOpen(InodeId inode) const;
+
+  // Approximate memory footprint (for the space-overhead bench).
+  size_t SizeBytes() const { return slots_.capacity() * sizeof(slots_[0]); }
+
+ private:
+  std::vector<std::optional<OpenFile>> slots_;
+  size_t open_count_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_VFS_FD_TABLE_H_

@@ -1,0 +1,112 @@
+// In-memory hierarchical file system: the "native UNIX" substrate every other layer
+// (HAC core, baselines) builds on. Single-threaded by design — the paper's HAC is a
+// per-process user-level library; multi-process sharing is modelled at the HAC layer.
+//
+// Supported semantics:
+//   * absolute paths, lexical "." / ".." handling, symlink resolution with loop limit
+//   * mkdir/rmdir/readdir, create/open/read/write/seek/close, unlink, rename (files and
+//     directories, including subtree moves; moving a directory into itself is rejected)
+//   * symlinks (dangling allowed; followed by StatPath and by intermediate components)
+//   * virtual mtime from a VirtualClock advanced on every mutation
+#ifndef HAC_VFS_FILE_SYSTEM_H_
+#define HAC_VFS_FILE_SYSTEM_H_
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/support/clock.h"
+#include "src/support/result.h"
+#include "src/vfs/fd_table.h"
+#include "src/vfs/fs_interface.h"
+#include "src/vfs/fs_stats.h"
+#include "src/vfs/inode.h"
+
+namespace hac {
+
+class FileSystem final : public FsInterface {
+ public:
+  FileSystem();
+
+  // FsInterface:
+  Result<void> Mkdir(const std::string& path) override;
+  Result<void> Rmdir(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Result<Fd> Open(const std::string& path, uint32_t flags) override;
+  Result<void> Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t n) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t n) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Result<void> Unlink(const std::string& path) override;
+  Result<void> Rename(const std::string& from, const std::string& to) override;
+  Result<void> Symlink(const std::string& target, const std::string& link_path) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+  Result<Stat> StatPath(const std::string& path) override;
+  Result<Stat> LstatPath(const std::string& path) override;
+
+  // --- extra queries used by upper layers ---
+
+  // Resolves `path` to an inode id; follows symlinks iff `follow_final`.
+  Result<InodeId> Lookup(const std::string& path, bool follow_final = true);
+
+  // Absolute path of `id` (directories only resolve uniquely; files resolve through their
+  // containing directory). Returns kNotFound for unreferenced inodes.
+  Result<std::string> PathOf(InodeId id) const;
+
+  const Inode* FindInode(InodeId id) const;
+
+  Stat StatOf(const Inode& node) const;
+
+  uint64_t InodeCount() const { return inodes_.size(); }
+  InodeId root_id() const { return root_; }
+
+  FsStats& stats() { return stats_; }
+  VirtualClock& clock() { return clock_; }
+
+  // Total bytes of file content (for bench reporting).
+  uint64_t TotalDataBytes() const;
+  // Approximate metadata footprint: inode table + directory entries (no file data).
+  uint64_t MetadataBytes() const;
+
+  // Snapshot persistence (see persistence.cc).
+  std::vector<uint8_t> SaveImage() const;
+  static Result<FileSystem> LoadImage(const std::vector<uint8_t>& image);
+
+ private:
+  friend class FsImageCodec;
+
+  struct Resolved {
+    InodeId parent;        // containing directory
+    InodeId node;          // kInvalidInode if the final component does not exist
+    std::string leaf;      // final component name
+  };
+
+  // Walks `path`; intermediate symlinks always followed, final component followed iff
+  // `follow_final`. Missing final component is not an error (node == kInvalidInode);
+  // missing intermediate components are.
+  Result<Resolved> Resolve(const std::string& path, bool follow_final, int depth = 0);
+
+  Inode& Node(InodeId id) { return inodes_.at(id); }
+  const Inode& Node(InodeId id) const { return inodes_.at(id); }
+
+  InodeId NewInode(NodeType type);
+  void Touch(Inode& node);
+  bool IsAncestorOf(InodeId maybe_ancestor, InodeId node) const;
+
+  // Called when a file loses its last directory entry: POSIX keeps the inode alive
+  // while descriptors are open; it is reaped at the last Close.
+  void DropOrReapInode(InodeId id);
+
+  std::unordered_map<InodeId, Inode> inodes_;
+  std::unordered_set<InodeId> orphaned_;  // unlinked but still open
+  InodeId root_ = kInvalidInode;
+  InodeId next_id_ = 1;
+  FdTable fds_;
+  FsStats stats_;
+  VirtualClock clock_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_VFS_FILE_SYSTEM_H_

@@ -1,0 +1,92 @@
+#include "src/vfs/fs_interface.h"
+
+#include <algorithm>
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+bool FsInterface::Exists(const std::string& path) { return LstatPath(path).ok(); }
+
+Result<void> FsInterface::MkdirAll(const std::string& path) {
+  std::string norm = NormalizePath(path);
+  if (norm.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "relative path: " + path);
+  }
+  std::string cur = "/";
+  for (const std::string& comp : SplitPath(norm)) {
+    cur = JoinPath(cur == "/" ? "" : cur, comp);
+    auto st = LstatPath(cur);
+    if (st.ok()) {
+      if (st.value().type != NodeType::kDirectory) {
+        return Error(ErrorCode::kNotADirectory, cur);
+      }
+      continue;
+    }
+    HAC_RETURN_IF_ERROR(Mkdir(cur));
+  }
+  return OkResult();
+}
+
+Result<void> FsInterface::WriteFile(const std::string& path, std::string_view content) {
+  HAC_ASSIGN_OR_RETURN(Fd fd, Open(path, kOpenWrite | kOpenCreate | kOpenTruncate));
+  auto written = Write(fd, content.data(), content.size());
+  if (!written.ok()) {
+    (void)Close(fd);
+    return written.error();
+  }
+  return Close(fd);
+}
+
+Result<void> FsInterface::AppendFile(const std::string& path, std::string_view content) {
+  HAC_ASSIGN_OR_RETURN(Fd fd, Open(path, kOpenWrite | kOpenCreate | kOpenAppend));
+  auto written = Write(fd, content.data(), content.size());
+  if (!written.ok()) {
+    (void)Close(fd);
+    return written.error();
+  }
+  return Close(fd);
+}
+
+Result<std::string> FsInterface::ReadFileToString(const std::string& path) {
+  HAC_ASSIGN_OR_RETURN(Fd fd, Open(path, kOpenRead));
+  std::string out;
+  char buf[8192];
+  for (;;) {
+    auto n = Read(fd, buf, sizeof(buf));
+    if (!n.ok()) {
+      (void)Close(fd);
+      return n.error();
+    }
+    if (n.value() == 0) {
+      break;
+    }
+    out.append(buf, n.value());
+  }
+  HAC_RETURN_IF_ERROR(Close(fd));
+  return out;
+}
+
+Result<std::vector<std::string>> FsInterface::ListTree(const std::string& root) {
+  std::vector<std::string> out;
+  std::vector<std::string> stack = {NormalizePath(root)};
+  if (stack.back().empty()) {
+    return Error(ErrorCode::kInvalidArgument, "relative path: " + root);
+  }
+  while (!stack.empty()) {
+    std::string dir = std::move(stack.back());
+    stack.pop_back();
+    HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, ReadDir(dir));
+    for (const DirEntry& e : entries) {
+      std::string child = JoinPath(dir == "/" ? "" : dir, e.name);
+      out.push_back(child);
+      if (e.type == NodeType::kDirectory) {
+        stack.push_back(child);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hac

@@ -1,0 +1,59 @@
+// Abstract file-system call surface.
+//
+// The Andrew-benchmark driver, the baseline layers (Jade-like, Pseudo-like) and the HAC
+// file system all speak this interface, so the paper's Table 1/Table 2 comparisons run
+// the identical workload against every system.
+//
+// Convenience helpers (WriteFile/ReadFile/MkdirAll) are non-virtual and implemented on
+// top of the primitive operations, so wrapped file systems inherit correct behaviour.
+#ifndef HAC_VFS_FS_INTERFACE_H_
+#define HAC_VFS_FS_INTERFACE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/vfs/types.h"
+
+namespace hac {
+
+class FsInterface {
+ public:
+  virtual ~FsInterface() = default;
+
+  // --- directories ---
+  virtual Result<void> Mkdir(const std::string& path) = 0;
+  virtual Result<void> Rmdir(const std::string& path) = 0;
+  virtual Result<std::vector<DirEntry>> ReadDir(const std::string& path) = 0;
+
+  // --- files & descriptors ---
+  virtual Result<Fd> Open(const std::string& path, uint32_t flags) = 0;
+  virtual Result<void> Close(Fd fd) = 0;
+  virtual Result<size_t> Read(Fd fd, void* buf, size_t n) = 0;
+  virtual Result<size_t> Write(Fd fd, const void* buf, size_t n) = 0;
+  virtual Result<uint64_t> Seek(Fd fd, uint64_t offset) = 0;
+
+  // --- namespace ---
+  virtual Result<void> Unlink(const std::string& path) = 0;
+  virtual Result<void> Rename(const std::string& from, const std::string& to) = 0;
+  virtual Result<void> Symlink(const std::string& target, const std::string& link_path) = 0;
+  virtual Result<std::string> ReadLink(const std::string& path) = 0;
+
+  // --- metadata ---
+  // StatPath follows symlinks; LstatPath does not.
+  virtual Result<Stat> StatPath(const std::string& path) = 0;
+  virtual Result<Stat> LstatPath(const std::string& path) = 0;
+
+  // --- convenience (non-virtual) ---
+  bool Exists(const std::string& path);
+  Result<void> MkdirAll(const std::string& path);
+  Result<void> WriteFile(const std::string& path, std::string_view content);
+  Result<void> AppendFile(const std::string& path, std::string_view content);
+  Result<std::string> ReadFileToString(const std::string& path);
+  // Depth-first list of all paths under `root` (excluding `root` itself), sorted.
+  Result<std::vector<std::string>> ListTree(const std::string& root);
+};
+
+}  // namespace hac
+
+#endif  // HAC_VFS_FS_INTERFACE_H_

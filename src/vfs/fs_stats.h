@@ -1,0 +1,32 @@
+// Operation counters kept by the VFS; used by tests (to assert an operation went through
+// a given layer) and by the benches (to report work done per phase).
+#ifndef HAC_VFS_FS_STATS_H_
+#define HAC_VFS_FS_STATS_H_
+
+#include <cstdint>
+
+namespace hac {
+
+struct FsStats {
+  uint64_t lookups = 0;       // path resolutions
+  uint64_t mkdirs = 0;
+  uint64_t creates = 0;       // new regular files
+  uint64_t opens = 0;
+  uint64_t closes = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t read_bytes = 0;
+  uint64_t written_bytes = 0;
+  uint64_t stats = 0;
+  uint64_t readdirs = 0;
+  uint64_t unlinks = 0;
+  uint64_t rmdirs = 0;
+  uint64_t renames = 0;
+  uint64_t symlinks = 0;
+
+  void Reset() { *this = FsStats{}; }
+};
+
+}  // namespace hac
+
+#endif  // HAC_VFS_FS_STATS_H_

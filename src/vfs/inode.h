@@ -1,0 +1,45 @@
+// In-memory inode. One struct with a type tag rather than a class hierarchy: the VFS
+// stores inodes by value in a flat table, and the snapshot serializer walks them directly.
+#ifndef HAC_VFS_INODE_H_
+#define HAC_VFS_INODE_H_
+
+#include <map>
+#include <string>
+
+#include "src/vfs/types.h"
+
+namespace hac {
+
+struct Inode {
+  InodeId id = kInvalidInode;
+  NodeType type = NodeType::kFile;
+  uint64_t mtime = 0;
+
+  // kFile: file contents.
+  std::string data;
+
+  // kSymlink: link target (stored verbatim, resolved lazily).
+  std::string symlink_target;
+
+  // kDirectory: name -> child inode. std::map gives deterministic ReadDir order.
+  std::map<std::string, InodeId> entries;
+
+  // kDirectory: parent directory (root points at itself).
+  InodeId parent = kInvalidInode;
+
+  uint64_t SizeForStat() const {
+    switch (type) {
+      case NodeType::kFile:
+        return data.size();
+      case NodeType::kSymlink:
+        return symlink_target.size();
+      case NodeType::kDirectory:
+        return entries.size();
+    }
+    return 0;
+  }
+};
+
+}  // namespace hac
+
+#endif  // HAC_VFS_INODE_H_

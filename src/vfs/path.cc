@@ -1,0 +1,119 @@
+#include "src/vfs/path.h"
+
+namespace hac {
+
+bool IsValidEntryName(std::string_view name) {
+  if (name.empty() || name == "." || name == "..") {
+    return false;
+  }
+  return name.find('/') == std::string_view::npos;
+}
+
+std::string NormalizePath(std::string_view path) {
+  if (path.empty() || path[0] != '/') {
+    return "";
+  }
+  std::vector<std::string_view> stack;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    std::string_view comp = path.substr(start, i - start);
+    if (comp.empty() || comp == ".") {
+      continue;
+    }
+    if (comp == "..") {
+      if (!stack.empty()) {
+        stack.pop_back();
+      }
+      continue;
+    }
+    stack.push_back(comp);
+  }
+  if (stack.empty()) {
+    return "/";
+  }
+  std::string out;
+  for (std::string_view comp : stack) {
+    out += '/';
+    out += comp;
+  }
+  return out;
+}
+
+std::vector<std::string> SplitPath(std::string_view path) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < path.size()) {
+    while (i < path.size() && path[i] == '/') {
+      ++i;
+    }
+    size_t start = i;
+    while (i < path.size() && path[i] != '/') {
+      ++i;
+    }
+    if (i > start) {
+      out.emplace_back(path.substr(start, i - start));
+    }
+  }
+  return out;
+}
+
+std::string JoinPath(std::string_view dir, std::string_view name) {
+  std::string out(dir);
+  if (out.empty() || out.back() != '/') {
+    out += '/';
+  }
+  out += name;
+  return out;
+}
+
+std::string DirName(std::string_view path) {
+  if (path.size() <= 1) {
+    return "/";
+  }
+  size_t pos = path.rfind('/');
+  if (pos == 0) {
+    return "/";
+  }
+  return std::string(path.substr(0, pos));
+}
+
+std::string BaseName(std::string_view path) {
+  if (path == "/") {
+    return "";
+  }
+  size_t pos = path.rfind('/');
+  return std::string(path.substr(pos + 1));
+}
+
+bool PathIsWithin(std::string_view path, std::string_view ancestor) {
+  if (ancestor == "/") {
+    return true;
+  }
+  if (path == ancestor) {
+    return true;
+  }
+  return path.size() > ancestor.size() && path.substr(0, ancestor.size()) == ancestor &&
+         path[ancestor.size()] == '/';
+}
+
+std::string RebasePath(std::string_view path, std::string_view from, std::string_view to) {
+  std::string_view rest = path.substr(from == "/" ? 0 : from.size());
+  std::string out;
+  if (to != "/") {
+    out.append(to);
+  }
+  out.append(rest);
+  if (out.empty()) {
+    out.push_back('/');
+  }
+  return out;
+}
+
+}  // namespace hac

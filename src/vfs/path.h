@@ -1,0 +1,41 @@
+// Path manipulation. All VFS paths are absolute ("/a/b/c"); normalization collapses
+// duplicate separators and resolves "." and ".." lexically (".." above the root stays at
+// the root, as in POSIX realpath of "/..").
+#ifndef HAC_VFS_PATH_H_
+#define HAC_VFS_PATH_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hac {
+
+// True for names usable as a single directory entry: non-empty, no '/', not "." or "..".
+bool IsValidEntryName(std::string_view name);
+
+// Lexically normalizes an absolute path. Returns "" for relative or empty input.
+std::string NormalizePath(std::string_view path);
+
+// Components of a normalized absolute path; "/" -> {}.
+std::vector<std::string> SplitPath(std::string_view path);
+
+// JoinPath("/a/b", "c") -> "/a/b/c"; JoinPath("/", "c") -> "/c".
+std::string JoinPath(std::string_view dir, std::string_view name);
+
+// DirName("/a/b/c") -> "/a/b"; DirName("/a") -> "/"; DirName("/") -> "/".
+std::string DirName(std::string_view path);
+
+// BaseName("/a/b/c") -> "c"; BaseName("/") -> "".
+std::string BaseName(std::string_view path);
+
+// True iff `path` equals `ancestor` or lies strictly beneath it.
+// Both must be normalized absolute paths.
+bool PathIsWithin(std::string_view path, std::string_view ancestor);
+
+// Rewrites `path` replacing the `from` prefix by `to` (both normalized, `path` within
+// `from`). RebasePath("/a/b/x", "/a/b", "/q") -> "/q/x".
+std::string RebasePath(std::string_view path, std::string_view from, std::string_view to);
+
+}  // namespace hac
+
+#endif  // HAC_VFS_PATH_H_

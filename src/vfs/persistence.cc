@@ -1,0 +1,129 @@
+// VFS snapshot persistence: a flat, versioned encoding of the inode table.
+// Open descriptors, stats, and the virtual clock are intentionally not part of the image
+// (they are per-session state); the clock restarts at the max persisted mtime.
+#include <algorithm>
+
+#include "src/support/serializer.h"
+#include "src/vfs/file_system.h"
+
+namespace hac {
+
+namespace {
+constexpr uint32_t kImageMagic = 0x48414346;  // "HACF"
+constexpr uint32_t kImageVersion = 1;
+}  // namespace
+
+class FsImageCodec {
+ public:
+  static std::vector<uint8_t> Save(const FileSystem& fs) {
+    ByteWriter w;
+    w.PutU32(kImageMagic);
+    w.PutU32(kImageVersion);
+    w.PutU64(fs.next_id_);
+    w.PutU64(fs.root_);
+    // Orphaned inodes (unlinked but still open) are session state, not image state.
+    w.PutVarint(fs.inodes_.size() - fs.orphaned_.size());
+    for (const auto& [id, node] : fs.inodes_) {
+      if (fs.orphaned_.count(id) != 0) {
+        continue;
+      }
+      w.PutU64(node.id);
+      w.PutU8(static_cast<uint8_t>(node.type));
+      w.PutU64(node.mtime);
+      w.PutU64(node.parent);
+      switch (node.type) {
+        case NodeType::kFile:
+          w.PutString(node.data);
+          break;
+        case NodeType::kSymlink:
+          w.PutString(node.symlink_target);
+          break;
+        case NodeType::kDirectory:
+          w.PutVarint(node.entries.size());
+          for (const auto& [name, child] : node.entries) {
+            w.PutString(name);
+            w.PutU64(child);
+          }
+          break;
+      }
+    }
+    return w.TakeBuffer();
+  }
+
+  static Result<FileSystem> Load(const std::vector<uint8_t>& image) {
+    ByteReader r(image);
+    HAC_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+    if (magic != kImageMagic) {
+      return Error(ErrorCode::kCorrupt, "bad image magic");
+    }
+    HAC_ASSIGN_OR_RETURN(uint32_t version, r.GetU32());
+    if (version != kImageVersion) {
+      return Error(ErrorCode::kCorrupt, "unsupported image version");
+    }
+    FileSystem fs;
+    fs.inodes_.clear();
+    HAC_ASSIGN_OR_RETURN(fs.next_id_, r.GetU64());
+    HAC_ASSIGN_OR_RETURN(fs.root_, r.GetU64());
+    HAC_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+    uint64_t max_mtime = 0;
+    for (uint64_t i = 0; i < count; ++i) {
+      Inode node;
+      HAC_ASSIGN_OR_RETURN(node.id, r.GetU64());
+      HAC_ASSIGN_OR_RETURN(uint8_t type, r.GetU8());
+      if (type > static_cast<uint8_t>(NodeType::kSymlink)) {
+        return Error(ErrorCode::kCorrupt, "bad node type");
+      }
+      node.type = static_cast<NodeType>(type);
+      HAC_ASSIGN_OR_RETURN(node.mtime, r.GetU64());
+      HAC_ASSIGN_OR_RETURN(node.parent, r.GetU64());
+      switch (node.type) {
+        case NodeType::kFile: {
+          HAC_ASSIGN_OR_RETURN(node.data, r.GetString());
+          break;
+        }
+        case NodeType::kSymlink: {
+          HAC_ASSIGN_OR_RETURN(node.symlink_target, r.GetString());
+          break;
+        }
+        case NodeType::kDirectory: {
+          HAC_ASSIGN_OR_RETURN(uint64_t n_entries, r.GetVarint());
+          for (uint64_t j = 0; j < n_entries; ++j) {
+            HAC_ASSIGN_OR_RETURN(std::string name, r.GetString());
+            HAC_ASSIGN_OR_RETURN(InodeId child, r.GetU64());
+            node.entries.emplace(std::move(name), child);
+          }
+          break;
+        }
+      }
+      max_mtime = std::max(max_mtime, node.mtime);
+      InodeId node_id = node.id;
+      fs.inodes_[node_id] = std::move(node);
+    }
+    if (fs.inodes_.find(fs.root_) == fs.inodes_.end() ||
+        fs.inodes_.at(fs.root_).type != NodeType::kDirectory) {
+      return Error(ErrorCode::kCorrupt, "missing root directory");
+    }
+    // Validate that every directory entry points at a known inode with a matching parent.
+    for (const auto& [id, node] : fs.inodes_) {
+      for (const auto& [name, child] : node.entries) {
+        auto it = fs.inodes_.find(child);
+        if (it == fs.inodes_.end()) {
+          return Error(ErrorCode::kCorrupt, "dangling entry " + name);
+        }
+        if (it->second.parent != id) {
+          return Error(ErrorCode::kCorrupt, "parent mismatch for " + name);
+        }
+      }
+    }
+    fs.clock().Advance(max_mtime);
+    return fs;
+  }
+};
+
+std::vector<uint8_t> FileSystem::SaveImage() const { return FsImageCodec::Save(*this); }
+
+Result<FileSystem> FileSystem::LoadImage(const std::vector<uint8_t>& image) {
+  return FsImageCodec::Load(image);
+}
+
+}  // namespace hac

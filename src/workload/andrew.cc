@@ -1,0 +1,160 @@
+#include "src/workload/andrew.h"
+
+#include <chrono>
+#include <vector>
+
+#include "src/support/rng.h"
+#include "src/vfs/path.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+std::string SubdirName(size_t d) { return "sub" + std::to_string(d); }
+
+// The Make phase's "compiler": fold every token of the source through a checksum a few
+// times. Returns the object-file blob.
+std::string CompileOne(const std::string& source, size_t passes) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t pass = 0; pass < passes; ++pass) {
+    for (char c : source) {
+      hash ^= static_cast<uint8_t>(c);
+      hash *= 0x100000001b3ULL;
+    }
+    hash = (hash << 7) | (hash >> 57);
+  }
+  std::string object = "OBJ1";
+  for (int i = 0; i < 8; ++i) {
+    object += static_cast<char>((hash >> (8 * i)) & 0xFF);
+  }
+  // Symbol table padding proportional to the source.
+  object.append(source.size() / 4, '\0');
+  return object;
+}
+
+}  // namespace
+
+Result<void> BuildAndrewSource(FsInterface& fs, const AndrewConfig& config) {
+  Rng rng(config.seed);
+  HAC_RETURN_IF_ERROR(fs.MkdirAll(config.src_root));
+  const auto& topics = CorpusTopics();
+  for (size_t d = 0; d < config.dirs; ++d) {
+    std::string dir = JoinPath(config.src_root, SubdirName(d));
+    HAC_RETURN_IF_ERROR(fs.MkdirAll(dir));
+    for (size_t f = 0; f < config.files_per_dir; ++f) {
+      const std::string& topic = topics[(d + f) % topics.size()];
+      std::string src = GenerateCSource(rng, topic, config.functions_per_file);
+      std::string name = "f" + std::to_string(d) + "_" + std::to_string(f) + ".c";
+      HAC_RETURN_IF_ERROR(fs.WriteFile(JoinPath(dir, name), src));
+    }
+  }
+  return OkResult();
+}
+
+Result<AndrewTimes> RunAndrew(FsInterface& fs, const AndrewConfig& config) {
+  AndrewTimes times;
+
+  // Phase 1 — Makedir: replicate the directory hierarchy.
+  auto t0 = Clock::now();
+  HAC_RETURN_IF_ERROR(fs.MkdirAll(config.dst_root));
+  for (size_t d = 0; d < config.dirs; ++d) {
+    HAC_RETURN_IF_ERROR(fs.Mkdir(JoinPath(config.dst_root, SubdirName(d))));
+  }
+  times.makedir_ms = MsSince(t0);
+
+  // Phase 2 — Copy: every source file to the destination hierarchy.
+  t0 = Clock::now();
+  for (size_t d = 0; d < config.dirs; ++d) {
+    std::string src_dir = JoinPath(config.src_root, SubdirName(d));
+    std::string dst_dir = JoinPath(config.dst_root, SubdirName(d));
+    HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(src_dir));
+    for (const DirEntry& e : entries) {
+      HAC_ASSIGN_OR_RETURN(std::string body, fs.ReadFileToString(JoinPath(src_dir, e.name)));
+      HAC_RETURN_IF_ERROR(fs.WriteFile(JoinPath(dst_dir, e.name), body));
+    }
+  }
+  times.copy_ms = MsSince(t0);
+
+  // Phase 3 — Scan: recursive traversal, stat every entry, read no data.
+  t0 = Clock::now();
+  {
+    std::vector<std::string> stack = {config.dst_root};
+    while (!stack.empty()) {
+      std::string dir = std::move(stack.back());
+      stack.pop_back();
+      HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(dir));
+      for (const DirEntry& e : entries) {
+        std::string child = JoinPath(dir, e.name);
+        HAC_ASSIGN_OR_RETURN(Stat st, fs.StatPath(child));
+        if (st.type == NodeType::kDirectory) {
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  times.scan_ms = MsSince(t0);
+
+  // Phase 4 — Read: every byte of every file, through descriptors.
+  t0 = Clock::now();
+  {
+    std::vector<char> buf(config.read_buf);
+    std::vector<std::string> stack = {config.dst_root};
+    while (!stack.empty()) {
+      std::string dir = std::move(stack.back());
+      stack.pop_back();
+      HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(dir));
+      for (const DirEntry& e : entries) {
+        std::string child = JoinPath(dir, e.name);
+        if (e.type == NodeType::kDirectory) {
+          stack.push_back(child);
+          continue;
+        }
+        HAC_ASSIGN_OR_RETURN(Fd fd, fs.Open(child, kOpenRead));
+        for (;;) {
+          auto got = fs.Read(fd, buf.data(), buf.size());
+          if (!got.ok()) {
+            (void)fs.Close(fd);
+            return got.error();
+          }
+          if (got.value() == 0) {
+            break;
+          }
+        }
+        HAC_RETURN_IF_ERROR(fs.Close(fd));
+      }
+    }
+  }
+  times.read_ms = MsSince(t0);
+
+  // Phase 5 — Make: compile every .c file into an .o, then link.
+  t0 = Clock::now();
+  {
+    std::string linked;
+    for (size_t d = 0; d < config.dirs; ++d) {
+      std::string dir = JoinPath(config.dst_root, SubdirName(d));
+      HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, fs.ReadDir(dir));
+      for (const DirEntry& e : entries) {
+        if (e.name.size() < 2 || e.name.substr(e.name.size() - 2) != ".c") {
+          continue;
+        }
+        HAC_ASSIGN_OR_RETURN(std::string src, fs.ReadFileToString(JoinPath(dir, e.name)));
+        std::string object = CompileOne(src, config.compile_passes);
+        std::string obj_name = e.name.substr(0, e.name.size() - 2) + ".o";
+        HAC_RETURN_IF_ERROR(fs.WriteFile(JoinPath(dir, obj_name), object));
+        linked += object;
+      }
+    }
+    HAC_RETURN_IF_ERROR(fs.WriteFile(JoinPath(config.dst_root, "prog"), linked));
+  }
+  times.make_ms = MsSince(t0);
+
+  return times;
+}
+
+}  // namespace hac

@@ -1,0 +1,50 @@
+// The Andrew benchmark (Howard et al. 1988), as the paper uses it in Table 1: five
+// phases over a source tree of C files — Makedir, Copy, Scan, Read, Make. The driver is
+// written against FsInterface, so the identical workload runs on the raw VFS ("UNIX"),
+// the Jade-like and Pseudo-like baselines, and HAC.
+//
+// Phase 5 ("Make") is a simulated compile: each .c file is tokenized and folded through
+// a checksum loop, an .o blob is written, and a final link pass concatenates the .o
+// files. This keeps the phase compute-bound like the real benchmark, which is exactly
+// why the paper sees the smallest file-system overhead there.
+#ifndef HAC_WORKLOAD_ANDREW_H_
+#define HAC_WORKLOAD_ANDREW_H_
+
+#include <string>
+
+#include "src/support/result.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+struct AndrewConfig {
+  std::string src_root = "/andrew/src";
+  std::string dst_root = "/andrew/dst";
+  size_t dirs = 12;           // subdirectories in the source tree
+  size_t files_per_dir = 6;   // .c files per subdirectory
+  size_t functions_per_file = 8;
+  uint64_t seed = 7;
+  size_t read_buf = 4096;     // Read-phase buffer size
+  size_t compile_passes = 24; // per-file compute rounds in the Make phase
+};
+
+struct AndrewTimes {
+  double makedir_ms = 0;
+  double copy_ms = 0;
+  double scan_ms = 0;
+  double read_ms = 0;
+  double make_ms = 0;
+
+  double total_ms() const { return makedir_ms + copy_ms + scan_ms + read_ms + make_ms; }
+};
+
+// Builds the benchmark's source tree in `fs` (idempotent per path).
+Result<void> BuildAndrewSource(FsInterface& fs, const AndrewConfig& config);
+
+// Runs the five phases against `fs`. The source tree must exist; the destination tree
+// must not (a fresh dst_root per run, e.g. "/andrew/dst1", keeps runs independent).
+Result<AndrewTimes> RunAndrew(FsInterface& fs, const AndrewConfig& config);
+
+}  // namespace hac
+
+#endif  // HAC_WORKLOAD_ANDREW_H_

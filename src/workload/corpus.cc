@@ -1,0 +1,232 @@
+#include "src/workload/corpus.h"
+
+#include <array>
+#include <cctype>
+
+#include "src/vfs/path.h"
+
+namespace hac {
+namespace {
+
+// Topic vocabularies: the first word is the topic's marker (every document of the topic
+// contains it), the rest co-occur with decreasing probability.
+const std::vector<std::vector<std::string>>& TopicVocabularies() {
+  static const std::vector<std::vector<std::string>> kTopics = {
+      {"fingerprint", "minutiae", "ridge", "biometric", "matching", "latent", "whorl",
+       "loop", "arch", "identification"},
+      {"crime", "murder", "investigation", "suspect", "evidence", "detective", "forensic",
+       "witness", "verdict", "alibi"},
+      {"image", "pixel", "raster", "grayscale", "filter", "convolution", "histogram",
+       "segmentation", "edge", "threshold"},
+      {"compression", "huffman", "entropy", "codec", "lossless", "dictionary", "lzw",
+       "arithmetic", "ratio", "decompress"},
+      {"network", "packet", "router", "latency", "bandwidth", "protocol", "congestion",
+       "ethernet", "socket", "gateway"},
+      {"kernel", "scheduler", "interrupt", "syscall", "pagefault", "mmu", "context",
+       "preemption", "spinlock", "daemon"},
+      {"database", "transaction", "btree", "commit", "rollback", "query", "relation",
+       "tuple", "locking", "recovery"},
+      {"music", "melody", "harmony", "rhythm", "chord", "tempo", "quartet", "sonata",
+       "timbre", "orchestra"},
+      {"recipe", "flour", "butter", "oven", "simmer", "seasoning", "garlic", "whisk",
+       "marinade", "saucepan"},
+      {"astronomy", "telescope", "galaxy", "nebula", "redshift", "supernova", "orbit",
+       "parallax", "spectrum", "quasar"},
+      {"chess", "gambit", "endgame", "zugzwang", "castling", "checkmate", "opening",
+       "sacrifice", "tactics", "grandmaster"},
+      {"sailing", "rigging", "mainsail", "keel", "spinnaker", "regatta", "tack",
+       "halyard", "rudder", "mooring"},
+  };
+  return kTopics;
+}
+
+// Deterministic synthetic common vocabulary, built once from syllables.
+const std::vector<std::string>& CommonVocabulary() {
+  static const std::vector<std::string> kVocab = [] {
+    const std::array<const char*, 20> onset = {"b", "d", "f", "g", "k", "l", "m", "n",
+                                               "p", "r", "s", "t", "v", "z", "br", "st",
+                                               "tr", "pl", "gr", "sl"};
+    const std::array<const char*, 6> nucleus = {"a", "e", "i", "o", "u", "ou"};
+    const std::array<const char*, 8> coda = {"", "n", "r", "s", "t", "l", "m", "x"};
+    Rng rng(0xC0FFEE);
+    std::vector<std::string> vocab;
+    vocab.reserve(2000);
+    while (vocab.size() < 2000) {
+      std::string word;
+      size_t syllables = 2 + rng.NextBelow(2);
+      for (size_t s = 0; s < syllables; ++s) {
+        word += onset[rng.NextBelow(onset.size())];
+        word += nucleus[rng.NextBelow(nucleus.size())];
+        word += coda[rng.NextBelow(coda.size())];
+      }
+      vocab.push_back(std::move(word));
+    }
+    return vocab;
+  }();
+  return kVocab;
+}
+
+std::string TopicWord(Rng& rng, const std::vector<std::string>& vocab) {
+  // Rank-biased pick: the marker word dominates.
+  return vocab[rng.NextZipf(vocab.size(), 1.3)];
+}
+
+std::string ToUpperIdent(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<std::string>& CorpusTopics() {
+  static const std::vector<std::string> kMarkers = [] {
+    std::vector<std::string> out;
+    for (const auto& vocab : TopicVocabularies()) {
+      out.push_back(vocab[0]);
+    }
+    return out;
+  }();
+  return kMarkers;
+}
+
+std::string GenerateDocument(Rng& rng, const std::vector<std::string>& topics,
+                             size_t words) {
+  const auto& all_topics = TopicVocabularies();
+  const auto& common = CommonVocabulary();
+  // Resolve topic names to vocabularies.
+  std::vector<const std::vector<std::string>*> active;
+  for (const std::string& t : topics) {
+    for (const auto& vocab : all_topics) {
+      if (vocab[0] == t) {
+        active.push_back(&vocab);
+        break;
+      }
+    }
+  }
+  std::string out;
+  out.reserve(words * 8);
+  size_t line_len = 0;
+  for (size_t i = 0; i < words; ++i) {
+    std::string word;
+    if (!active.empty() && rng.NextBool(0.3)) {
+      word = TopicWord(rng, *active[rng.NextBelow(active.size())]);
+    } else {
+      word = common[rng.NextZipf(common.size(), 1.1)];
+    }
+    // Guarantee each topic's marker appears near the front.
+    if (i < active.size()) {
+      word = (*active[i])[0];
+    }
+    out += word;
+    line_len += word.size() + 1;
+    if (line_len > 70) {
+      out += '\n';
+      line_len = 0;
+    } else {
+      out += ' ';
+    }
+  }
+  out += '\n';
+  return out;
+}
+
+std::string GenerateEmail(Rng& rng, const std::string& from, const std::string& to,
+                          const std::string& topic, size_t body_words) {
+  std::string msg;
+  msg += "From: " + from + "\n";
+  msg += "To: " + to + "\n";
+  msg += "Subject: about " + topic + " (item " + std::to_string(rng.NextBelow(1000)) +
+         ")\n";
+  msg += "Date: 1999-0" + std::to_string(1 + rng.NextBelow(9)) + "-" +
+         std::to_string(10 + rng.NextBelow(19)) + "\n\n";
+  msg += GenerateDocument(rng, {topic}, body_words);
+  msg += "\n-- \n" + from + "\n";
+  return msg;
+}
+
+std::string GenerateCSource(Rng& rng, const std::string& topic, size_t functions) {
+  std::string src;
+  src += "/* " + topic + " support routines */\n";
+  src += "#include <stdio.h>\n#include <stdlib.h>\n\n";
+  src += "#define " + ToUpperIdent(topic) + "_MAX 128\n\n";
+  for (size_t f = 0; f < functions; ++f) {
+    std::string fn = topic + "_op" + std::to_string(f);
+    src += "/* computes the " + topic + " transform, step " + std::to_string(f) + " */\n";
+    src += "int " + fn + "(int x) {\n";
+    size_t stmts = 3 + rng.NextBelow(5);
+    for (size_t s = 0; s < stmts; ++s) {
+      src += "  x = x * " + std::to_string(3 + rng.NextBelow(97)) + " + " +
+             std::to_string(rng.NextBelow(1000)) + ";\n";
+    }
+    src += "  return x % " + std::to_string(2 + rng.NextBelow(9999)) + ";\n}\n\n";
+  }
+  src += "int main(void) {\n  int acc = 0;\n";
+  for (size_t f = 0; f < functions; ++f) {
+    src += "  acc += " + topic + "_op" + std::to_string(f) + "(acc);\n";
+  }
+  src += "  printf(\"%d\\n\", acc);\n  return 0;\n}\n";
+  return src;
+}
+
+Result<CorpusInfo> GenerateCorpus(FsInterface& fs, const CorpusOptions& options) {
+  Rng rng(options.seed);
+  const auto& markers = CorpusTopics();
+  CorpusInfo info;
+  info.topics = markers;
+
+  std::string root = NormalizePath(options.root);
+  if (root.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "corpus root must be absolute");
+  }
+  HAC_RETURN_IF_ERROR(fs.MkdirAll(root));
+  size_t dirs = options.dirs == 0 ? 1 : options.dirs;
+  std::vector<std::string> dir_paths;
+  dir_paths.reserve(dirs);
+  for (size_t d = 0; d < dirs; ++d) {
+    std::string dir = JoinPath(root, "d" + std::to_string(d));
+    HAC_RETURN_IF_ERROR(fs.MkdirAll(dir));
+    dir_paths.push_back(std::move(dir));
+  }
+
+  size_t emails = static_cast<size_t>(static_cast<double>(options.num_files) *
+                                      options.email_fraction);
+  size_t sources = static_cast<size_t>(static_cast<double>(options.num_files) *
+                                       options.source_fraction);
+  const std::vector<std::string> people = {"alice", "bob", "carol", "dave", "erin",
+                                           "frank"};
+
+  for (size_t i = 0; i < options.num_files; ++i) {
+    const std::string& dir = dir_paths[i % dirs];
+    std::string content;
+    std::string name;
+    // 1-3 topics per document; topic choice is Zipfian so selectivities spread out.
+    std::vector<std::string> doc_topics;
+    size_t n_topics = 1 + rng.NextBelow(3);
+    for (size_t t = 0; t < n_topics; ++t) {
+      doc_topics.push_back(markers[rng.NextZipf(markers.size(), 0.8)]);
+    }
+    size_t words = options.words_per_file / 2 +
+                   rng.NextBelow(options.words_per_file == 0 ? 1 : options.words_per_file);
+    if (i < emails) {
+      const std::string& from = rng.Pick(people);
+      const std::string& to = rng.Pick(people);
+      content = GenerateEmail(rng, from, to, doc_topics[0], words);
+      name = "mail" + std::to_string(i) + ".eml";
+    } else if (i < emails + sources) {
+      content = GenerateCSource(rng, doc_topics[0], 2 + rng.NextBelow(6));
+      name = doc_topics[0] + std::to_string(i) + ".c";
+    } else {
+      content = GenerateDocument(rng, doc_topics, words);
+      name = "note" + std::to_string(i) + ".txt";
+    }
+    HAC_RETURN_IF_ERROR(fs.WriteFile(JoinPath(dir, name), content));
+    ++info.files;
+    info.bytes += content.size();
+  }
+  return info;
+}
+
+}  // namespace hac

@@ -1,0 +1,59 @@
+// Synthetic corpus generator.
+//
+// The paper's indexing experiment uses "a database consisting of over 17000 files that
+// occupy about 150 MB"; its running example mixes email, notes, articles and source
+// code. We have no 1999 user corpus, so we synthesize one: deterministic (seeded),
+// topic-structured text whose term-frequency profile is Zipfian, plus email-shaped and
+// C-source-shaped files so the examples exercise realistic content. Topic words give
+// queries controllable selectivity (every file of a topic contains its marker words).
+#ifndef HAC_WORKLOAD_CORPUS_H_
+#define HAC_WORKLOAD_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/support/rng.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+struct CorpusOptions {
+  std::string root = "/corpus";
+  size_t num_files = 1000;
+  size_t dirs = 32;              // files are spread round-robin over this many subdirs
+  size_t words_per_file = 400;   // mean document length in words
+  uint64_t seed = 42;
+  double email_fraction = 0.2;   // of num_files
+  double source_fraction = 0.1;  // of num_files; the rest are notes/articles
+};
+
+struct CorpusInfo {
+  size_t files = 0;
+  size_t bytes = 0;
+  std::vector<std::string> topics;  // one marker word per topic, usable as queries
+};
+
+// The fixed topic list (marker word of each topic).
+const std::vector<std::string>& CorpusTopics();
+
+// Generates the corpus into `fs` under options.root (created if missing).
+Result<CorpusInfo> GenerateCorpus(FsInterface& fs, const CorpusOptions& options);
+
+// --- building blocks reused by the examples ---
+
+// One text document: ~`words` words, drawn from the common vocabulary plus the listed
+// topics' vocabularies.
+std::string GenerateDocument(Rng& rng, const std::vector<std::string>& topics,
+                             size_t words);
+
+// An RFC-822-shaped email among the given correspondents about `topic`.
+std::string GenerateEmail(Rng& rng, const std::string& from, const std::string& to,
+                          const std::string& topic, size_t body_words);
+
+// A C translation unit mentioning `topic` in identifiers and comments.
+std::string GenerateCSource(Rng& rng, const std::string& topic, size_t functions);
+
+}  // namespace hac
+
+#endif  // HAC_WORKLOAD_CORPUS_H_

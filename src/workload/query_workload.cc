@@ -1,0 +1,32 @@
+#include "src/workload/query_workload.h"
+
+#include <algorithm>
+
+namespace hac {
+
+QueryBuckets SelectQueryBuckets(const InvertedIndex& index, size_t total_docs,
+                                const QueryBucketOptions& options) {
+  auto band = [&](double lo_frac, double hi_frac) {
+    size_t lo = static_cast<size_t>(lo_frac * static_cast<double>(total_docs));
+    size_t hi = static_cast<size_t>(hi_frac * static_cast<double>(total_docs));
+    return index.TermsWithFrequencyBetween(std::max<size_t>(lo, 1), std::max<size_t>(hi, 1));
+  };
+  QueryBuckets buckets;
+  std::vector<std::string> few = band(0.0, options.few_max_frac);
+  std::vector<std::string> medium = band(options.medium_lo_frac, options.medium_hi_frac);
+  std::vector<std::string> many = band(options.many_min_frac, 1.0);
+
+  auto take = [&](std::vector<std::string>& from, std::vector<std::string>& to) {
+    // Spread picks over the band instead of taking lexicographic neighbours.
+    size_t stride = std::max<size_t>(1, from.size() / std::max<size_t>(1, options.per_bucket));
+    for (size_t i = 0; i < from.size() && to.size() < options.per_bucket; i += stride) {
+      to.push_back(from[i]);
+    }
+  };
+  take(few, buckets.few);
+  take(medium, buckets.medium);
+  take(many, buckets.many);
+  return buckets;
+}
+
+}  // namespace hac

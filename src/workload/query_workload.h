@@ -1,0 +1,35 @@
+// Selects queries by selectivity bucket for the Table 4 experiment: the paper evaluates
+// "(i) queries that matched very few files, (ii) ... a lot of files, and (iii) ... an
+// intermediate number of files".
+#ifndef HAC_WORKLOAD_QUERY_WORKLOAD_H_
+#define HAC_WORKLOAD_QUERY_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/index/inverted_index.h"
+
+namespace hac {
+
+struct QueryBuckets {
+  std::vector<std::string> few;     // match <= few_max documents
+  std::vector<std::string> medium;  // match within the intermediate band
+  std::vector<std::string> many;    // match >= many_min documents
+};
+
+struct QueryBucketOptions {
+  size_t per_bucket = 5;
+  // Bucket boundaries as fractions of the document count.
+  double few_max_frac = 0.005;
+  double medium_lo_frac = 0.05;
+  double medium_hi_frac = 0.20;
+  double many_min_frac = 0.40;
+};
+
+// Probes the index's dictionary for single-term queries falling in each bucket.
+QueryBuckets SelectQueryBuckets(const InvertedIndex& index, size_t total_docs,
+                                const QueryBucketOptions& options = {});
+
+}  // namespace hac
+
+#endif  // HAC_WORKLOAD_QUERY_WORKLOAD_H_

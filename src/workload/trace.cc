@@ -1,0 +1,229 @@
+#include "src/workload/trace.h"
+
+namespace hac {
+
+namespace {
+constexpr uint32_t kTraceMagic = 0x48414354;  // "HACT"
+}  // namespace
+
+int32_t TracingFs::VfdOf(Fd fd) {
+  auto it = vfd_of_fd_.find(fd);
+  if (it != vfd_of_fd_.end()) {
+    return it->second;
+  }
+  int32_t vfd = next_vfd_++;
+  vfd_of_fd_.emplace(fd, vfd);
+  return vfd;
+}
+
+Result<void> TracingFs::Mkdir(const std::string& path) {
+  auto r = backing_->Mkdir(path);
+  trace_.push_back({TraceOp::kMkdir, path, "", 0, -1, r.ok()});
+  return r;
+}
+
+Result<void> TracingFs::Rmdir(const std::string& path) {
+  auto r = backing_->Rmdir(path);
+  trace_.push_back({TraceOp::kRmdir, path, "", 0, -1, r.ok()});
+  return r;
+}
+
+Result<std::vector<DirEntry>> TracingFs::ReadDir(const std::string& path) {
+  auto r = backing_->ReadDir(path);
+  trace_.push_back({TraceOp::kReadDir, path, "", 0, -1, r.ok()});
+  return r;
+}
+
+Result<Fd> TracingFs::Open(const std::string& path, uint32_t flags) {
+  auto r = backing_->Open(path, flags);
+  TraceRecord rec{TraceOp::kOpen, path, "", flags, -1, r.ok()};
+  if (r.ok()) {
+    rec.vfd = VfdOf(r.value());
+  }
+  trace_.push_back(std::move(rec));
+  return r;
+}
+
+Result<void> TracingFs::Close(Fd fd) {
+  int32_t vfd = VfdOf(fd);
+  auto r = backing_->Close(fd);
+  if (r.ok()) {
+    vfd_of_fd_.erase(fd);  // the kernel may reuse the fd; the vfd is retired
+  }
+  trace_.push_back({TraceOp::kClose, "", "", 0, vfd, r.ok()});
+  return r;
+}
+
+Result<size_t> TracingFs::Read(Fd fd, void* buf, size_t n) {
+  auto r = backing_->Read(fd, buf, n);
+  trace_.push_back({TraceOp::kRead, "", "", n, VfdOf(fd), r.ok()});
+  return r;
+}
+
+Result<size_t> TracingFs::Write(Fd fd, const void* buf, size_t n) {
+  auto r = backing_->Write(fd, buf, n);
+  trace_.push_back({TraceOp::kWrite, std::string(static_cast<const char*>(buf), n), "",
+                    n, VfdOf(fd), r.ok()});
+  return r;
+}
+
+Result<uint64_t> TracingFs::Seek(Fd fd, uint64_t offset) {
+  auto r = backing_->Seek(fd, offset);
+  trace_.push_back({TraceOp::kSeek, "", "", offset, VfdOf(fd), r.ok()});
+  return r;
+}
+
+Result<void> TracingFs::Unlink(const std::string& path) {
+  auto r = backing_->Unlink(path);
+  trace_.push_back({TraceOp::kUnlink, path, "", 0, -1, r.ok()});
+  return r;
+}
+
+Result<void> TracingFs::Rename(const std::string& from, const std::string& to) {
+  auto r = backing_->Rename(from, to);
+  trace_.push_back({TraceOp::kRename, from, to, 0, -1, r.ok()});
+  return r;
+}
+
+Result<void> TracingFs::Symlink(const std::string& target, const std::string& link_path) {
+  auto r = backing_->Symlink(target, link_path);
+  trace_.push_back({TraceOp::kSymlink, target, link_path, 0, -1, r.ok()});
+  return r;
+}
+
+Result<std::string> TracingFs::ReadLink(const std::string& path) {
+  return backing_->ReadLink(path);  // pure read; not traced
+}
+
+Result<Stat> TracingFs::StatPath(const std::string& path) {
+  auto r = backing_->StatPath(path);
+  trace_.push_back({TraceOp::kStat, path, "", 0, -1, r.ok()});
+  return r;
+}
+
+Result<Stat> TracingFs::LstatPath(const std::string& path) {
+  auto r = backing_->LstatPath(path);
+  trace_.push_back({TraceOp::kLstat, path, "", 0, -1, r.ok()});
+  return r;
+}
+
+std::vector<uint8_t> TracingFs::Serialize() const {
+  ByteWriter w;
+  w.PutU32(kTraceMagic);
+  w.PutVarint(trace_.size());
+  for (const TraceRecord& rec : trace_) {
+    w.PutU8(static_cast<uint8_t>(rec.op));
+    w.PutString(rec.a);
+    w.PutString(rec.b);
+    w.PutU64(rec.n);
+    w.PutU32(static_cast<uint32_t>(rec.vfd));
+    w.PutU8(rec.ok ? 1 : 0);
+  }
+  return w.TakeBuffer();
+}
+
+Result<std::vector<TraceRecord>> TracingFs::Deserialize(const std::vector<uint8_t>& data) {
+  ByteReader r(data);
+  HAC_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kTraceMagic) {
+    return Error(ErrorCode::kCorrupt, "bad trace magic");
+  }
+  HAC_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<TraceRecord> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    TraceRecord rec;
+    HAC_ASSIGN_OR_RETURN(uint8_t op, r.GetU8());
+    if (op < 1 || op > static_cast<uint8_t>(TraceOp::kReadDir)) {
+      return Error(ErrorCode::kCorrupt, "bad trace op");
+    }
+    rec.op = static_cast<TraceOp>(op);
+    HAC_ASSIGN_OR_RETURN(rec.a, r.GetString());
+    HAC_ASSIGN_OR_RETURN(rec.b, r.GetString());
+    HAC_ASSIGN_OR_RETURN(rec.n, r.GetU64());
+    HAC_ASSIGN_OR_RETURN(uint32_t vfd, r.GetU32());
+    rec.vfd = static_cast<int32_t>(vfd);
+    HAC_ASSIGN_OR_RETURN(uint8_t ok, r.GetU8());
+    rec.ok = ok != 0;
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+Result<ReplayStats> ReplayTrace(const std::vector<TraceRecord>& trace, FsInterface& fs) {
+  ReplayStats stats;
+  std::unordered_map<int32_t, Fd> fd_of_vfd;
+  std::vector<char> buf;
+  for (const TraceRecord& rec : trace) {
+    ++stats.operations;
+    bool ok = false;
+    switch (rec.op) {
+      case TraceOp::kMkdir:
+        ok = fs.Mkdir(rec.a).ok();
+        break;
+      case TraceOp::kRmdir:
+        ok = fs.Rmdir(rec.a).ok();
+        break;
+      case TraceOp::kReadDir:
+        ok = fs.ReadDir(rec.a).ok();
+        break;
+      case TraceOp::kOpen: {
+        auto r = fs.Open(rec.a, static_cast<uint32_t>(rec.n));
+        ok = r.ok();
+        if (r.ok() && rec.vfd >= 0) {
+          fd_of_vfd[rec.vfd] = r.value();
+        }
+        break;
+      }
+      case TraceOp::kClose: {
+        auto it = fd_of_vfd.find(rec.vfd);
+        ok = it != fd_of_vfd.end() && fs.Close(it->second).ok();
+        if (it != fd_of_vfd.end()) {
+          fd_of_vfd.erase(it);
+        }
+        break;
+      }
+      case TraceOp::kRead: {
+        auto it = fd_of_vfd.find(rec.vfd);
+        if (it != fd_of_vfd.end()) {
+          buf.resize(rec.n);
+          ok = fs.Read(it->second, buf.data(), rec.n).ok();
+        }
+        break;
+      }
+      case TraceOp::kWrite: {
+        auto it = fd_of_vfd.find(rec.vfd);
+        if (it != fd_of_vfd.end()) {
+          ok = fs.Write(it->second, rec.a.data(), rec.a.size()).ok();
+        }
+        break;
+      }
+      case TraceOp::kSeek: {
+        auto it = fd_of_vfd.find(rec.vfd);
+        ok = it != fd_of_vfd.end() && fs.Seek(it->second, rec.n).ok();
+        break;
+      }
+      case TraceOp::kUnlink:
+        ok = fs.Unlink(rec.a).ok();
+        break;
+      case TraceOp::kRename:
+        ok = fs.Rename(rec.a, rec.b).ok();
+        break;
+      case TraceOp::kSymlink:
+        ok = fs.Symlink(rec.a, rec.b).ok();
+        break;
+      case TraceOp::kStat:
+        ok = fs.StatPath(rec.a).ok();
+        break;
+      case TraceOp::kLstat:
+        ok = fs.LstatPath(rec.a).ok();
+        break;
+    }
+    if (ok != rec.ok) {
+      ++stats.mismatches;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hac

@@ -1,0 +1,95 @@
+// File-system operation tracing: record the call stream an application makes against
+// any FsInterface and replay it elsewhere. Used to drive identical workloads across
+// the raw VFS, the baselines and HAC (deterministic comparisons beyond the Andrew
+// benchmark), and to capture regression workloads as data.
+//
+// The trace records mutating operations plus opens/reads (reads matter for replaying
+// cache behaviour); descriptor numbers are virtualized so a replay does not depend on
+// the original fd assignment.
+#ifndef HAC_WORKLOAD_TRACE_H_
+#define HAC_WORKLOAD_TRACE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/support/result.h"
+#include "src/support/serializer.h"
+#include "src/vfs/fs_interface.h"
+
+namespace hac {
+
+enum class TraceOp : uint8_t {
+  kMkdir = 1,
+  kRmdir,
+  kOpen,
+  kClose,
+  kRead,
+  kWrite,
+  kSeek,
+  kUnlink,
+  kRename,
+  kSymlink,
+  kStat,
+  kLstat,
+  kReadDir,
+};
+
+struct TraceRecord {
+  TraceOp op;
+  // kOpen: path + flags; kRead: vfd + length; kWrite: vfd + data; others by analogy.
+  std::string a;
+  std::string b;
+  uint64_t n = 0;
+  int32_t vfd = -1;  // virtual descriptor
+  bool ok = true;    // outcome in the original run (replay asserts it matches)
+};
+
+// Wraps a backing FsInterface and records every call.
+class TracingFs final : public FsInterface {
+ public:
+  explicit TracingFs(FsInterface* backing) : backing_(backing) {}
+
+  Result<void> Mkdir(const std::string& path) override;
+  Result<void> Rmdir(const std::string& path) override;
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  Result<Fd> Open(const std::string& path, uint32_t flags) override;
+  Result<void> Close(Fd fd) override;
+  Result<size_t> Read(Fd fd, void* buf, size_t n) override;
+  Result<size_t> Write(Fd fd, const void* buf, size_t n) override;
+  Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  Result<void> Unlink(const std::string& path) override;
+  Result<void> Rename(const std::string& from, const std::string& to) override;
+  Result<void> Symlink(const std::string& target, const std::string& link_path) override;
+  Result<std::string> ReadLink(const std::string& path) override;
+  Result<Stat> StatPath(const std::string& path) override;
+  Result<Stat> LstatPath(const std::string& path) override;
+
+  const std::vector<TraceRecord>& trace() const { return trace_; }
+
+  // Serialized form, for storing traces as files.
+  std::vector<uint8_t> Serialize() const;
+  static Result<std::vector<TraceRecord>> Deserialize(const std::vector<uint8_t>& data);
+
+ private:
+  int32_t VfdOf(Fd fd);
+
+  FsInterface* backing_;
+  std::vector<TraceRecord> trace_;
+  std::unordered_map<Fd, int32_t> vfd_of_fd_;
+  int32_t next_vfd_ = 0;
+};
+
+struct ReplayStats {
+  uint64_t operations = 0;
+  uint64_t mismatches = 0;  // outcome differed from the recorded run
+};
+
+// Replays a trace against `fs`. Returns stats; a mismatch is not an error (the target
+// may legitimately differ, e.g. replaying a HAC trace on a raw VFS), but callers
+// comparing like against like should assert mismatches == 0.
+Result<ReplayStats> ReplayTrace(const std::vector<TraceRecord>& trace, FsInterface& fs);
+
+}  // namespace hac
+
+#endif  // HAC_WORKLOAD_TRACE_H_

@@ -1,0 +1,110 @@
+// The SFS-like comparison system, and side-by-side demonstrations of the §5 gaps
+// between the SFS model and HAC.
+#include "src/baseline/sfs_like.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+class SfsLikeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.MkdirAll("/mail").ok());
+    ASSERT_TRUE(fs_.MkdirAll("/docs").ok());
+    ASSERT_TRUE(fs_.WriteFile("/mail/m1.eml",
+                              "From: alice\nTo: me\nSubject: fingerprint dataset\n\n"
+                              "the scans are ready")
+                    .ok());
+    ASSERT_TRUE(fs_.WriteFile("/mail/m2.eml",
+                              "From: bob\nTo: me\nSubject: lunch\n\nnoon?")
+                    .ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/notes.txt", "fingerprint ridge notes").ok());
+    sfs_ = std::make_unique<SfsLikeSystem>(&fs_);
+    ASSERT_TRUE(sfs_->IndexAll().ok());
+  }
+  FileSystem fs_;
+  std::unique_ptr<SfsLikeSystem> sfs_;
+};
+
+TEST_F(SfsLikeTest, IndexesAllFiles) {
+  EXPECT_EQ(sfs_->IndexedFiles(), 3u);
+  auto attrs = sfs_->AttributeNames();
+  EXPECT_NE(std::find(attrs.begin(), attrs.end(), "text"), attrs.end());
+  EXPECT_NE(std::find(attrs.begin(), attrs.end(), "from"), attrs.end());
+  EXPECT_NE(std::find(attrs.begin(), attrs.end(), "ext"), attrs.end());
+}
+
+TEST_F(SfsLikeTest, VirtualDirectoryLookup) {
+  auto r = sfs_->Lookup("/text:fingerprint");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"/docs/notes.txt", "/mail/m1.eml"}));
+}
+
+TEST_F(SfsLikeTest, ConjunctionByPathRefinement) {
+  // SFS's signature: '/' means AND.
+  auto r = sfs_->Lookup("/text:fingerprint/from:alice");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), std::vector<std::string>{"/mail/m1.eml"});
+  r = sfs_->Lookup("/from:alice/subject:lunch");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST_F(SfsLikeTest, MailTransducerExtractsHeaders) {
+  EXPECT_EQ(sfs_->Lookup("/from:bob").value(), std::vector<std::string>{"/mail/m2.eml"});
+  EXPECT_EQ(sfs_->Lookup("/subject:dataset").value(),
+            std::vector<std::string>{"/mail/m1.eml"});
+  EXPECT_EQ(sfs_->Lookup("/ext:eml").value().size(), 2u);
+}
+
+TEST_F(SfsLikeTest, OnlyConjunctionsOfAttributeValuePairsSupported) {
+  // §5 limitation 1: no OR, no NOT, no free grammar.
+  EXPECT_EQ(sfs_->Lookup("/fingerprint").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(sfs_->Lookup("/not:").code(), ErrorCode::kUnsupported);
+  // "OR" has no meaning — it is just (part of) a literal value that matches nothing.
+  auto r = sfs_->Lookup("/text:a OR text:b");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST_F(SfsLikeTest, ViewsAreStatelessSoTheyCannotBeCustomized) {
+  // §5 limitation 3: the same lookup always returns the full query result — there is
+  // no way to remove m1 from "alice's fingerprint mail" short of changing the files.
+  auto first = sfs_->Lookup("/text:fingerprint").value();
+  auto second = sfs_->Lookup("/text:fingerprint").value();
+  EXPECT_EQ(first, second);
+  // Contrast with HAC on the same content: the user prunes a result and it stays out.
+  HacFileSystem hac_fs;
+  ASSERT_TRUE(hac_fs.MkdirAll("/docs").ok());
+  ASSERT_TRUE(hac_fs.WriteFile("/docs/notes.txt", "fingerprint ridge notes").ok());
+  ASSERT_TRUE(hac_fs.WriteFile("/docs/noise.txt", "fingerprint noise").ok());
+  ASSERT_TRUE(hac_fs.Reindex().ok());
+  ASSERT_TRUE(hac_fs.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(hac_fs.Unlink("/fp/noise.txt").ok());
+  ASSERT_TRUE(hac_fs.Reindex().ok());
+  EXPECT_EQ(hac_fs.ReadDir("/fp").value().size(), 1u);  // the pruning persisted
+}
+
+TEST_F(SfsLikeTest, VirtualDirectoriesAreNotPartOfTheFileSystem) {
+  // §5 limitation 2: nothing can be created "inside" a virtual directory; in HAC a
+  // semantic directory holds real files alongside links.
+  EXPECT_FALSE(fs_.Exists("/text:fingerprint"));
+  HacFileSystem hac_fs;
+  ASSERT_TRUE(hac_fs.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(hac_fs.WriteFile("/fp/my_own_notes.txt", "mine").ok());
+  EXPECT_TRUE(hac_fs.Exists("/fp/my_own_notes.txt"));
+}
+
+TEST_F(SfsLikeTest, ReindexTracksFileChanges) {
+  ASSERT_TRUE(fs_.WriteFile("/docs/new.txt", "fingerprint addendum").ok());
+  ASSERT_TRUE(sfs_->IndexAll().ok());
+  EXPECT_EQ(sfs_->Lookup("/text:addendum").value(),
+            std::vector<std::string>{"/docs/new.txt"});
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,129 @@
+// Error-path coverage for the HacFileSystem public surface: every operation must fail
+// cleanly with the right code and leave the system consistent (fsck-verified).
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/tools/fsck.h"
+
+namespace hac {
+namespace {
+
+class ErrorPathsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkdir("/d").ok());
+    ASSERT_TRUE(fs_.WriteFile("/d/f.txt", "fingerprint").ok());
+    ASSERT_TRUE(fs_.Reindex().ok());
+  }
+  void TearDown() override {
+    // Whatever the failed operation was, the system must audit clean.
+    FsckReport report = RunFsck(fs_);
+    EXPECT_TRUE(report.Clean()) << report.ToString();
+  }
+  HacFileSystem fs_;
+};
+
+TEST_F(ErrorPathsTest, RelativePathsRejectedEverywhere) {
+  EXPECT_EQ(fs_.Mkdir("rel").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Open("rel", kOpenRead).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Unlink("rel").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.StatPath("").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.SMkdir("rel", "x").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.SSync("rel").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.ScopeOf("rel").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ErrorPathsTest, SemanticOpsOnMissingDirs) {
+  EXPECT_EQ(fs_.SetQuery("/missing", "x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.GetQuery("/missing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.SSync("/missing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.SAct("/missing/link").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.GetLinkClasses("/missing").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.ReindexSubtree("/missing").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ErrorPathsTest, RootQueryRejected) {
+  EXPECT_EQ(fs_.SetQuery("/", "anything").code(), ErrorCode::kPermission);
+  EXPECT_EQ(fs_.GetQuery("/").value(), "");
+}
+
+TEST_F(ErrorPathsTest, BadQuerySyntaxLeavesDirectoryUntouched) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  EXPECT_EQ(fs_.SetQuery("/q", "AND AND").code(), ErrorCode::kParseError);
+  EXPECT_EQ(fs_.GetQuery("/q").value(), "fingerprint");
+  EXPECT_EQ(fs_.ReadDir("/q").value().size(), 1u);
+}
+
+TEST_F(ErrorPathsTest, SMkdirWithBadQueryLeavesPlainDirectory) {
+  EXPECT_EQ(fs_.SMkdir("/q", "((").code(), ErrorCode::kParseError);
+  // The mkdir half succeeded; the directory exists as syntactic.
+  EXPECT_TRUE(fs_.Exists("/q"));
+  EXPECT_EQ(fs_.GetQuery("/q").value(), "");
+}
+
+TEST_F(ErrorPathsTest, PromoteLinkErrors) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  EXPECT_EQ(fs_.PromoteLink("/q/nonexistent").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.PromoteLink("/missing/x").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(ErrorPathsTest, UnprohibitErrors) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  // Not prohibited yet.
+  EXPECT_EQ(fs_.Unprohibit("/q", "/d/f.txt").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.Unprohibit("/q", "/unregistered").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.Unprohibit("/q", "relative").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ErrorPathsTest, MountErrors) {
+  EXPECT_EQ(fs_.MountSyntactic("/missing", nullptr).code(), ErrorCode::kNotFound);
+  HacFileSystem other;
+  EXPECT_EQ(fs_.MountSyntactic("/d/f.txt", &other).code(), ErrorCode::kNotADirectory);
+  EXPECT_EQ(fs_.UnmountSyntactic("/d").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.UnmountSemantic("/d").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(fs_.MountSyntactic("/d", &other, "/").ok());
+  EXPECT_EQ(fs_.MountSyntactic("/d", &other, "/").code(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(fs_.UnmountSyntactic("/d").ok());
+}
+
+TEST_F(ErrorPathsTest, MountedSubtreeRejectsSemanticOps) {
+  HacFileSystem other;
+  ASSERT_TRUE(other.Mkdir("/r").ok());
+  ASSERT_TRUE(fs_.Mkdir("/mnt").ok());
+  ASSERT_TRUE(fs_.MountSyntactic("/mnt", &other, "/").ok());
+  EXPECT_EQ(fs_.SetQuery("/mnt/r", "x").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(fs_.GetQuery("/mnt/r").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(fs_.SSync("/mnt/r").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(fs_.GetLinkClasses("/mnt/r").code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(fs_.Search("x", "/mnt/r").code(), ErrorCode::kUnsupported);
+  ASSERT_TRUE(fs_.UnmountSyntactic("/mnt").ok());
+}
+
+TEST_F(ErrorPathsTest, SActOnPlainFileInSemanticDirWorks) {
+  // sact through a physical (non-link) file in a semantic directory.
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.WriteFile("/q/own.txt", "fingerprint line\nother line").ok());
+  auto lines = fs_.SAct("/q/own.txt");
+  ASSERT_TRUE(lines.ok());
+  EXPECT_EQ(lines.value(), std::vector<std::string>{"fingerprint line"});
+  ASSERT_TRUE(fs_.Reindex().ok());
+}
+
+TEST_F(ErrorPathsTest, DescriptorErrorsAcrossOps) {
+  EXPECT_EQ(fs_.Close(-1).code(), ErrorCode::kBadDescriptor);
+  EXPECT_EQ(fs_.Close(1000).code(), ErrorCode::kBadDescriptor);
+  char buf[1];
+  EXPECT_EQ(fs_.Read(42, buf, 1).code(), ErrorCode::kBadDescriptor);
+  EXPECT_EQ(fs_.Write(42, buf, 1).code(), ErrorCode::kBadDescriptor);
+  EXPECT_EQ(fs_.Seek(42, 0).code(), ErrorCode::kBadDescriptor);
+}
+
+TEST_F(ErrorPathsTest, DoubleCloseRejected) {
+  auto fd = fs_.Open("/d/f.txt", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Close(fd.value()).ok());
+  EXPECT_EQ(fs_.Close(fd.value()).code(), ErrorCode::kBadDescriptor);
+}
+
+}  // namespace
+}  // namespace hac

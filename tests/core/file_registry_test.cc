@@ -1,0 +1,120 @@
+#include "src/core/file_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(FileRegistryTest, AddAndLookup) {
+  FileRegistry r;
+  DocId id = r.Add(100, "/a/f").value();
+  EXPECT_EQ(r.FindByPath("/a/f").value(), id);
+  EXPECT_EQ(r.FindByInode(100).value(), id);
+  const FileRecord* rec = r.Get(id);
+  ASSERT_NE(rec, nullptr);
+  EXPECT_TRUE(rec->alive);
+  EXPECT_TRUE(rec->dirty);  // new files need indexing
+  EXPECT_FALSE(rec->remote);
+}
+
+TEST(FileRegistryTest, IdsAreDense) {
+  FileRegistry r;
+  EXPECT_EQ(r.Add(1, "/a").value(), 0u);
+  EXPECT_EQ(r.Add(2, "/b").value(), 1u);
+  EXPECT_EQ(r.Add(3, "/c").value(), 2u);
+}
+
+TEST(FileRegistryTest, DuplicatePathRejected) {
+  FileRegistry r;
+  ASSERT_TRUE(r.Add(1, "/a").ok());
+  EXPECT_EQ(r.Add(2, "/a").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(FileRegistryTest, UniverseTracksLiveness) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/a").value();
+  DocId b = r.Add(2, "/b").value();
+  EXPECT_EQ(r.Universe().ToIds(), (std::vector<uint32_t>{a, b}));
+  ASSERT_TRUE(r.Deactivate(a).ok());
+  EXPECT_EQ(r.Universe().ToIds(), std::vector<uint32_t>{b});
+  EXPECT_EQ(r.LiveCount(), 1u);
+  EXPECT_EQ(r.TotalRecords(), 2u);  // dead record retained
+  EXPECT_EQ(r.FindByPath("/a").code(), ErrorCode::kNotFound);
+  EXPECT_NE(r.Get(a), nullptr);  // still inspectable
+  EXPECT_FALSE(r.Get(a)->alive);
+}
+
+TEST(FileRegistryTest, DeactivateTwiceFails) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/a").value();
+  ASSERT_TRUE(r.Deactivate(a).ok());
+  EXPECT_EQ(r.Deactivate(a).code(), ErrorCode::kNotFound);
+}
+
+TEST(FileRegistryTest, PathCanBeReusedAfterDeactivation) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/a").value();
+  ASSERT_TRUE(r.Deactivate(a).ok());
+  DocId a2 = r.Add(5, "/a").value();
+  EXPECT_NE(a, a2);
+  EXPECT_EQ(r.FindByPath("/a").value(), a2);
+}
+
+TEST(FileRegistryTest, SetPathMovesOneFile) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/a").value();
+  ASSERT_TRUE(r.SetPath(a, "/moved").ok());
+  EXPECT_EQ(r.FindByPath("/moved").value(), a);
+  EXPECT_EQ(r.FindByPath("/a").code(), ErrorCode::kNotFound);
+}
+
+TEST(FileRegistryTest, RenameSubtreeMovesAllWithin) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/d/a").value();
+  DocId b = r.Add(2, "/d/sub/b").value();
+  DocId c = r.Add(3, "/elsewhere/c").value();
+  r.RenameSubtree("/d", "/moved");
+  EXPECT_EQ(r.Get(a)->path, "/moved/a");
+  EXPECT_EQ(r.Get(b)->path, "/moved/sub/b");
+  EXPECT_EQ(r.Get(c)->path, "/elsewhere/c");
+  EXPECT_EQ(r.FindByPath("/moved/sub/b").value(), b);
+}
+
+TEST(FileRegistryTest, FilesWithinAndDirectChildren) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/d/a").value();
+  DocId b = r.Add(2, "/d/sub/b").value();
+  DocId c = r.Add(3, "/x/c").value();
+  (void)c;
+  EXPECT_EQ(r.FilesWithin("/d").ToIds(), (std::vector<uint32_t>{a, b}));
+  EXPECT_EQ(r.DirectChildrenOf("/d").ToIds(), std::vector<uint32_t>{a});
+  EXPECT_EQ(r.FilesWithin("/").Count(), 3u);
+  EXPECT_TRUE(r.FilesWithin("/nothing").Empty());
+}
+
+TEST(FileRegistryTest, DirtyTracking) {
+  FileRegistry r;
+  DocId a = r.Add(1, "/a").value();
+  DocId b = r.Add(2, "/b").value();
+  r.ClearDirty(a);
+  r.ClearDirty(b);
+  EXPECT_TRUE(r.DirtyDocs().empty());
+  ASSERT_TRUE(r.MarkDirty(a).ok());
+  EXPECT_EQ(r.DirtyDocs(), std::vector<DocId>{a});
+  // Deactivation re-dirties (the index must purge it).
+  ASSERT_TRUE(r.Deactivate(b).ok());
+  EXPECT_EQ(r.DirtyDocs(), (std::vector<DocId>{a, b}));
+}
+
+TEST(FileRegistryTest, RemoteIdempotentByKey) {
+  FileRegistry r;
+  DocId a = r.AddRemote(1, "/m/.remote/lib/doc1", "m/lib/doc1").value();
+  DocId again = r.AddRemote(9, "/other/path", "m/lib/doc1").value();
+  EXPECT_EQ(a, again);
+  EXPECT_EQ(r.FindRemote("m/lib/doc1").value(), a);
+  EXPECT_TRUE(r.Get(a)->remote);
+  EXPECT_EQ(r.FindRemote("unknown").code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hac

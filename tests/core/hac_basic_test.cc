@@ -1,0 +1,162 @@
+// End-to-end smoke tests for HacFileSystem: ordinary FS behaviour through the HAC
+// layer, plus the basic semantic-directory lifecycle.
+#include "src/core/hac_file_system.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+class HacBasicTest : public ::testing::Test {
+ protected:
+  HacFileSystem fs_;
+};
+
+TEST_F(HacBasicTest, OrdinaryFileOperationsWork) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/a.txt", "hello fingerprint world").ok());
+  auto body = fs_.ReadFileToString("/docs/a.txt");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value(), "hello fingerprint world");
+  auto st = fs_.StatPath("/docs/a.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().type, NodeType::kFile);
+  EXPECT_EQ(st.value().size, 23u);
+}
+
+TEST_F(HacBasicTest, EveryDirectoryGetsUidAndDepNode) {
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  ASSERT_TRUE(fs_.Mkdir("/a/b").ok());
+  auto uid_a = fs_.uid_map().UidOf("/a");
+  auto uid_b = fs_.uid_map().UidOf("/a/b");
+  ASSERT_TRUE(uid_a.ok());
+  ASSERT_TRUE(uid_b.ok());
+  EXPECT_TRUE(fs_.dependency_graph().HasNode(uid_a.value()));
+  EXPECT_TRUE(fs_.dependency_graph().HasNode(uid_b.value()));
+  // /a/b depends on /a, /a depends on the root.
+  auto deps_b = fs_.dependency_graph().DependenciesOf(uid_b.value());
+  ASSERT_EQ(deps_b.size(), 1u);
+  EXPECT_EQ(deps_b[0], uid_a.value());
+}
+
+TEST_F(HacBasicTest, SemanticDirectoryMaterializesTransientLinks) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/fp.txt", "fingerprint minutiae analysis").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/cook.txt", "butter flour oven").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  auto entries = fs_.ReadDir("/fp");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "fp.txt");
+  EXPECT_EQ(entries.value()[0].type, NodeType::kSymlink);
+
+  // The link resolves to the real file.
+  auto body = fs_.ReadFileToString("/fp/fp.txt");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value(), "fingerprint minutiae analysis");
+}
+
+TEST_F(HacBasicTest, QueryRoundTripsThroughGetQuery) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint AND NOT murder").ok());
+  auto q = fs_.GetQuery("/q");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), "(fingerprint AND (NOT murder))");
+}
+
+TEST_F(HacBasicTest, NewFileAppearsAfterReindex) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  EXPECT_TRUE(fs_.ReadDir("/fp").value().empty());
+
+  ASSERT_TRUE(fs_.WriteFile("/docs/new.txt", "a fresh fingerprint report").ok());
+  // Data consistency is deferred: not yet visible.
+  EXPECT_TRUE(fs_.ReadDir("/fp").value().empty());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  EXPECT_EQ(fs_.ReadDir("/fp").value().size(), 1u);
+}
+
+TEST_F(HacBasicTest, DeletingTransientLinkProhibitsIt) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/fp.txt", "fingerprint study").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_EQ(fs_.ReadDir("/fp").value().size(), 1u);
+
+  ASSERT_TRUE(fs_.Unlink("/fp/fp.txt").ok());
+  EXPECT_TRUE(fs_.ReadDir("/fp").value().empty());
+
+  // Neither ssync nor a full reindex may bring it back.
+  ASSERT_TRUE(fs_.SSync("/fp").ok());
+  EXPECT_TRUE(fs_.ReadDir("/fp").value().empty());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  EXPECT_TRUE(fs_.ReadDir("/fp").value().empty());
+
+  auto classes = fs_.GetLinkClasses("/fp");
+  ASSERT_TRUE(classes.ok());
+  ASSERT_EQ(classes.value().prohibited.size(), 1u);
+  EXPECT_EQ(classes.value().prohibited[0], "/docs/fp.txt");
+}
+
+TEST_F(HacBasicTest, UserSymlinkIsPermanentAndSurvivesQueryChanges) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/img.pgm", "raster pixel data").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+
+  // img.pgm does not match the query; the user adds it by hand.
+  ASSERT_TRUE(fs_.Symlink("/docs/img.pgm", "/fp/img.pgm").ok());
+  ASSERT_EQ(fs_.ReadDir("/fp").value().size(), 1u);
+
+  ASSERT_TRUE(fs_.SetQuery("/fp", "fingerprint AND minutiae").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  // Still there: permanent links are never removed by HAC.
+  auto classes = fs_.GetLinkClasses("/fp");
+  ASSERT_TRUE(classes.ok());
+  ASSERT_EQ(classes.value().permanent.size(), 1u);
+  EXPECT_EQ(classes.value().permanent[0].first, "img.pgm");
+}
+
+TEST_F(HacBasicTest, ScopeRefinementChildIsSubsetOfParent) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/a.txt", "fingerprint image pixel").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/b.txt", "fingerprint murder case").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/c.txt", "image pixel only").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/fp/img", "image").ok());
+
+  // /fp/img sees only files that are both in /fp's result and match "image":
+  // c.txt matches "image" but is outside /fp's scope.
+  auto entries = fs_.ReadDir("/fp/img");
+  ASSERT_TRUE(entries.ok());
+  std::vector<std::string> names;
+  for (const auto& e : entries.value()) {
+    names.push_back(e.name);
+  }
+  EXPECT_EQ(names, std::vector<std::string>{"a.txt"});
+
+  auto parent_scope = fs_.ScopeOf("/fp");
+  auto child_scope = fs_.ScopeOf("/fp/img");
+  ASSERT_TRUE(parent_scope.ok());
+  ASSERT_TRUE(child_scope.ok());
+  EXPECT_TRUE(child_scope.value().IsSubsetOf(parent_scope.value()));
+}
+
+TEST_F(HacBasicTest, EditingParentPropagatesToChild) {
+  ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs_.WriteFile("/docs/a.txt", "fingerprint image pixel").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/fp/img", "image").ok());
+  ASSERT_EQ(fs_.ReadDir("/fp/img").value().size(), 1u);
+
+  // Deleting the link from the parent shrinks the child's scope immediately.
+  ASSERT_TRUE(fs_.Unlink("/fp/a.txt").ok());
+  EXPECT_TRUE(fs_.ReadDir("/fp/img").value().empty());
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,120 @@
+// Link-name edge cases: basename collisions between query results, collisions with
+// physical files, and many directories sharing one document.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/tools/fsck.h"
+
+namespace hac {
+namespace {
+
+std::vector<std::string> Names(HacFileSystem& fs, const std::string& dir) {
+  std::vector<std::string> out;
+  for (const auto& e : fs.ReadDir(dir).value()) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+TEST(LinkNamingTest, SameBasenameResultsGetSuffixes) {
+  HacFileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/a").ok());
+  ASSERT_TRUE(fs.MkdirAll("/b").ok());
+  ASSERT_TRUE(fs.MkdirAll("/c").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/report.txt", "fingerprint one").ok());
+  ASSERT_TRUE(fs.WriteFile("/b/report.txt", "fingerprint two").ok());
+  ASSERT_TRUE(fs.WriteFile("/c/report.txt", "fingerprint three").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.SMkdir("/fp", "fingerprint").ok());
+  auto names = Names(fs, "/fp");
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_NE(std::find(names.begin(), names.end(), "report.txt"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "report.txt~2"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "report.txt~3"), names.end());
+  // Every link resolves to a distinct file.
+  std::set<std::string> targets;
+  for (const std::string& n : names) {
+    targets.insert(fs.ReadLink("/fp/" + n).value());
+  }
+  EXPECT_EQ(targets.size(), 3u);
+  EXPECT_TRUE(RunFsck(fs).Clean());
+}
+
+TEST(LinkNamingTest, PhysicalFileBlocksLinkName) {
+  HacFileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/docs").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/notes.txt", "fingerprint remote").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_EQ(Names(fs, "/fp"), std::vector<std::string>{"notes.txt"});
+  // Now a physical file with the same name lands in the directory, and a new match
+  // with the same basename appears elsewhere: the new link must dodge both names.
+  ASSERT_TRUE(fs.Unlink("/fp/notes.txt").ok());
+  ASSERT_TRUE(fs.Unprohibit("/fp", "/docs/notes.txt").ok());
+  // (unprohibit re-added it; delete again and write the physical file)
+  ASSERT_TRUE(fs.Unlink("/fp/notes.txt").ok());
+  ASSERT_TRUE(fs.WriteFile("/fp/notes.txt", "my own fingerprint notes").ok());
+  ASSERT_TRUE(fs.Unprohibit("/fp", "/docs/notes.txt").ok());
+  auto names = Names(fs, "/fp");
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "notes.txt");     // the physical file
+  EXPECT_EQ(names[1], "notes.txt~2");   // the dodged link
+  EXPECT_EQ(fs.ReadLink("/fp/notes.txt~2").value(), "/docs/notes.txt");
+  ASSERT_TRUE(fs.Reindex().ok());
+  EXPECT_TRUE(RunFsck(fs).Clean());
+}
+
+TEST(LinkNamingTest, ManyDirectoriesShareOneDocument) {
+  HacFileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/docs").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/shared.txt", "alpha bravo charlie").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  for (const char* term_c : {"alpha", "bravo", "charlie"}) {
+    std::string term = term_c;
+    ASSERT_TRUE(fs.SMkdir("/" + term, term).ok());
+    EXPECT_EQ(Names(fs, "/" + term), std::vector<std::string>{"shared.txt"});
+  }
+  // Prohibiting in one view leaves the others alone.
+  ASSERT_TRUE(fs.Unlink("/alpha/shared.txt").ok());
+  EXPECT_TRUE(Names(fs, "/alpha").empty());
+  EXPECT_EQ(Names(fs, "/bravo").size(), 1u);
+  EXPECT_EQ(Names(fs, "/charlie").size(), 1u);
+  EXPECT_TRUE(RunFsck(fs).Clean());
+}
+
+TEST(LinkNamingTest, SuffixedNameSurvivesRecomputation) {
+  HacFileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/a").ok());
+  ASSERT_TRUE(fs.MkdirAll("/b").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/x.txt", "fingerprint a").ok());
+  ASSERT_TRUE(fs.WriteFile("/b/x.txt", "fingerprint b").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.SMkdir("/fp", "fingerprint").ok());
+  auto before = Names(fs, "/fp");
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(fs.SSync("/fp").ok());
+  }
+  ASSERT_TRUE(fs.Reindex().ok());
+  // Stable: no churn, no ~3/~4 proliferation.
+  EXPECT_EQ(Names(fs, "/fp"), before);
+}
+
+TEST(LinkNamingTest, DocRemovedAndNewDocReusesName) {
+  HacFileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/docs").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/f.txt", "fingerprint v1").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(fs.Unlink("/docs/f.txt").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  EXPECT_TRUE(Names(fs, "/fp").empty());
+  // A brand-new file at the same path is a new document; no stale prohibition applies.
+  ASSERT_TRUE(fs.WriteFile("/docs/f.txt", "fingerprint v2").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  EXPECT_EQ(Names(fs, "/fp"), std::vector<std::string>{"f.txt"});
+  EXPECT_TRUE(RunFsck(fs).Clean());
+}
+
+}  // namespace
+}  // namespace hac

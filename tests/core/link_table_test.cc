@@ -1,0 +1,105 @@
+#include "src/core/link_table.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+bool NeverTaken(const std::string&) { return false; }
+
+TEST(LinkTableTest, AddAndClassify) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddLink("a.txt", 1, LinkClass::kTransient).ok());
+  ASSERT_TRUE(t.AddLink("b.txt", 2, LinkClass::kPermanent).ok());
+  EXPECT_TRUE(t.transient().Test(1));
+  EXPECT_TRUE(t.permanent().Test(2));
+  EXPECT_EQ(t.LinkSet().ToIds(), (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(t.NameOf(1).value(), "a.txt");
+  ASSERT_NE(t.Find("a.txt"), nullptr);
+  EXPECT_EQ(t.Find("a.txt")->cls, LinkClass::kTransient);
+  EXPECT_EQ(t.Find("missing"), nullptr);
+}
+
+TEST(LinkTableTest, DuplicateNameRejected) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddLink("a", 1, LinkClass::kTransient).ok());
+  EXPECT_EQ(t.AddLink("a", 2, LinkClass::kTransient).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(LinkTableTest, DuplicateDocRejected) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddLink("a", 1, LinkClass::kTransient).ok());
+  EXPECT_EQ(t.AddLink("b", 1, LinkClass::kPermanent).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(LinkTableTest, InvalidDocRejected) {
+  LinkTable t;
+  EXPECT_EQ(t.AddLink("a", kInvalidDocId, LinkClass::kTransient).code(),
+            ErrorCode::kInvalidArgument);
+}
+
+TEST(LinkTableTest, RemoveReturnsRecordAndClearsBitmaps) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddLink("a", 1, LinkClass::kTransient).ok());
+  auto rec = t.RemoveLink("a");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().doc, 1u);
+  EXPECT_FALSE(t.transient().Test(1));
+  EXPECT_FALSE(t.HasDoc(1));
+  EXPECT_EQ(t.RemoveLink("a").code(), ErrorCode::kNotFound);
+}
+
+TEST(LinkTableTest, ForeignLinksHaveNoDoc) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddForeignLink("ext").ok());
+  ASSERT_NE(t.Find("ext"), nullptr);
+  EXPECT_EQ(t.Find("ext")->doc, kInvalidDocId);
+  EXPECT_TRUE(t.LinkSet().Empty());
+  auto rec = t.RemoveLink("ext");
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec.value().doc, kInvalidDocId);
+}
+
+TEST(LinkTableTest, ProhibitAndUnprohibit) {
+  LinkTable t;
+  t.Prohibit(5);
+  EXPECT_TRUE(t.IsProhibited(5));
+  EXPECT_TRUE(t.prohibited().Test(5));
+  t.Unprohibit(5);
+  EXPECT_FALSE(t.IsProhibited(5));
+}
+
+TEST(LinkTableTest, PromoteTransientToPermanent) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddLink("a", 1, LinkClass::kTransient).ok());
+  ASSERT_TRUE(t.Promote("a").ok());
+  EXPECT_TRUE(t.permanent().Test(1));
+  EXPECT_FALSE(t.transient().Test(1));
+  EXPECT_EQ(t.Find("a")->cls, LinkClass::kPermanent);
+  // Idempotent; promoting foreign/permanent succeeds trivially.
+  EXPECT_TRUE(t.Promote("a").ok());
+  EXPECT_EQ(t.Promote("missing").code(), ErrorCode::kNotFound);
+}
+
+TEST(LinkTableTest, UniqueNameAvoidsCollisions) {
+  LinkTable t;
+  ASSERT_TRUE(t.AddLink("f.txt", 1, LinkClass::kTransient).ok());
+  EXPECT_EQ(t.UniqueName("f.txt", NeverTaken), "f.txt~2");
+  ASSERT_TRUE(t.AddLink("f.txt~2", 2, LinkClass::kTransient).ok());
+  EXPECT_EQ(t.UniqueName("f.txt", NeverTaken), "f.txt~3");
+  EXPECT_EQ(t.UniqueName("fresh", NeverTaken), "fresh");
+}
+
+TEST(LinkTableTest, UniqueNameConsultsExternalPredicate) {
+  LinkTable t;
+  auto taken = [](const std::string& name) { return name == "f"; };
+  EXPECT_EQ(t.UniqueName("f", taken), "f~2");
+}
+
+TEST(LinkTableTest, UniqueNameForEmptyBase) {
+  LinkTable t;
+  EXPECT_EQ(t.UniqueName("", NeverTaken), "link");
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,63 @@
+#include "src/core/metadata_journal.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(MetadataJournalTest, AppendAndDecode) {
+  MetadataJournal journal;
+  journal.Append(JournalOp::kDirCreated, 7, "/a");
+  journal.Append(JournalOp::kRename, 0, "/a", "/b");
+  journal.Append(JournalOp::kQuerySet, 7, "fingerprint AND ridge");
+  auto records = journal.Decode();
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records.value().size(), 3u);
+  EXPECT_EQ(records.value()[0].op, JournalOp::kDirCreated);
+  EXPECT_EQ(records.value()[0].subject, 7u);
+  EXPECT_EQ(records.value()[0].a, "/a");
+  EXPECT_EQ(records.value()[1].b, "/b");
+  EXPECT_EQ(records.value()[2].a, "fingerprint AND ridge");
+  EXPECT_EQ(journal.RecordCount(), 3u);
+}
+
+TEST(MetadataJournalTest, EmptyDecode) {
+  MetadataJournal journal;
+  auto records = journal.Decode();
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records.value().empty());
+  EXPECT_EQ(journal.SizeBytes(), 0u);
+}
+
+TEST(MetadataJournalTest, ClearResets) {
+  MetadataJournal journal;
+  journal.Append(JournalOp::kMount, 1, "/m");
+  ASSERT_GT(journal.SizeBytes(), 0u);
+  journal.Clear();
+  EXPECT_EQ(journal.SizeBytes(), 0u);
+  EXPECT_EQ(journal.RecordCount(), 0u);
+  EXPECT_TRUE(journal.Decode().value().empty());
+}
+
+TEST(MetadataJournalTest, BinarySafePayloads) {
+  MetadataJournal journal;
+  std::string binary("\x00\x01\xff payload", 12);
+  journal.Append(JournalOp::kLinkAdded, 3, binary, "");
+  auto records = journal.Decode();
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records.value()[0].a, binary);
+}
+
+TEST(MetadataJournalTest, GrowsLinearly) {
+  MetadataJournal journal;
+  size_t prev = 0;
+  for (int i = 0; i < 100; ++i) {
+    journal.Append(JournalOp::kFileRegistered, static_cast<uint64_t>(i), "/same/len");
+    EXPECT_GT(journal.SizeBytes(), prev);
+    prev = journal.SizeBytes();
+  }
+  EXPECT_EQ(journal.RecordCount(), 100u);
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,187 @@
+// Semantic mount points (section 3): importing remote query results into the personal
+// name space, multiple mounts, language checks, refinement over imported documents.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/digital_library.h"
+#include "src/remote/web_search.h"
+
+namespace hac {
+namespace {
+
+std::vector<std::string> Names(HacFileSystem& fs, const std::string& dir) {
+  std::vector<std::string> out;
+  auto entries = fs.ReadDir(dir);
+  EXPECT_TRUE(entries.ok()) << dir;
+  if (entries.ok()) {
+    for (const auto& e : entries.value()) {
+      out.push_back(e.name);
+    }
+  }
+  return out;
+}
+
+class SemanticMountTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lib_ = std::make_unique<DigitalLibrary>("acmlib");
+    lib_->AddArticle({"a1", "Fingerprint Matching Survey", "Doe and Roe",
+                      "fingerprint minutiae matching survey", "long body text ridge"});
+    lib_->AddArticle({"a2", "Cooking With Butter", "Chef",
+                      "butter flour recipes", "oven seasoning"});
+    lib_->AddArticle({"a3", "Latent Fingerprints In Crime", "Poirot",
+                      "fingerprint crime evidence", "murder investigation"});
+    ASSERT_TRUE(fs_.Mkdir("/lib").ok());
+  }
+
+  HacFileSystem fs_;
+  std::unique_ptr<DigitalLibrary> lib_;
+};
+
+TEST_F(SemanticMountTest, QueryUnderMountImportsRemoteResults) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  auto names = Names(fs_, "/lib/fp");
+  ASSERT_EQ(names.size(), 2u);  // a1 and a3
+  // Links point at cached copies under the mount.
+  for (const std::string& name : names) {
+    auto target = fs_.ReadLink("/lib/fp/" + name).value();
+    EXPECT_TRUE(target.find("/lib/.remote/acmlib/") == 0) << target;
+    // Content is fetchable through the link.
+    auto body = fs_.ReadFileToString("/lib/fp/" + name);
+    ASSERT_TRUE(body.ok());
+    EXPECT_NE(body.value().find("fingerprint"), std::string::npos);
+  }
+  EXPECT_EQ(lib_->searches_served(), 1u);
+}
+
+TEST_F(SemanticMountTest, RefinementOverImportedDocs) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  // Refine locally: imported docs are indexed, so nested queries work offline.
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp/crime", "murder").ok());
+  auto names = Names(fs_, "/lib/fp/crime");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_NE(names[0].find("Latent"), std::string::npos);
+}
+
+TEST_F(SemanticMountTest, UserCanPruneImportedResults) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  auto names = Names(fs_, "/lib/fp");
+  ASSERT_EQ(names.size(), 2u);
+  // Remove the crime article from the personal classification; it must stay gone
+  // across ssync even though the remote still returns it.
+  std::string crime_link;
+  for (const std::string& n : names) {
+    if (n.find("Latent") != std::string::npos) {
+      crime_link = n;
+    }
+  }
+  ASSERT_FALSE(crime_link.empty());
+  ASSERT_TRUE(fs_.Unlink("/lib/fp/" + crime_link).ok());
+  ASSERT_TRUE(fs_.SSync("/lib/fp").ok());
+  EXPECT_EQ(Names(fs_, "/lib/fp").size(), 1u);
+}
+
+TEST_F(SemanticMountTest, ImportsAreIdempotentAcrossSsyncs) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  size_t docs_before = fs_.registry().TotalRecords();
+  ASSERT_TRUE(fs_.SSync("/lib/fp").ok());
+  ASSERT_TRUE(fs_.SSync("/lib/fp").ok());
+  EXPECT_EQ(fs_.registry().TotalRecords(), docs_before);
+  EXPECT_EQ(Names(fs_, "/lib/fp").size(), 2u);
+}
+
+TEST_F(SemanticMountTest, CachedImportsMatchQueriesOutsideTheMount) {
+  // "physical files within a semantic mount point are indexed by HAC, and they can
+  //  match queries of semantic directories created outside the subtree" (section 3.1).
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/everything_crime", "murder").ok());
+  auto names = Names(fs_, "/everything_crime");
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_NE(names[0].find("Latent"), std::string::npos);
+}
+
+TEST_F(SemanticMountTest, MultipleMountUnionsDisjointResults) {
+  DigitalLibrary other("ieeelib");
+  other.AddArticle({"x1", "Ridge Detection Methods", "Smith",
+                    "fingerprint ridge detection", "image processing"});
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.MountSemantic("/lib", &other).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  auto names = Names(fs_, "/lib/fp");
+  EXPECT_EQ(names.size(), 3u);  // 2 from acmlib + 1 from ieeelib
+  EXPECT_EQ(Names(fs_, "/lib/.remote").size(), 2u);  // one cache dir per space
+}
+
+TEST_F(SemanticMountTest, LanguageMismatchRejected) {
+  WebSearchEngine web("websearch");
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  EXPECT_EQ(fs_.MountSemantic("/lib", &web).code(), ErrorCode::kLanguageMismatch);
+}
+
+TEST_F(SemanticMountTest, SameSpaceTwiceRejected) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  EXPECT_EQ(fs_.MountSemantic("/lib", lib_.get()).code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SemanticMountTest, KeywordEngineAnswersConjunctions) {
+  WebSearchEngine web("websearch");
+  web.AddPage("http://a", "Fingerprint basics", "fingerprint ridge tutorial");
+  web.AddPage("http://b", "Cake recipes", "butter flour");
+  web.AddPage("http://c", "Fingerprint and crime", "fingerprint murder investigation");
+  ASSERT_TRUE(fs_.Mkdir("/web").ok());
+  ASSERT_TRUE(fs_.MountSemantic("/web", &web).ok());
+  ASSERT_TRUE(fs_.SMkdir("/web/fp", "fingerprint AND murder").ok());
+  EXPECT_EQ(Names(fs_, "/web/fp").size(), 1u);
+}
+
+TEST_F(SemanticMountTest, KeywordEngineRejectsBooleanQueries) {
+  WebSearchEngine web("websearch");
+  web.AddPage("http://a", "Fingerprint basics", "fingerprint ridge tutorial");
+  ASSERT_TRUE(fs_.Mkdir("/web").ok());
+  ASSERT_TRUE(fs_.MountSemantic("/web", &web).ok());
+  // OR is outside the keyword language; the mount surfaces kUnsupported.
+  EXPECT_EQ(fs_.SMkdir("/web/q", "fingerprint OR butter").code(),
+            ErrorCode::kUnsupported);
+}
+
+TEST_F(SemanticMountTest, DirRefsAreStrippedBeforeForwarding) {
+  WebSearchEngine web("websearch");
+  web.AddPage("http://a", "Fingerprint basics", "fingerprint ridge tutorial");
+  web.AddPage("http://b", "Fingerprint mail", "fingerprint correspondence");
+  ASSERT_TRUE(fs_.Mkdir("/web").ok());
+  ASSERT_TRUE(fs_.Mkdir("/localdocs").ok());
+  ASSERT_TRUE(fs_.MountSemantic("/web", &web).ok());
+  // dir() is a local concept; remotely both pages match "fingerprint", locally the
+  // dir() restriction then filters the imported cache files (none are in /localdocs),
+  // so the result is empty — but the import itself must not fail.
+  ASSERT_TRUE(fs_.SMkdir("/web/q", "fingerprint AND dir(/localdocs)").ok());
+  EXPECT_TRUE(Names(fs_, "/web/q").empty());
+  EXPECT_EQ(web.searches_served(), 1u);
+}
+
+TEST_F(SemanticMountTest, UnmountKeepsCachedFiles) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  ASSERT_EQ(Names(fs_, "/lib/fp").size(), 2u);
+  ASSERT_TRUE(fs_.UnmountSemantic("/lib").ok());
+  // The live connection is gone but the personal classification survives.
+  ASSERT_TRUE(fs_.SSync("/lib/fp").ok());
+  EXPECT_EQ(Names(fs_, "/lib/fp").size(), 2u);
+}
+
+TEST_F(SemanticMountTest, StatsCountRemoteActivity) {
+  ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  HacStats stats = fs_.Stats();
+  EXPECT_GE(stats.remote_searches, 1u);
+  EXPECT_EQ(stats.remote_imports, 2u);
+}
+
+}  // namespace
+}  // namespace hac

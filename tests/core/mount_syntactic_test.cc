@@ -1,0 +1,121 @@
+// Syntactic mount points: pure name-based grafting of a foreign file system.
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+
+namespace hac {
+namespace {
+
+class SyntacticMountTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(remote_.Mkdir("/shared").ok());
+    ASSERT_TRUE(remote_.WriteFile("/shared/doc.txt", "remote payload").ok());
+    ASSERT_TRUE(local_.Mkdir("/mnt").ok());
+  }
+  HacFileSystem local_;
+  HacFileSystem remote_;
+};
+
+TEST_F(SyntacticMountTest, MountAndBrowse) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  auto entries = local_.ReadDir("/mnt");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "shared");
+  EXPECT_EQ(local_.ReadFileToString("/mnt/shared/doc.txt").value(), "remote payload");
+}
+
+TEST_F(SyntacticMountTest, MountSubtree) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/shared").ok());
+  EXPECT_EQ(local_.ReadFileToString("/mnt/doc.txt").value(), "remote payload");
+}
+
+TEST_F(SyntacticMountTest, WritesGoToRemote) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  ASSERT_TRUE(local_.WriteFile("/mnt/shared/new.txt", "written through").ok());
+  EXPECT_EQ(remote_.ReadFileToString("/shared/new.txt").value(), "written through");
+  // Not registered locally: syntactic mounts are name-only.
+  EXPECT_EQ(local_.registry().FindByPath("/mnt/shared/new.txt").code(),
+            ErrorCode::kNotFound);
+}
+
+TEST_F(SyntacticMountTest, MkdirRmdirUnlinkForwarded) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  ASSERT_TRUE(local_.Mkdir("/mnt/newdir").ok());
+  EXPECT_TRUE(remote_.Exists("/newdir"));
+  ASSERT_TRUE(local_.Rmdir("/mnt/newdir").ok());
+  EXPECT_FALSE(remote_.Exists("/newdir"));
+  ASSERT_TRUE(local_.Unlink("/mnt/shared/doc.txt").ok());
+  EXPECT_FALSE(remote_.Exists("/shared/doc.txt"));
+}
+
+TEST_F(SyntacticMountTest, StatThroughMount) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  auto st = local_.StatPath("/mnt/shared/doc.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, 14u);
+}
+
+TEST_F(SyntacticMountTest, RenameWithinMountForwarded) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  ASSERT_TRUE(local_.Rename("/mnt/shared/doc.txt", "/mnt/shared/renamed.txt").ok());
+  EXPECT_TRUE(remote_.Exists("/shared/renamed.txt"));
+}
+
+TEST_F(SyntacticMountTest, RenameAcrossBoundaryRejected) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  ASSERT_TRUE(local_.WriteFile("/localfile", "x").ok());
+  EXPECT_EQ(local_.Rename("/localfile", "/mnt/shared/x").code(), ErrorCode::kCrossDevice);
+  EXPECT_EQ(local_.Rename("/mnt/shared/doc.txt", "/doc.txt").code(),
+            ErrorCode::kCrossDevice);
+}
+
+TEST_F(SyntacticMountTest, MountPointProtectedFromRemovalAndRename) {
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  EXPECT_EQ(local_.Rmdir("/mnt").code(), ErrorCode::kBusy);
+  EXPECT_EQ(local_.Rename("/mnt", "/m2").code(), ErrorCode::kBusy);
+}
+
+TEST_F(SyntacticMountTest, OverlappingMountsRejected) {
+  ASSERT_TRUE(local_.MkdirAll("/mnt/inner").ok());
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  HacFileSystem other;
+  EXPECT_EQ(local_.MountSyntactic("/mnt", &other, "/").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(local_.MountSyntactic("/mnt/inner", &other, "/").code(),
+            ErrorCode::kAlreadyExists);
+}
+
+TEST_F(SyntacticMountTest, UnmountRestoresLocalView) {
+  ASSERT_TRUE(local_.WriteFile("/mnt/local.txt", "before mount").ok());
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  // Mounted view hides the local file.
+  EXPECT_FALSE(local_.Exists("/mnt/local.txt"));
+  ASSERT_TRUE(local_.UnmountSyntactic("/mnt").ok());
+  EXPECT_EQ(local_.ReadFileToString("/mnt/local.txt").value(), "before mount");
+  EXPECT_EQ(local_.UnmountSyntactic("/mnt").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SyntacticMountTest, MountNonexistentPathRejected) {
+  EXPECT_EQ(local_.MountSyntactic("/nope", &remote_, "/").code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(local_.WriteFile("/f", "x").ok());
+  EXPECT_EQ(local_.MountSyntactic("/f", &remote_, "/").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_F(SyntacticMountTest, BrowseAnotherUsersSemanticDirs) {
+  // The paper's sharing story: coworker B browses A's personal classification.
+  ASSERT_TRUE(remote_.Mkdir("/docs").ok());
+  ASSERT_TRUE(remote_.WriteFile("/docs/fp.txt", "fingerprint ridge").ok());
+  ASSERT_TRUE(remote_.Reindex().ok());
+  ASSERT_TRUE(remote_.SMkdir("/fp", "fingerprint").ok());
+
+  ASSERT_TRUE(local_.MountSyntactic("/mnt", &remote_, "/").ok());
+  auto entries = local_.ReadDir("/mnt/fp");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  // B follows A's link and reads the file — all through the mount.
+  EXPECT_EQ(local_.ReadFileToString("/mnt/fp/fp.txt").value(), "fingerprint ridge");
+}
+
+}  // namespace
+}  // namespace hac

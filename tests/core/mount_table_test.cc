@@ -1,0 +1,87 @@
+// Direct unit tests for the mount table (the integration suites cover it end-to-end;
+// these pin down the data structure's own contract).
+#include "src/core/mount_table.h"
+
+#include <gtest/gtest.h>
+
+#include "src/remote/digital_library.h"
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+TEST(MountTableTest, SyntacticLongestPrefixWins) {
+  MountTable table;
+  FileSystem fs_a;
+  FileSystem fs_b;
+  ASSERT_TRUE(table.AddSyntactic("/a", &fs_a, "/").ok());
+  ASSERT_TRUE(table.AddSyntactic("/b/inner", &fs_b, "/").ok());
+
+  EXPECT_EQ(table.FindSyntacticCovering("/a"), &table.syntactic()[0]);
+  EXPECT_EQ(table.FindSyntacticCovering("/a/deep/path"), &table.syntactic()[0]);
+  EXPECT_EQ(table.FindSyntacticCovering("/b/inner/x"), &table.syntactic()[1]);
+  EXPECT_EQ(table.FindSyntacticCovering("/b"), nullptr);
+  EXPECT_EQ(table.FindSyntacticCovering("/ab"), nullptr);  // prefix, not ancestor
+  EXPECT_EQ(table.FindSyntacticCovering("/elsewhere"), nullptr);
+}
+
+TEST(MountTableTest, SyntacticOverlapRejected) {
+  MountTable table;
+  FileSystem fs;
+  ASSERT_TRUE(table.AddSyntactic("/a/b", &fs, "/").ok());
+  EXPECT_EQ(table.AddSyntactic("/a/b", &fs, "/").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(table.AddSyntactic("/a", &fs, "/").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(table.AddSyntactic("/a/b/c", &fs, "/").code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(table.AddSyntactic("/a2", &fs, "/").ok());
+  EXPECT_EQ(table.AddSyntactic("/x", nullptr, "/").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(MountTableTest, SemanticAccumulatesSpacesWithOneLanguage) {
+  MountTable table;
+  DigitalLibrary lib1("l1");
+  DigitalLibrary lib2("l2");
+  ASSERT_TRUE(table.AddSemantic("/m", &lib1).ok());
+  ASSERT_TRUE(table.AddSemantic("/m", &lib2).ok());
+  const SemanticMount* mount = table.FindSemanticAt("/m");
+  ASSERT_NE(mount, nullptr);
+  EXPECT_EQ(mount->spaces.size(), 2u);
+  EXPECT_EQ(mount->language, "hac-bool");
+  EXPECT_EQ(table.AddSemantic("/m", &lib1).code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(table.AddSemantic("/m", nullptr).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(table.FindSemanticAt("/other"), nullptr);
+}
+
+TEST(MountTableTest, RemoveSemanticsAndErrors) {
+  MountTable table;
+  DigitalLibrary lib("l");
+  ASSERT_TRUE(table.AddSemantic("/m", &lib).ok());
+  ASSERT_TRUE(table.RemoveSemantic("/m").ok());
+  EXPECT_EQ(table.RemoveSemantic("/m").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(table.RemoveSyntactic("/m").code(), ErrorCode::kNotFound);
+}
+
+TEST(MountTableTest, RenameSubtreeRewritesMountPaths) {
+  MountTable table;
+  FileSystem fs;
+  DigitalLibrary lib("l");
+  ASSERT_TRUE(table.AddSyntactic("/a/mnt", &fs, "/").ok());
+  ASSERT_TRUE(table.AddSemantic("/a/sem", &lib).ok());
+  table.RenameSubtree("/a", "/z");
+  EXPECT_NE(table.FindSyntacticCovering("/z/mnt/x"), nullptr);
+  EXPECT_EQ(table.FindSyntacticCovering("/a/mnt/x"), nullptr);
+  EXPECT_NE(table.FindSemanticAt("/z/sem"), nullptr);
+  EXPECT_EQ(table.FindSemanticAt("/a/sem"), nullptr);
+}
+
+TEST(MountTableTest, SizeAccounting) {
+  MountTable table;
+  FileSystem fs;
+  DigitalLibrary lib("l");
+  size_t empty = table.SizeBytes();
+  ASSERT_TRUE(table.AddSyntactic("/mnt", &fs, "/root").ok());
+  ASSERT_TRUE(table.AddSemantic("/sem", &lib).ok());
+  EXPECT_GT(table.SizeBytes(), empty);
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,240 @@
+// Scope-consistency semantics of section 2.3: query edits, directory moves, nested
+// refinement, and the interplay of the three link classes.
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+
+namespace hac {
+namespace {
+
+std::vector<std::string> Names(HacFileSystem& fs, const std::string& dir) {
+  std::vector<std::string> out;
+  auto entries = fs.ReadDir(dir);
+  EXPECT_TRUE(entries.ok()) << dir;
+  if (entries.ok()) {
+    for (const auto& e : entries.value()) {
+      out.push_back(e.name);
+    }
+  }
+  return out;
+}
+
+class ScopeConsistencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/fp_img.txt", "fingerprint image ridge pixel").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/fp_crime.txt", "fingerprint murder evidence").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/img_only.txt", "image pixel raster").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/recipe.txt", "butter flour oven").ok());
+    ASSERT_TRUE(fs_.Reindex().ok());
+  }
+  HacFileSystem fs_;
+};
+
+TEST_F(ScopeConsistencyTest, ChangingQueryReplacesTransients) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  EXPECT_EQ(Names(fs_, "/q"), (std::vector<std::string>{"fp_crime.txt", "fp_img.txt"}));
+  ASSERT_TRUE(fs_.SetQuery("/q", "image").ok());
+  EXPECT_EQ(Names(fs_, "/q"), (std::vector<std::string>{"fp_img.txt", "img_only.txt"}));
+}
+
+TEST_F(ScopeConsistencyTest, NarrowingQueryWithNot) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint AND NOT murder").ok());
+  EXPECT_EQ(Names(fs_, "/q"), std::vector<std::string>{"fp_img.txt"});
+}
+
+TEST_F(ScopeConsistencyTest, ClearingQueryDropsTransientsKeepsUserEdits) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.Symlink("/docs/recipe.txt", "/q/mine.txt").ok());
+  ASSERT_TRUE(fs_.SetQuery("/q", "").ok());
+  EXPECT_EQ(Names(fs_, "/q"), std::vector<std::string>{"mine.txt"});
+  EXPECT_EQ(fs_.GetQuery("/q").value(), "");
+  // Re-setting a query works and the permanent link persists.
+  ASSERT_TRUE(fs_.SetQuery("/q", "image").ok());
+  auto names = Names(fs_, "/q");
+  EXPECT_NE(std::find(names.begin(), names.end(), "mine.txt"), names.end());
+}
+
+TEST_F(ScopeConsistencyTest, ProhibitionIsRememberedAcrossQueryChanges) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.Unlink("/q/fp_crime.txt").ok());
+  // A query change re-evaluates, but the prohibited doc must not return.
+  ASSERT_TRUE(fs_.SetQuery("/q", "fingerprint OR murder").ok());
+  EXPECT_EQ(Names(fs_, "/q"), std::vector<std::string>{"fp_img.txt"});
+}
+
+TEST_F(ScopeConsistencyTest, UnprohibitRestoresEligibility) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.Unlink("/q/fp_crime.txt").ok());
+  ASSERT_TRUE(fs_.Unprohibit("/q", "/docs/fp_crime.txt").ok());
+  EXPECT_EQ(Names(fs_, "/q"), (std::vector<std::string>{"fp_crime.txt", "fp_img.txt"}));
+}
+
+TEST_F(ScopeConsistencyTest, ReAddingProhibitedLinkByHandUnprohibits) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.Unlink("/q/fp_crime.txt").ok());
+  // Explicit user action: symlink it back; becomes permanent.
+  ASSERT_TRUE(fs_.Symlink("/docs/fp_crime.txt", "/q/fp_crime.txt").ok());
+  auto classes = fs_.GetLinkClasses("/q").value();
+  ASSERT_EQ(classes.permanent.size(), 1u);
+  EXPECT_EQ(classes.permanent[0].second, "/docs/fp_crime.txt");
+  EXPECT_TRUE(classes.prohibited.empty());
+}
+
+TEST_F(ScopeConsistencyTest, PromoteLinkSurvivesScopeShrink) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.PromoteLink("/q/fp_crime.txt").ok());
+  ASSERT_TRUE(fs_.SetQuery("/q", "image").ok());
+  auto names = Names(fs_, "/q");
+  // fp_crime doesn't match "image" but was promoted to permanent.
+  EXPECT_NE(std::find(names.begin(), names.end(), "fp_crime.txt"), names.end());
+}
+
+TEST_F(ScopeConsistencyTest, GrandchildRefinementChains) {
+  ASSERT_TRUE(fs_.SMkdir("/a", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/a/b", "image").ok());
+  ASSERT_TRUE(fs_.SMkdir("/a/b/c", "pixel").ok());
+  EXPECT_EQ(Names(fs_, "/a/b/c"), std::vector<std::string>{"fp_img.txt"});
+  // Prohibit at the middle level: the bottom level loses it too.
+  ASSERT_TRUE(fs_.Unlink("/a/b/fp_img.txt").ok());
+  EXPECT_TRUE(Names(fs_, "/a/b/c").empty());
+}
+
+TEST_F(ScopeConsistencyTest, MovingSemanticDirRecomputesAgainstNewParent) {
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/img", "image").ok());
+  ASSERT_TRUE(fs_.SMkdir("/img/sub", "ridge").ok());
+  // Under /img, "ridge" matches fp_img.txt (in /img's scope).
+  EXPECT_EQ(Names(fs_, "/img/sub"), std::vector<std::string>{"fp_img.txt"});
+
+  // Move /img/sub under /fp: scope becomes /fp's links.
+  ASSERT_TRUE(fs_.Rename("/img/sub", "/fp/sub").ok());
+  EXPECT_EQ(Names(fs_, "/fp/sub"), std::vector<std::string>{"fp_img.txt"});
+
+  // Now make the parent scope not contain ridge-files: query change on /fp.
+  ASSERT_TRUE(fs_.SetQuery("/fp", "murder").ok());
+  EXPECT_TRUE(Names(fs_, "/fp/sub").empty());
+}
+
+TEST_F(ScopeConsistencyTest, TransientInvariantHoldsAfterOps) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/q/img", "image").ok());
+  ASSERT_TRUE(fs_.Unlink("/q/fp_crime.txt").ok());
+  ASSERT_TRUE(fs_.Symlink("/docs/recipe.txt", "/q/img/extra").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+
+  // Check invariant on /q/img: transient == eval(query, scope(parent)) − perm − prohib.
+  auto parent_scope = fs_.ScopeOf("/q").value();
+  auto q = ParseQuery("image").value();
+  auto result = fs_.index().Evaluate(*q, parent_scope, nullptr).value();
+  auto classes = fs_.GetLinkClasses("/q/img").value();
+  std::vector<std::string> transient_targets;
+  for (const auto& [name, target] : classes.transient) {
+    transient_targets.push_back(target);
+  }
+  std::sort(transient_targets.begin(), transient_targets.end());
+  std::vector<std::string> expected;
+  result.ForEach([&](DocId d) { expected.push_back(fs_.PathOfDoc(d).value()); });
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(transient_targets, expected);
+}
+
+TEST_F(ScopeConsistencyTest, FileDeletionSettledAtReindex) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_EQ(Names(fs_, "/q").size(), 2u);
+  ASSERT_TRUE(fs_.Unlink("/docs/fp_img.txt").ok());
+  // Dangling until reindex (the paper's explicit data-inconsistency window).
+  EXPECT_EQ(Names(fs_, "/q").size(), 2u);
+  ASSERT_TRUE(fs_.Reindex().ok());
+  EXPECT_EQ(Names(fs_, "/q"), std::vector<std::string>{"fp_crime.txt"});
+}
+
+TEST_F(ScopeConsistencyTest, FileContentChangeSettledAtReindex) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "butter").ok());
+  ASSERT_EQ(Names(fs_, "/q").size(), 1u);
+  ASSERT_TRUE(fs_.WriteFile("/docs/recipe.txt", "now about sailing").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  EXPECT_TRUE(Names(fs_, "/q").empty());
+  ASSERT_TRUE(fs_.SetQuery("/q", "sailing").ok());
+  EXPECT_EQ(Names(fs_, "/q"), std::vector<std::string>{"recipe.txt"});
+}
+
+TEST_F(ScopeConsistencyTest, FileMoveOutOfScopeSettledAtReindex) {
+  ASSERT_TRUE(fs_.Mkdir("/archive").ok());
+  ASSERT_TRUE(fs_.SMkdir("/docs/q", "fingerprint AND dir(/docs)").ok());
+  ASSERT_EQ(Names(fs_, "/docs/q").size(), 2u);
+  // The paper's example: an old file moves to the archive; the link should go at the
+  // next reindex.
+  ASSERT_TRUE(fs_.Rename("/docs/fp_crime.txt", "/archive/fp_crime.txt").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  EXPECT_EQ(Names(fs_, "/docs/q"), std::vector<std::string>{"fp_img.txt"});
+}
+
+TEST_F(ScopeConsistencyTest, RenamedFileLinkTargetRefreshes) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "butter").ok());
+  ASSERT_TRUE(fs_.Rename("/docs/recipe.txt", "/docs/cookbook.txt").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  auto names = Names(fs_, "/q");
+  ASSERT_EQ(names.size(), 1u);
+  // The link now points at the new location and resolves.
+  std::string body = fs_.ReadFileToString("/q/" + names[0]).value();
+  EXPECT_EQ(body, "butter flour oven");
+}
+
+TEST_F(ScopeConsistencyTest, MovingLinkBetweenSemanticDirs) {
+  ASSERT_TRUE(fs_.SMkdir("/q1", "fingerprint").ok());
+  ASSERT_TRUE(fs_.SMkdir("/q2", "butter").ok());
+  // Move a query result from /q1 to /q2 like a regular file.
+  ASSERT_TRUE(fs_.Rename("/q1/fp_img.txt", "/q2/fp_img.txt").ok());
+  // Gone from /q1 (and prohibited there), permanent in /q2.
+  auto q1 = fs_.GetLinkClasses("/q1").value();
+  EXPECT_EQ(q1.transient.size(), 1u);  // fp_crime remains
+  ASSERT_EQ(q1.prohibited.size(), 1u);
+  EXPECT_EQ(q1.prohibited[0], "/docs/fp_img.txt");
+  auto q2 = fs_.GetLinkClasses("/q2").value();
+  ASSERT_EQ(q2.permanent.size(), 1u);
+  EXPECT_EQ(q2.permanent[0].first, "fp_img.txt");
+  // Reindex doesn't bring it back to /q1.
+  ASSERT_TRUE(fs_.Reindex().ok());
+  EXPECT_EQ(Names(fs_, "/q1"), std::vector<std::string>{"fp_crime.txt"});
+}
+
+TEST_F(ScopeConsistencyTest, RenamingLinkWithinDirKeepsClass) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.Rename("/q/fp_img.txt", "/q/renamed.txt").ok());
+  auto classes = fs_.GetLinkClasses("/q").value();
+  // Same directory: the link stays (as permanent — an explicit user arrangement).
+  bool found = false;
+  for (const auto& [name, target] : classes.permanent) {
+    if (name == "renamed.txt") {
+      found = true;
+      EXPECT_EQ(target, "/docs/fp_img.txt");
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_TRUE(classes.prohibited.empty());
+}
+
+TEST_F(ScopeConsistencyTest, SelfLinkExclusion) {
+  // A file physically inside a semantic directory is not also linked there.
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.WriteFile("/q/own_notes.txt", "my fingerprint notes").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  auto names = Names(fs_, "/q");
+  EXPECT_EQ(std::count(names.begin(), names.end(), "own_notes.txt"), 1);
+  EXPECT_EQ(names.size(), 3u);  // fp_img, fp_crime, own_notes — no self-link duplicate
+}
+
+TEST_F(ScopeConsistencyTest, FileInSemanticDirFlowsToChildren) {
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs_.WriteFile("/q/own_notes.txt", "my fingerprint pixel notes").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  ASSERT_TRUE(fs_.SMkdir("/q/px", "pixel").ok());
+  auto names = Names(fs_, "/q/px");
+  // own_notes.txt is in /q's provided scope (physically inside) and matches "pixel".
+  EXPECT_EQ(names, (std::vector<std::string>{"fp_img.txt", "own_notes.txt"}));
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,103 @@
+// Scope rules at directory-kind boundaries:
+//   * semantic directories provide exactly their (edited) contents;
+//   * plain syntactic directories are scope-transparent (inherit the parent's scope in
+//     addition to their own subtree files);
+//   * semantic mount points are NOT transparent (remote views must not leak the whole
+//     local hierarchy);
+//   * dir(X) references denote X's own contents only.
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/digital_library.h"
+
+namespace hac {
+namespace {
+
+size_t LinkCount(HacFileSystem& fs, const std::string& dir) {
+  auto entries = fs.ReadDir(dir);
+  EXPECT_TRUE(entries.ok()) << dir;
+  size_t n = 0;
+  if (entries.ok()) {
+    for (const auto& e : entries.value()) {
+      if (e.type == NodeType::kSymlink) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+class ScopeTransparencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.MkdirAll("/data").ok());
+    ASSERT_TRUE(fs_.WriteFile("/data/fp.txt", "fingerprint ridge").ok());
+    ASSERT_TRUE(fs_.WriteFile("/data/other.txt", "sailing").ok());
+    ASSERT_TRUE(fs_.Reindex().ok());
+  }
+  HacFileSystem fs_;
+};
+
+TEST_F(ScopeTransparencyTest, SemanticDirInEmptySyntacticFolderSearchesGlobally) {
+  ASSERT_TRUE(fs_.MkdirAll("/views/deep/nest").ok());
+  ASSERT_TRUE(fs_.SMkdir("/views/deep/nest/fp", "fingerprint").ok());
+  EXPECT_EQ(LinkCount(fs_, "/views/deep/nest/fp"), 1u);
+}
+
+TEST_F(ScopeTransparencyTest, SyntacticDirAddsOwnFilesToInheritedScope) {
+  ASSERT_TRUE(fs_.MkdirAll("/box").ok());
+  ASSERT_TRUE(fs_.WriteFile("/box/local_fp.txt", "fingerprint local").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  ASSERT_TRUE(fs_.SMkdir("/box/fp", "fingerprint").ok());
+  // Both the global and the sibling file are in scope.
+  EXPECT_EQ(LinkCount(fs_, "/box/fp"), 2u);
+}
+
+TEST_F(ScopeTransparencyTest, SemanticParentBlocksInheritance) {
+  // A semantic dir's children see ONLY what it provides.
+  ASSERT_TRUE(fs_.SMkdir("/sail", "sailing").ok());
+  ASSERT_TRUE(fs_.SMkdir("/sail/fp", "fingerprint").ok());
+  // fingerprint files exist globally but not in /sail's result.
+  EXPECT_EQ(LinkCount(fs_, "/sail/fp"), 0u);
+}
+
+TEST_F(ScopeTransparencyTest, SyntacticChildOfSemanticDirStaysInsideIt) {
+  ASSERT_TRUE(fs_.SMkdir("/sail", "sailing").ok());
+  ASSERT_TRUE(fs_.Mkdir("/sail/plain").ok());
+  ASSERT_TRUE(fs_.SMkdir("/sail/plain/fp", "fingerprint").ok());
+  // The plain dir inherits /sail's provided scope (sailing results only).
+  EXPECT_EQ(LinkCount(fs_, "/sail/plain/fp"), 0u);
+  ASSERT_TRUE(fs_.SMkdir("/sail/plain/s2", "sailing").ok());
+  EXPECT_EQ(LinkCount(fs_, "/sail/plain/s2"), 1u);
+}
+
+TEST_F(ScopeTransparencyTest, SemanticMountRootIsOpaque) {
+  DigitalLibrary lib("lib");
+  lib.AddArticle({"a1", "Remote fingerprint paper", "X", "fingerprint minutiae", "b"});
+  ASSERT_TRUE(fs_.Mkdir("/lib").ok());
+  ASSERT_TRUE(fs_.MountSemantic("/lib", &lib).ok());
+  ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
+  // Only the imported article — NOT the local /data/fp.txt.
+  EXPECT_EQ(LinkCount(fs_, "/lib/fp"), 1u);
+  auto target = fs_.ReadLink(
+      "/lib/fp/" + fs_.ReadDir("/lib/fp").value()[0].name);
+  ASSERT_TRUE(target.ok());
+  EXPECT_TRUE(target.value().find("/lib/.remote/") == 0);
+}
+
+TEST_F(ScopeTransparencyTest, DirRefDenotesContentsNotInheritedScope) {
+  ASSERT_TRUE(fs_.MkdirAll("/empty_box").ok());
+  // dir(/empty_box) is empty even though the box would PROVIDE the global scope to a
+  // semantic child created inside it.
+  ASSERT_TRUE(fs_.SMkdir("/q", "fingerprint AND dir(/empty_box)").ok());
+  EXPECT_EQ(LinkCount(fs_, "/q"), 0u);
+  auto contents = fs_.DirectoryResultOf("/empty_box");
+  ASSERT_TRUE(contents.ok());
+  EXPECT_TRUE(contents.value().Empty());
+  auto provided = fs_.ScopeOf("/empty_box");
+  ASSERT_TRUE(provided.ok());
+  EXPECT_FALSE(provided.value().Empty());
+}
+
+}  // namespace
+}  // namespace hac

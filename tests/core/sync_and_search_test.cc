@@ -1,0 +1,106 @@
+// SyncMode::kImmediate (instant data consistency) and HacFileSystem::Search (one-shot
+// queries without semantic directories).
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+
+namespace hac {
+namespace {
+
+TEST(ImmediateSyncTest, NewFilesVisibleWithoutExplicitReindex) {
+  HacOptions opts;
+  opts.sync_policy = SyncPolicy::Immediate();
+  HacFileSystem fs(opts);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.SMkdir("/q", "fingerprint").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/a.txt", "fingerprint content").ok());
+  // No Reindex() call anywhere: the link is already there.
+  EXPECT_EQ(fs.ReadDir("/q").value().size(), 1u);
+}
+
+TEST(ImmediateSyncTest, EditsVisibleImmediately) {
+  HacOptions opts;
+  opts.sync_policy = SyncPolicy::Immediate();
+  HacFileSystem fs(opts);
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/a.txt", "fingerprint data").ok());
+  ASSERT_TRUE(fs.SMkdir("/q", "fingerprint").ok());
+  ASSERT_EQ(fs.ReadDir("/q").value().size(), 1u);
+  // Rewrite so it no longer matches: drops out at once.
+  ASSERT_TRUE(fs.WriteFile("/d/a.txt", "sailing now").ok());
+  EXPECT_TRUE(fs.ReadDir("/q").value().empty());
+  // Deletion likewise.
+  ASSERT_TRUE(fs.WriteFile("/d/b.txt", "fingerprint again").ok());
+  ASSERT_EQ(fs.ReadDir("/q").value().size(), 1u);
+  ASSERT_TRUE(fs.Unlink("/d/b.txt").ok());
+  EXPECT_TRUE(fs.ReadDir("/q").value().empty());
+}
+
+TEST(ImmediateSyncTest, CountsAutoReindexes) {
+  HacOptions opts;
+  opts.sync_policy = SyncPolicy::Immediate();
+  HacFileSystem fs(opts);
+  ASSERT_TRUE(fs.WriteFile("/a", "x").ok());
+  ASSERT_TRUE(fs.WriteFile("/b", "y").ok());
+  EXPECT_GE(fs.Stats().auto_reindexes, 2u);
+}
+
+class SearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.MkdirAll("/docs/deep").ok());
+    ASSERT_TRUE(fs_.MkdirAll("/mail").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/a.txt", "fingerprint ridge").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/deep/b.txt", "fingerprint murder").ok());
+    ASSERT_TRUE(fs_.WriteFile("/mail/m.eml", "fingerprint meeting").ok());
+    ASSERT_TRUE(fs_.Reindex().ok());
+  }
+  HacFileSystem fs_;
+};
+
+TEST_F(SearchTest, GlobalSearch) {
+  auto r = fs_.Search("fingerprint");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"/docs/a.txt", "/docs/deep/b.txt",
+                                                 "/mail/m.eml"}));
+}
+
+TEST_F(SearchTest, ScopedSearch) {
+  auto r = fs_.Search("fingerprint", "/docs");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"/docs/a.txt", "/docs/deep/b.txt"}));
+}
+
+TEST_F(SearchTest, BooleanAndDirRefs) {
+  auto r = fs_.Search("fingerprint AND NOT murder", "/docs");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), std::vector<std::string>{"/docs/a.txt"});
+  r = fs_.Search("fingerprint AND dir(/mail)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), std::vector<std::string>{"/mail/m.eml"});
+}
+
+TEST_F(SearchTest, SearchDoesNotCreateAnything) {
+  size_t dirs_before = fs_.uid_map().Size();
+  ASSERT_TRUE(fs_.Search("fingerprint").ok());
+  EXPECT_EQ(fs_.uid_map().Size(), dirs_before);
+  EXPECT_TRUE(fs_.ReadDir("/").value().size() == 2u);  // docs, mail — nothing new
+}
+
+TEST_F(SearchTest, SearchRespectsSemanticDirEdits) {
+  ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_TRUE(fs_.Unlink("/fp/a.txt").ok());
+  // dir(/fp) reflects the edited result.
+  auto r = fs_.Search("ALL AND dir(/fp)");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"/docs/deep/b.txt", "/mail/m.eml"}));
+}
+
+TEST_F(SearchTest, SearchErrors) {
+  EXPECT_EQ(fs_.Search("AND bad syntax").code(), ErrorCode::kParseError);
+  EXPECT_EQ(fs_.Search("x", "/nope").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.Search("x AND dir(/nope)").code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hac

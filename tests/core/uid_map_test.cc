@@ -1,0 +1,94 @@
+#include "src/core/uid_map.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hac {
+namespace {
+
+TEST(UidMapTest, RootPreRegistered) {
+  UidMap m;
+  EXPECT_EQ(m.PathOf(m.root_uid()).value(), "/");
+  EXPECT_EQ(m.UidOf("/").value(), m.root_uid());
+  EXPECT_EQ(m.Size(), 1u);
+}
+
+TEST(UidMapTest, RegisterAndLookup) {
+  UidMap m;
+  DirUid uid = m.Register("/a").value();
+  EXPECT_EQ(m.UidOf("/a").value(), uid);
+  EXPECT_EQ(m.PathOf(uid).value(), "/a");
+  EXPECT_TRUE(m.Contains(uid));
+}
+
+TEST(UidMapTest, DuplicateRegistrationRejected) {
+  UidMap m;
+  ASSERT_TRUE(m.Register("/a").ok());
+  EXPECT_EQ(m.Register("/a").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST(UidMapTest, UidsAreUnique) {
+  UidMap m;
+  DirUid a = m.Register("/a").value();
+  DirUid b = m.Register("/b").value();
+  EXPECT_NE(a, b);
+}
+
+TEST(UidMapTest, RemoveForgets) {
+  UidMap m;
+  DirUid uid = m.Register("/a").value();
+  ASSERT_TRUE(m.Remove("/a").ok());
+  EXPECT_EQ(m.UidOf("/a").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(m.PathOf(uid).code(), ErrorCode::kNotFound);
+  EXPECT_EQ(m.Remove("/a").code(), ErrorCode::kNotFound);
+}
+
+TEST(UidMapTest, RemovedPathCanBeReRegisteredWithNewUid) {
+  UidMap m;
+  DirUid old_uid = m.Register("/a").value();
+  ASSERT_TRUE(m.Remove("/a").ok());
+  DirUid new_uid = m.Register("/a").value();
+  EXPECT_NE(old_uid, new_uid);
+}
+
+TEST(UidMapTest, RenameSubtreeRewritesAllDescendants) {
+  UidMap m;
+  DirUid a = m.Register("/a").value();
+  DirUid ab = m.Register("/a/b").value();
+  DirUid abc = m.Register("/a/b/c").value();
+  DirUid other = m.Register("/other").value();
+
+  auto changed = m.RenameSubtree("/a", "/z");
+  EXPECT_EQ(changed.size(), 3u);
+  EXPECT_EQ(m.PathOf(a).value(), "/z");
+  EXPECT_EQ(m.PathOf(ab).value(), "/z/b");
+  EXPECT_EQ(m.PathOf(abc).value(), "/z/b/c");
+  EXPECT_EQ(m.PathOf(other).value(), "/other");
+  EXPECT_EQ(m.UidOf("/z/b").value(), ab);
+  EXPECT_EQ(m.UidOf("/a/b").code(), ErrorCode::kNotFound);
+}
+
+TEST(UidMapTest, RenameDoesNotTouchSiblingsWithSharedPrefix) {
+  UidMap m;
+  ASSERT_TRUE(m.Register("/ab").ok());
+  DirUid a = m.Register("/a").value();
+  m.RenameSubtree("/a", "/q");
+  EXPECT_EQ(m.PathOf(a).value(), "/q");
+  EXPECT_TRUE(m.UidOf("/ab").ok());
+}
+
+TEST(UidMapTest, UidsWithinSubtree) {
+  UidMap m;
+  DirUid a = m.Register("/a").value();
+  DirUid ab = m.Register("/a/b").value();
+  ASSERT_TRUE(m.Register("/c").ok());
+  auto uids = m.UidsWithin("/a");
+  std::sort(uids.begin(), uids.end());
+  EXPECT_EQ(uids, (std::vector<DirUid>{a, ab}));
+  // Root subtree covers everything including the root.
+  EXPECT_EQ(m.UidsWithin("/").size(), 4u);
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,118 @@
+// Approximate matching (the agrep/Glimpse heritage): edit-distance terms "word~k".
+#include <gtest/gtest.h>
+
+#include "src/index/edit_distance.h"
+#include "src/index/inverted_index.h"
+
+namespace hac {
+namespace {
+
+TEST(EditDistanceTest, ExactAndTrivial) {
+  EXPECT_TRUE(WithinEditDistance("abc", "abc", 0));
+  EXPECT_FALSE(WithinEditDistance("abc", "abd", 0));
+  EXPECT_TRUE(WithinEditDistance("", "", 0));
+  EXPECT_TRUE(WithinEditDistance("", "ab", 2));
+  EXPECT_FALSE(WithinEditDistance("", "abc", 2));
+}
+
+TEST(EditDistanceTest, SingleEdits) {
+  EXPECT_TRUE(WithinEditDistance("fingerprint", "fingerprnt", 1));   // deletion
+  EXPECT_TRUE(WithinEditDistance("fingerprint", "fingerprintx", 1)); // insertion
+  EXPECT_TRUE(WithinEditDistance("fingerprint", "fingerprant", 1));  // substitution
+  EXPECT_FALSE(WithinEditDistance("fingerprint", "fingerpan", 1));
+}
+
+TEST(EditDistanceTest, DistanceTwoAndThree) {
+  EXPECT_TRUE(WithinEditDistance("minutiae", "minutae", 1));
+  EXPECT_TRUE(WithinEditDistance("minutiae", "mnutae", 2));
+  EXPECT_FALSE(WithinEditDistance("minutiae", "mntae", 2));
+  EXPECT_TRUE(WithinEditDistance("minutiae", "mntae", 3));
+}
+
+TEST(EditDistanceTest, LengthPrefilter) {
+  EXPECT_FALSE(WithinEditDistance("ab", "abcdef", 2));
+  EXPECT_TRUE(WithinEditDistance("abcd", "abcdef", 2));
+}
+
+TEST(EditDistanceTest, Symmetry) {
+  EXPECT_EQ(WithinEditDistance("kitten", "sitting", 3),
+            WithinEditDistance("sitting", "kitten", 3));
+  EXPECT_TRUE(WithinEditDistance("kitten", "sitting", 3));
+  EXPECT_FALSE(WithinEditDistance("kitten", "sitting", 2));
+}
+
+class ApproxQueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(idx_.IndexDocument(0, "fingerprint analysis").ok());
+    ASSERT_TRUE(idx_.IndexDocument(1, "fingerprints plural").ok());
+    ASSERT_TRUE(idx_.IndexDocument(2, "totally unrelated words").ok());
+    scope_ = Bitmap::AllUpTo(3);
+  }
+
+  Bitmap Eval(const std::string& query) {
+    auto ast = ParseQuery(query);
+    EXPECT_TRUE(ast.ok()) << query;
+    auto r = idx_.Evaluate(*ast.value(), scope_, nullptr);
+    EXPECT_TRUE(r.ok()) << query;
+    return r.ok() ? r.value() : Bitmap();
+  }
+
+  InvertedIndex idx_;
+  Bitmap scope_;
+};
+
+TEST_F(ApproxQueryTest, ParserAcceptsApproxSyntax) {
+  EXPECT_EQ(ParseQuery("fingerprnt~1").value()->ToString(), "fingerprnt~1");
+  EXPECT_EQ(ParseQuery("a1 AND fingerprnt~2").value()->ToString(),
+            "(a1 AND fingerprnt~2)");
+  EXPECT_EQ(ParseQuery("word~0").code(), ErrorCode::kParseError);
+  EXPECT_EQ(ParseQuery("word~4").code(), ErrorCode::kParseError);
+}
+
+TEST_F(ApproxQueryTest, MisspelledTermStillMatches) {
+  EXPECT_TRUE(Eval("fingerprnt").Empty());          // exact: no match
+  Bitmap approx = Eval("fingerprnt~1");             // approx: finds "fingerprint"
+  EXPECT_TRUE(approx.Test(0));
+  EXPECT_FALSE(approx.Test(2));
+}
+
+TEST_F(ApproxQueryTest, WiderDistanceWidensMatches) {
+  // "fingerprints" is distance 2 from "fingerprnt" (insert i, insert s).
+  EXPECT_FALSE(Eval("fingerprnt~1").Test(1));
+  EXPECT_TRUE(Eval("fingerprnt~2").Test(1));
+}
+
+TEST_F(ApproxQueryTest, ComposesWithBooleanOperators) {
+  Bitmap r = Eval("fingerprnt~1 AND analysis");
+  EXPECT_EQ(r.ToIds(), std::vector<uint32_t>{0});
+  r = Eval("NOT fingerprnt~2");
+  EXPECT_EQ(r.ToIds(), std::vector<uint32_t>{2});
+}
+
+TEST_F(ApproxQueryTest, MatchesTextAgrees) {
+  auto q = ParseQuery("fingerprnt~1").value();
+  EXPECT_TRUE(idx_.MatchesText(*q, "a fingerprint here"));
+  EXPECT_FALSE(idx_.MatchesText(*q, "nothing relevant"));
+}
+
+TEST_F(ApproxQueryTest, CloneAndEqualityIncludeDistance) {
+  auto a = ParseQuery("word~1").value();
+  auto b = ParseQuery("word~2").value();
+  EXPECT_FALSE(a->StructurallyEquals(*b));
+  EXPECT_TRUE(a->StructurallyEquals(*a->Clone()));
+}
+
+TEST_F(ApproxQueryTest, WorksThroughHacQueries) {
+  // End-to-end through a semantic directory.
+  // (kApprox travels through SetQuery/GetQuery round trips too.)
+  auto rendered = ParseQuery("fingerprnt~1 AND NOT plural").value()->ToString();
+  EXPECT_EQ(rendered, "(fingerprnt~1 AND (NOT plural))");
+  auto reparsed = ParseQuery(rendered);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_TRUE(reparsed.value()->StructurallyEquals(
+      *ParseQuery("fingerprnt~1 AND NOT plural").value()));
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,99 @@
+// Boundary cases in the index subsystem: dictionary edges for prefix scans, tokenizer
+// length limits interacting with queries, empty documents, huge postings.
+#include <gtest/gtest.h>
+
+#include "src/index/inverted_index.h"
+
+namespace hac {
+namespace {
+
+Bitmap Eval(InvertedIndex& idx, const std::string& query, const Bitmap& scope) {
+  auto ast = ParseQuery(query).value();
+  return idx.Evaluate(*ast, scope, nullptr).value();
+}
+
+TEST(IndexBoundaryTest, PrefixAtDictionaryEnd) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "zulu zebra").ok());
+  ASSERT_TRUE(idx.IndexDocument(1, "alpha").ok());
+  Bitmap scope = Bitmap::AllUpTo(2);
+  EXPECT_EQ(Eval(idx, "z*", scope).ToIds(), std::vector<uint32_t>{0});
+  EXPECT_EQ(Eval(idx, "zz*", scope).Count(), 0u);
+}
+
+TEST(IndexBoundaryTest, PrefixEqualsFullTerm) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "finger fingerprint").ok());
+  Bitmap scope = Bitmap::AllUpTo(1);
+  // "finger*" matches both tokens; "finger" only the exact one — same doc here.
+  EXPECT_EQ(Eval(idx, "finger*", scope).Count(), 1u);
+  EXPECT_EQ(Eval(idx, "finger", scope).Count(), 1u);
+}
+
+TEST(IndexBoundaryTest, EmptyDocumentIndexesToNothing) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "").ok());
+  ASSERT_TRUE(idx.IndexDocument(1, "   \n\t  !!!").ok());
+  EXPECT_EQ(idx.Stats().documents, 2u);
+  EXPECT_EQ(idx.Stats().postings, 0u);
+  // Removal of an empty document works.
+  EXPECT_TRUE(idx.RemoveDocument(0).ok());
+}
+
+TEST(IndexBoundaryTest, LongTokensTruncatedConsistently) {
+  TokenizerOptions opts;
+  opts.max_token_length = 10;
+  InvertedIndex idx(opts);
+  std::string long_word(40, 'q');
+  ASSERT_TRUE(idx.IndexDocument(0, long_word).ok());
+  // A query for the same long word is NOT truncated by the parser, so match via
+  // the truncated prefix — this documents the contract.
+  Bitmap scope = Bitmap::AllUpTo(1);
+  EXPECT_EQ(Eval(idx, long_word.substr(0, 10), scope).Count(), 1u);
+  EXPECT_EQ(Eval(idx, long_word.substr(0, 5) + "*", scope).Count(), 1u);
+}
+
+TEST(IndexBoundaryTest, NumericAndUnderscoreTerms) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "error_404 in build_1999").ok());
+  Bitmap scope = Bitmap::AllUpTo(1);
+  EXPECT_EQ(Eval(idx, "error_404", scope).Count(), 1u);
+  EXPECT_EQ(Eval(idx, "build_1999", scope).Count(), 1u);
+  EXPECT_EQ(Eval(idx, "error_40*", scope).Count(), 1u);
+}
+
+TEST(IndexBoundaryTest, SparseDocIdsWork) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "alpha").ok());
+  ASSERT_TRUE(idx.IndexDocument(1000000, "alpha").ok());
+  Bitmap scope;
+  scope.Set(0);
+  scope.Set(1000000);
+  EXPECT_EQ(Eval(idx, "alpha", scope).Count(), 2u);
+  EXPECT_TRUE(idx.RemoveDocument(1000000).ok());
+  EXPECT_EQ(Eval(idx, "alpha", scope).Count(), 1u);
+}
+
+TEST(IndexBoundaryTest, ManyDocumentsOneTerm) {
+  InvertedIndex idx;
+  for (DocId d = 0; d < 5000; ++d) {
+    ASSERT_TRUE(idx.IndexDocument(d, "ubiquitous").ok());
+  }
+  EXPECT_EQ(idx.TermFrequency("ubiquitous"), 5000u);
+  Bitmap scope = Bitmap::AllUpTo(5000);
+  EXPECT_EQ(Eval(idx, "ubiquitous", scope).Count(), 5000u);
+  EXPECT_EQ(Eval(idx, "NOT ubiquitous", scope).Count(), 0u);
+}
+
+TEST(IndexBoundaryTest, ReindexSameContentIsStable) {
+  InvertedIndex idx;
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(idx.IndexDocument(7, "alpha bravo alpha").ok());
+  }
+  EXPECT_EQ(idx.Stats().documents, 1u);
+  EXPECT_EQ(idx.TermFrequency("alpha"), 1u);
+  EXPECT_EQ(idx.Stats().postings, 2u);
+}
+
+}  // namespace
+}  // namespace hac

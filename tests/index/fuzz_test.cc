@@ -1,0 +1,127 @@
+// Fuzz-style robustness tests: random inputs must never crash the parser or the
+// tokenizer, and whatever parses must round-trip through its own ToString rendering.
+#include <gtest/gtest.h>
+
+#include "src/index/inverted_index.h"
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+std::string RandomBytes(Rng& rng, size_t max_len) {
+  std::string s;
+  size_t n = rng.NextBelow(max_len + 1);
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<char>(rng.NextBelow(256));
+  }
+  return s;
+}
+
+std::string RandomQueryish(Rng& rng, size_t max_len) {
+  static const std::string alphabet = "abcdefgz0189_*~()&|! ANDORNTdir/.";
+  std::string s;
+  size_t n = rng.NextBelow(max_len + 1);
+  for (size_t i = 0; i < n; ++i) {
+    s += alphabet[rng.NextBelow(alphabet.size())];
+  }
+  return s;
+}
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, ParserNeverCrashesOnRandomBytes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomBytes(rng, 64);
+    auto r = ParseQuery(input);
+    if (r.ok()) {
+      EXPECT_NE(r.value(), nullptr);
+    } else {
+      EXPECT_EQ(r.code(), ErrorCode::kParseError) << input;
+    }
+  }
+}
+
+TEST_P(FuzzTest, ParserNeverCrashesOnQueryishInput) {
+  Rng rng(GetParam() * 3 + 1);
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomQueryish(rng, 48);
+    auto r = ParseQuery(input);
+    if (!r.ok()) {
+      EXPECT_EQ(r.code(), ErrorCode::kParseError);
+    }
+  }
+}
+
+TEST_P(FuzzTest, ParsedQueriesRoundTripThroughToString) {
+  Rng rng(GetParam() * 7 + 5);
+  int round_trips = 0;
+  for (int i = 0; i < 2000; ++i) {
+    std::string input = RandomQueryish(rng, 32);
+    auto first = ParseQuery(input);
+    if (!first.ok()) {
+      continue;
+    }
+    // Rendering must re-parse to a structurally identical tree (for queries without
+    // unbound dir() refs, whose rendering depends on binding state).
+    std::vector<QueryExpr*> refs;
+    first.value()->CollectDirRefs(refs);
+    if (!refs.empty()) {
+      continue;
+    }
+    std::string rendered = first.value()->ToString();
+    auto second = ParseQuery(rendered);
+    ASSERT_TRUE(second.ok()) << input << " => " << rendered;
+    EXPECT_TRUE(first.value()->StructurallyEquals(*second.value()))
+        << input << " => " << rendered << " => " << second.value()->ToString();
+    ++round_trips;
+  }
+  EXPECT_GT(round_trips, 50);  // the generator must actually produce parses
+}
+
+TEST_P(FuzzTest, TokenizerInvariantsOnRandomBytes) {
+  Rng rng(GetParam() * 11 + 3);
+  TokenizerOptions opts;
+  Tokenizer tokenizer(opts);
+  for (int i = 0; i < 500; ++i) {
+    std::string input = RandomBytes(rng, 256);
+    for (const std::string& token : tokenizer.Tokenize(input)) {
+      EXPECT_GE(token.size(), opts.min_token_length);
+      EXPECT_LE(token.size(), opts.max_token_length);
+      for (char c : token) {
+        bool valid = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+        EXPECT_TRUE(valid) << "bad byte in token: " << static_cast<int>(c);
+      }
+      EXPECT_FALSE(tokenizer.IsStopword(token));
+    }
+  }
+}
+
+TEST_P(FuzzTest, IndexSurvivesRandomDocuments) {
+  Rng rng(GetParam() * 13 + 7);
+  InvertedIndex idx;
+  for (DocId d = 0; d < 100; ++d) {
+    ASSERT_TRUE(idx.IndexDocument(d, RandomBytes(rng, 512)).ok());
+  }
+  // Query it with random query-ish strings; evaluation must never crash.
+  Bitmap scope = Bitmap::AllUpTo(100);
+  for (int i = 0; i < 300; ++i) {
+    auto q = ParseQuery(RandomQueryish(rng, 24));
+    if (!q.ok()) {
+      continue;
+    }
+    std::vector<QueryExpr*> refs;
+    q.value()->CollectDirRefs(refs);
+    if (!refs.empty()) {
+      continue;
+    }
+    auto r = idx.Evaluate(*q.value(), scope, nullptr);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.value().IsSubsetOf(scope));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hac

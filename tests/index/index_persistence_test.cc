@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "src/index/inverted_index.h"
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+Bitmap Eval(InvertedIndex& idx, const std::string& query, const Bitmap& scope) {
+  auto ast = ParseQuery(query).value();
+  return idx.Evaluate(*ast, scope, nullptr).value();
+}
+
+TEST(IndexPersistenceTest, EmptyIndexRoundTrips) {
+  InvertedIndex idx;
+  InvertedIndex loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(idx.SaveSnapshot()).ok());
+  EXPECT_EQ(loaded.Stats().documents, 0u);
+  EXPECT_EQ(loaded.Stats().terms, 0u);
+}
+
+TEST(IndexPersistenceTest, QueriesAgreeAfterRoundTrip) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "fingerprint minutiae ridge").ok());
+  ASSERT_TRUE(idx.IndexDocument(5, "fingerprint murder").ok());
+  ASSERT_TRUE(idx.IndexDocument(9, "butter flour").ok());
+  InvertedIndex loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(idx.SaveSnapshot()).ok());
+  Bitmap scope = Bitmap::AllUpTo(10);
+  for (const char* q : {"fingerprint", "fingerprint AND NOT murder", "butter OR ridge",
+                        "fing*", "fingerprnt~1"}) {
+    EXPECT_EQ(Eval(loaded, q, scope), Eval(idx, q, scope)) << q;
+  }
+  EXPECT_EQ(loaded.Stats().documents, 3u);
+  EXPECT_EQ(loaded.Stats().terms, idx.Stats().terms);
+  EXPECT_EQ(loaded.Stats().postings, idx.Stats().postings);
+}
+
+TEST(IndexPersistenceTest, IncrementalMaintenanceWorksAfterLoad) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "fingerprint data").ok());
+  ASSERT_TRUE(idx.IndexDocument(1, "other data").ok());
+  InvertedIndex loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(idx.SaveSnapshot()).ok());
+  // Remove and re-add through the normal incremental path.
+  ASSERT_TRUE(loaded.RemoveDocument(0).ok());
+  EXPECT_TRUE(Eval(loaded, "fingerprint", Bitmap::AllUpTo(2)).Empty());
+  ASSERT_TRUE(loaded.IndexDocument(0, "fingerprint returns").ok());
+  EXPECT_EQ(Eval(loaded, "fingerprint", Bitmap::AllUpTo(2)).ToIds(),
+            std::vector<uint32_t>{0});
+  ASSERT_TRUE(loaded.IndexDocument(2, "brand new fingerprint doc").ok());
+  EXPECT_EQ(Eval(loaded, "fingerprint", Bitmap::AllUpTo(3)).Count(), 2u);
+}
+
+TEST(IndexPersistenceTest, CorruptImagesRejected) {
+  InvertedIndex idx;
+  ASSERT_TRUE(idx.IndexDocument(0, "alpha beta").ok());
+  auto image = idx.SaveSnapshot();
+
+  InvertedIndex loaded;
+  EXPECT_EQ(loaded.LoadSnapshot({1, 2, 3, 4, 5, 6, 7, 8}).code(), ErrorCode::kCorrupt);
+  auto truncated = image;
+  truncated.resize(truncated.size() - 3);
+  EXPECT_FALSE(loaded.LoadSnapshot(truncated).ok());
+  auto trailing = image;
+  trailing.push_back(0);
+  EXPECT_EQ(loaded.LoadSnapshot(trailing).code(), ErrorCode::kCorrupt);
+  // A failed load leaves the receiver usable (all-or-nothing).
+  ASSERT_TRUE(loaded.LoadSnapshot(image).ok());
+  EXPECT_EQ(loaded.Stats().documents, 1u);
+}
+
+TEST(IndexPersistenceTest, RandomizedEquivalence) {
+  Rng rng(4242);
+  InvertedIndex idx;
+  const std::vector<std::string> vocab = {"alpha", "bravo", "charlie", "delta", "echo",
+                                          "foxtrot", "golf", "hotel"};
+  for (DocId d = 0; d < 150; ++d) {
+    std::string doc;
+    size_t n = 3 + rng.NextBelow(15);
+    for (size_t i = 0; i < n; ++i) {
+      doc += vocab[rng.NextZipf(vocab.size(), 1.0)] + " ";
+    }
+    ASSERT_TRUE(idx.IndexDocument(d, doc).ok());
+  }
+  // A few removals so postings have holes.
+  for (int i = 0; i < 20; ++i) {
+    (void)idx.RemoveDocument(static_cast<DocId>(rng.NextBelow(150)));
+  }
+  InvertedIndex loaded;
+  ASSERT_TRUE(loaded.LoadSnapshot(idx.SaveSnapshot()).ok());
+  Bitmap scope = Bitmap::AllUpTo(150);
+  for (const std::string& term : vocab) {
+    EXPECT_EQ(loaded.TermDocs(term), idx.TermDocs(term)) << term;
+    EXPECT_EQ(Eval(loaded, "NOT " + term, scope), Eval(idx, "NOT " + term, scope));
+  }
+}
+
+}  // namespace
+}  // namespace hac

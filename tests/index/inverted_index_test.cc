@@ -1,0 +1,159 @@
+#include "src/index/inverted_index.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+Bitmap Eval(InvertedIndex& idx, const std::string& query, const Bitmap& scope) {
+  auto ast = ParseQuery(query);
+  EXPECT_TRUE(ast.ok()) << query;
+  auto r = idx.Evaluate(*ast.value(), scope, nullptr);
+  EXPECT_TRUE(r.ok()) << query;
+  return r.ok() ? r.value() : Bitmap();
+}
+
+class InvertedIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(idx_.IndexDocument(0, "fingerprint minutiae ridge").ok());
+    ASSERT_TRUE(idx_.IndexDocument(1, "fingerprint murder case").ok());
+    ASSERT_TRUE(idx_.IndexDocument(2, "butter flour oven recipe").ok());
+    ASSERT_TRUE(idx_.IndexDocument(3, "fingerprint image pixel").ok());
+    scope_ = Bitmap::AllUpTo(4);
+  }
+
+  InvertedIndex idx_;
+  Bitmap scope_;
+};
+
+TEST_F(InvertedIndexTest, TermLookup) {
+  EXPECT_EQ(Eval(idx_, "fingerprint", scope_).ToIds(), (std::vector<uint32_t>{0, 1, 3}));
+  EXPECT_EQ(Eval(idx_, "butter", scope_).ToIds(), std::vector<uint32_t>{2});
+  EXPECT_TRUE(Eval(idx_, "nonexistent", scope_).Empty());
+}
+
+TEST_F(InvertedIndexTest, TermLookupIsCaseInsensitive) {
+  EXPECT_EQ(Eval(idx_, "FINGERPRINT", scope_).Count(), 3u);
+}
+
+TEST_F(InvertedIndexTest, BooleanCombinations) {
+  EXPECT_EQ(Eval(idx_, "fingerprint AND murder", scope_).ToIds(),
+            std::vector<uint32_t>{1});
+  EXPECT_EQ(Eval(idx_, "fingerprint AND NOT murder", scope_).ToIds(),
+            (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(Eval(idx_, "butter OR murder", scope_).ToIds(),
+            (std::vector<uint32_t>{1, 2}));
+  EXPECT_EQ(Eval(idx_, "NOT fingerprint", scope_).ToIds(), std::vector<uint32_t>{2});
+}
+
+TEST_F(InvertedIndexTest, AllMatchesScope) {
+  EXPECT_EQ(Eval(idx_, "ALL", scope_), scope_);
+}
+
+TEST_F(InvertedIndexTest, PrefixQuery) {
+  EXPECT_EQ(Eval(idx_, "finger*", scope_).Count(), 3u);
+  EXPECT_EQ(Eval(idx_, "min*", scope_).ToIds(), std::vector<uint32_t>{0});
+  EXPECT_TRUE(Eval(idx_, "zzz*", scope_).Empty());
+}
+
+TEST_F(InvertedIndexTest, ScopeRestrictsEverything) {
+  Bitmap narrow = Bitmap::FromIds({1, 2});
+  EXPECT_EQ(Eval(idx_, "fingerprint", narrow).ToIds(), std::vector<uint32_t>{1});
+  EXPECT_EQ(Eval(idx_, "NOT fingerprint", narrow).ToIds(), std::vector<uint32_t>{2});
+  EXPECT_EQ(Eval(idx_, "ALL", narrow), narrow);
+}
+
+TEST_F(InvertedIndexTest, NotIsRelativeToScopeNotUniverse) {
+  Bitmap narrow = Bitmap::FromIds({0});
+  // Doc 2 doesn't contain "fingerprint" but is outside the scope.
+  EXPECT_TRUE(Eval(idx_, "NOT fingerprint", narrow).Empty());
+}
+
+TEST_F(InvertedIndexTest, RemoveDocument) {
+  ASSERT_TRUE(idx_.RemoveDocument(1).ok());
+  EXPECT_EQ(Eval(idx_, "fingerprint", scope_).ToIds(), (std::vector<uint32_t>{0, 3}));
+  EXPECT_TRUE(Eval(idx_, "murder", scope_).Empty());
+  EXPECT_EQ(idx_.RemoveDocument(1).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(InvertedIndexTest, ReindexReplacesContent) {
+  ASSERT_TRUE(idx_.IndexDocument(1, "now about sailing regatta").ok());
+  EXPECT_EQ(Eval(idx_, "fingerprint", scope_).ToIds(), (std::vector<uint32_t>{0, 3}));
+  EXPECT_EQ(Eval(idx_, "regatta", scope_).ToIds(), std::vector<uint32_t>{1});
+  EXPECT_TRUE(Eval(idx_, "murder", scope_).Empty());
+}
+
+TEST_F(InvertedIndexTest, StatsReflectState) {
+  CbaStats s = idx_.Stats();
+  EXPECT_EQ(s.documents, 4u);
+  EXPECT_GT(s.terms, 5u);
+  EXPECT_GT(s.postings, 5u);
+  ASSERT_TRUE(idx_.RemoveDocument(0).ok());
+  EXPECT_EQ(idx_.Stats().documents, 3u);
+}
+
+TEST_F(InvertedIndexTest, TermFrequencyAndBands) {
+  EXPECT_EQ(idx_.TermFrequency("fingerprint"), 3u);
+  EXPECT_EQ(idx_.TermFrequency("butter"), 1u);
+  EXPECT_EQ(idx_.TermFrequency("absent"), 0u);
+  auto rare = idx_.TermsWithFrequencyBetween(1, 1);
+  EXPECT_TRUE(std::find(rare.begin(), rare.end(), "butter") != rare.end());
+  auto common = idx_.TermsWithFrequencyBetween(3, 100);
+  EXPECT_EQ(common, std::vector<std::string>{"fingerprint"});
+}
+
+TEST_F(InvertedIndexTest, MatchesTextAgreesWithIndex) {
+  auto q = ParseQuery("fingerprint AND NOT murder").value();
+  EXPECT_TRUE(idx_.MatchesText(*q, "fingerprint minutiae ridge"));
+  EXPECT_FALSE(idx_.MatchesText(*q, "fingerprint murder case"));
+  EXPECT_FALSE(idx_.MatchesText(*q, "butter flour"));
+  auto prefix = ParseQuery("fing*").value();
+  EXPECT_TRUE(idx_.MatchesText(*prefix, "a fingerprint here"));
+  EXPECT_FALSE(idx_.MatchesText(*prefix, "no match"));
+}
+
+TEST_F(InvertedIndexTest, DirRefWithoutResolverFails) {
+  auto ast = QueryExpr::BoundDirRef(5);
+  EXPECT_EQ(idx_.Evaluate(*ast, scope_, nullptr).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(InvertedIndexTest, UnboundDirRefFails) {
+  auto ast = ParseQuery("dir(/x)").value();
+  DirResolver resolver = [](DirUid) -> Result<Bitmap> { return Bitmap(); };
+  EXPECT_EQ(idx_.Evaluate(*ast, scope_, &resolver).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(InvertedIndexTest, DirRefResolvedThroughCallback) {
+  auto ast = QueryExpr::And(QueryExpr::Term("fingerprint"), QueryExpr::BoundDirRef(9));
+  DirResolver resolver = [](DirUid uid) -> Result<Bitmap> {
+    EXPECT_EQ(uid, 9u);
+    return Bitmap::FromIds({1, 2});
+  };
+  auto r = idx_.Evaluate(*ast, scope_, &resolver);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().ToIds(), std::vector<uint32_t>{1});
+}
+
+TEST_F(InvertedIndexTest, ResolverErrorPropagates) {
+  auto ast = QueryExpr::BoundDirRef(9);
+  DirResolver resolver = [](DirUid) -> Result<Bitmap> {
+    return Error(ErrorCode::kNotFound, "gone");
+  };
+  EXPECT_EQ(idx_.Evaluate(*ast, scope_, &resolver).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(InvertedIndexTest, IndexSizeGrowsWithContent) {
+  size_t before = idx_.IndexSizeBytes();
+  ASSERT_TRUE(idx_.IndexDocument(10, "entirely novel vocabulary tremendous").ok());
+  EXPECT_GT(idx_.IndexSizeBytes(), before);
+}
+
+TEST_F(InvertedIndexTest, StopwordsNeverMatch) {
+  // "the" is a stopword: not indexed, so it matches nothing.
+  ASSERT_TRUE(idx_.IndexDocument(11, "the quick fox").ok());
+  EXPECT_TRUE(Eval(idx_, "the", Bitmap::AllUpTo(12)).Empty());
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,71 @@
+#include "src/index/posting_list.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(PostingListTest, AppendInOrder) {
+  PostingList p;
+  p.Add(1);
+  p.Add(5);
+  p.Add(9);
+  EXPECT_EQ(p.docs(), (std::vector<uint32_t>{1, 5, 9}));
+}
+
+TEST(PostingListTest, OutOfOrderInsertKeepsSorted) {
+  PostingList p;
+  p.Add(9);
+  p.Add(1);
+  p.Add(5);
+  p.Add(1);  // duplicate
+  EXPECT_EQ(p.docs(), (std::vector<uint32_t>{1, 5, 9}));
+}
+
+TEST(PostingListTest, DuplicateAppendIgnored) {
+  PostingList p;
+  p.Add(3);
+  p.Add(3);
+  EXPECT_EQ(p.Size(), 1u);
+}
+
+TEST(PostingListTest, RemoveExistingAndMissing) {
+  PostingList p;
+  p.Add(1);
+  p.Add(2);
+  p.Remove(1);
+  EXPECT_EQ(p.docs(), std::vector<uint32_t>{2});
+  p.Remove(42);  // no-op
+  EXPECT_EQ(p.Size(), 1u);
+}
+
+TEST(PostingListTest, Contains) {
+  PostingList p;
+  p.Add(7);
+  EXPECT_TRUE(p.Contains(7));
+  EXPECT_FALSE(p.Contains(8));
+}
+
+TEST(PostingListTest, UnionIntoAccumulates) {
+  PostingList a;
+  a.Add(1);
+  a.Add(2);
+  PostingList b;
+  b.Add(2);
+  b.Add(100);
+  Bitmap bm;
+  a.UnionInto(bm);
+  b.UnionInto(bm);
+  EXPECT_EQ(bm.ToIds(), (std::vector<uint32_t>{1, 2, 100}));
+}
+
+TEST(PostingListTest, ToBitmapRoundTrip) {
+  PostingList p;
+  p.Add(0);
+  p.Add(64);
+  p.Add(1000);
+  EXPECT_EQ(p.ToBitmap().ToIds(), (std::vector<uint32_t>{0, 64, 1000}));
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,185 @@
+// Property tests: the evaluator must satisfy boolean-algebra laws for randomly
+// generated corpora and queries, and incremental index maintenance must be equivalent
+// to rebuilding from scratch.
+#include <gtest/gtest.h>
+
+#include "src/index/inverted_index.h"
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+constexpr uint32_t kDocs = 120;
+
+std::string RandomDoc(Rng& rng) {
+  static const std::vector<std::string> vocab = {
+      "alpha", "bravo", "charlie", "delta", "echo",   "foxtrot", "golf",
+      "hotel", "india", "juliet",  "kilo",  "lima",   "mike",    "november",
+      "oscar", "papa",  "quebec",  "romeo", "sierra", "tango"};
+  std::string doc;
+  size_t words = 5 + rng.NextBelow(30);
+  for (size_t i = 0; i < words; ++i) {
+    doc += vocab[rng.NextZipf(vocab.size(), 0.9)];
+    doc += ' ';
+  }
+  return doc;
+}
+
+QueryExprPtr RandomQuery(Rng& rng, int depth) {
+  static const std::vector<std::string> vocab = {"alpha", "bravo", "charlie", "delta",
+                                                 "echo", "foxtrot", "golf", "hotel"};
+  if (depth == 0 || rng.NextBool(0.4)) {
+    if (rng.NextBool(0.15)) {
+      return QueryExpr::Prefix(vocab[rng.NextBelow(vocab.size())].substr(0, 2));
+    }
+    return QueryExpr::Term(vocab[rng.NextBelow(vocab.size())]);
+  }
+  switch (rng.NextBelow(3)) {
+    case 0:
+      return QueryExpr::And(RandomQuery(rng, depth - 1), RandomQuery(rng, depth - 1));
+    case 1:
+      return QueryExpr::Or(RandomQuery(rng, depth - 1), RandomQuery(rng, depth - 1));
+    default:
+      return QueryExpr::Not(RandomQuery(rng, depth - 1));
+  }
+}
+
+Bitmap Eval(InvertedIndex& idx, const QueryExpr& q, const Bitmap& scope) {
+  auto r = idx.Evaluate(q, scope, nullptr);
+  EXPECT_TRUE(r.ok());
+  return r.ok() ? r.value() : Bitmap();
+}
+
+class QueryAlgebraTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam());
+    for (uint32_t d = 0; d < kDocs; ++d) {
+      ASSERT_TRUE(idx_.IndexDocument(d, RandomDoc(rng)).ok());
+    }
+    scope_ = Bitmap::AllUpTo(kDocs);
+  }
+  InvertedIndex idx_;
+  Bitmap scope_;
+};
+
+TEST_P(QueryAlgebraTest, DeMorganAndDoubleNegation) {
+  Rng rng(GetParam() * 31 + 7);
+  for (int round = 0; round < 20; ++round) {
+    QueryExprPtr a = RandomQuery(rng, 2);
+    QueryExprPtr b = RandomQuery(rng, 2);
+
+    // NOT (a OR b) == (NOT a) AND (NOT b)
+    Bitmap lhs = Eval(idx_, *QueryExpr::Not(QueryExpr::Or(a->Clone(), b->Clone())), scope_);
+    Bitmap rhs = Eval(
+        idx_, *QueryExpr::And(QueryExpr::Not(a->Clone()), QueryExpr::Not(b->Clone())),
+        scope_);
+    EXPECT_EQ(lhs, rhs);
+
+    // NOT (a AND b) == (NOT a) OR (NOT b)
+    lhs = Eval(idx_, *QueryExpr::Not(QueryExpr::And(a->Clone(), b->Clone())), scope_);
+    rhs = Eval(idx_,
+               *QueryExpr::Or(QueryExpr::Not(a->Clone()), QueryExpr::Not(b->Clone())),
+               scope_);
+    EXPECT_EQ(lhs, rhs);
+
+    // NOT NOT a == a
+    lhs = Eval(idx_, *QueryExpr::Not(QueryExpr::Not(a->Clone())), scope_);
+    rhs = Eval(idx_, *a, scope_);
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_P(QueryAlgebraTest, CommutativityIdempotenceAbsorption) {
+  Rng rng(GetParam() * 17 + 3);
+  for (int round = 0; round < 20; ++round) {
+    QueryExprPtr a = RandomQuery(rng, 2);
+    QueryExprPtr b = RandomQuery(rng, 2);
+
+    EXPECT_EQ(Eval(idx_, *QueryExpr::And(a->Clone(), b->Clone()), scope_),
+              Eval(idx_, *QueryExpr::And(b->Clone(), a->Clone()), scope_));
+    EXPECT_EQ(Eval(idx_, *QueryExpr::Or(a->Clone(), b->Clone()), scope_),
+              Eval(idx_, *QueryExpr::Or(b->Clone(), a->Clone()), scope_));
+    EXPECT_EQ(Eval(idx_, *QueryExpr::And(a->Clone(), a->Clone()), scope_),
+              Eval(idx_, *a, scope_));
+    // a AND (a OR b) == a
+    EXPECT_EQ(
+        Eval(idx_, *QueryExpr::And(a->Clone(), QueryExpr::Or(a->Clone(), b->Clone())),
+             scope_),
+        Eval(idx_, *a, scope_));
+  }
+}
+
+TEST_P(QueryAlgebraTest, ResultsAlwaysWithinScope) {
+  Rng rng(GetParam() * 13 + 1);
+  for (int round = 0; round < 20; ++round) {
+    QueryExprPtr q = RandomQuery(rng, 3);
+    Bitmap narrow;
+    for (int i = 0; i < 30; ++i) {
+      narrow.Set(static_cast<uint32_t>(rng.NextBelow(kDocs)));
+    }
+    EXPECT_TRUE(Eval(idx_, *q, narrow).IsSubsetOf(narrow));
+    // Narrow-scope result == full-scope result intersected with the narrow scope.
+    Bitmap full = Eval(idx_, *q, scope_);
+    full &= narrow;
+    EXPECT_EQ(Eval(idx_, *q, narrow), full);
+  }
+}
+
+TEST_P(QueryAlgebraTest, MatchesTextAgreesWithEvaluator) {
+  Rng content_rng(GetParam());
+  std::vector<std::string> docs;
+  for (uint32_t d = 0; d < kDocs; ++d) {
+    docs.push_back(RandomDoc(content_rng));  // same stream as SetUp
+  }
+  Rng rng(GetParam() * 7 + 5);
+  for (int round = 0; round < 10; ++round) {
+    QueryExprPtr q = RandomQuery(rng, 2);
+    Bitmap result = Eval(idx_, *q, scope_);
+    for (uint32_t d = 0; d < kDocs; ++d) {
+      EXPECT_EQ(result.Test(d), idx_.MatchesText(*q, docs[d]))
+          << "doc " << d << " query " << q->ToString();
+    }
+  }
+}
+
+TEST_P(QueryAlgebraTest, IncrementalEqualsRebuild) {
+  Rng rng(GetParam() * 101 + 11);
+  // Mutate: remove some docs, update others.
+  std::vector<std::string> final_content(kDocs);
+  Rng content_rng(GetParam());
+  for (uint32_t d = 0; d < kDocs; ++d) {
+    final_content[d] = RandomDoc(content_rng);
+  }
+  std::vector<bool> alive(kDocs, true);
+  for (int step = 0; step < 60; ++step) {
+    uint32_t d = static_cast<uint32_t>(rng.NextBelow(kDocs));
+    if (alive[d] && rng.NextBool(0.4)) {
+      ASSERT_TRUE(idx_.RemoveDocument(d).ok());
+      alive[d] = false;
+    } else {
+      final_content[d] = RandomDoc(rng);
+      ASSERT_TRUE(idx_.IndexDocument(d, final_content[d]).ok());
+      alive[d] = true;
+    }
+  }
+  // Rebuild from scratch.
+  InvertedIndex fresh;
+  for (uint32_t d = 0; d < kDocs; ++d) {
+    if (alive[d]) {
+      ASSERT_TRUE(fresh.IndexDocument(d, final_content[d]).ok());
+    }
+  }
+  for (int round = 0; round < 15; ++round) {
+    QueryExprPtr q = RandomQuery(rng, 3);
+    EXPECT_EQ(Eval(idx_, *q, scope_), Eval(fresh, *q, scope_)) << q->ToString();
+  }
+  EXPECT_EQ(idx_.Stats().documents, fresh.Stats().documents);
+  EXPECT_EQ(idx_.Stats().postings, fresh.Stats().postings);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryAlgebraTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,129 @@
+#include "src/index/query_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+std::string Optimized(const std::string& query, const InvertedIndex* index = nullptr) {
+  auto ast = ParseQuery(query);
+  EXPECT_TRUE(ast.ok()) << query;
+  return OptimizeQuery(std::move(ast).value(), index)->ToString();
+}
+
+TEST(QueryOptimizerTest, DoubleNegation) {
+  EXPECT_EQ(Optimized("NOT NOT x1"), "x1");
+  EXPECT_EQ(Optimized("NOT NOT NOT x1"), "(NOT x1)");
+  EXPECT_EQ(Optimized("NOT NOT NOT NOT x1"), "x1");
+}
+
+TEST(QueryOptimizerTest, AllIdentities) {
+  EXPECT_EQ(Optimized("x1 AND ALL"), "x1");
+  EXPECT_EQ(Optimized("ALL AND x1"), "x1");
+  EXPECT_EQ(Optimized("x1 OR ALL"), "ALL");
+  EXPECT_EQ(Optimized("ALL OR x1"), "ALL");
+  EXPECT_EQ(Optimized("(x1 AND ALL) OR (ALL AND y1)"), "(x1 OR y1)");
+}
+
+TEST(QueryOptimizerTest, Idempotence) {
+  EXPECT_EQ(Optimized("x1 AND x1"), "x1");
+  EXPECT_EQ(Optimized("x1 OR x1"), "x1");
+  EXPECT_EQ(Optimized("(x1 AND y1) OR (x1 AND y1)"), "(x1 AND y1)");
+}
+
+TEST(QueryOptimizerTest, Absorption) {
+  EXPECT_EQ(Optimized("x1 AND (x1 OR y1)"), "x1");
+  EXPECT_EQ(Optimized("(x1 OR y1) AND x1"), "x1");
+  EXPECT_EQ(Optimized("x1 OR (x1 AND y1)"), "x1");
+  EXPECT_EQ(Optimized("(y1 AND x1) OR x1"), "x1");
+}
+
+TEST(QueryOptimizerTest, CascadingRewrites) {
+  // Double-negation elimination exposes an idempotence merge.
+  EXPECT_EQ(Optimized("x1 AND NOT NOT x1"), "x1");
+  // ALL identity exposes absorption.
+  EXPECT_EQ(Optimized("x1 AND ((x1 OR y1) AND ALL)"), "x1");
+}
+
+TEST(QueryOptimizerTest, LeavesIrreduciblesAlone) {
+  EXPECT_EQ(Optimized("x1 AND y1"), "(x1 AND y1)");
+  EXPECT_EQ(Optimized("NOT ALL"), "(NOT ALL)");
+  EXPECT_EQ(Optimized("pre* AND word~1"), "(pre* AND word~1)");
+  EXPECT_EQ(Optimized("dir(/a) AND x1"), "(dir(/a) AND x1)");
+}
+
+TEST(QueryOptimizerTest, StatsReported) {
+  auto ast = ParseQuery("NOT NOT (x1 AND x1) AND ALL").value();
+  OptimizerStats stats;
+  auto out = OptimizeQuery(std::move(ast), nullptr, &stats);
+  EXPECT_EQ(out->ToString(), "x1");
+  EXPECT_GE(stats.double_negations, 1u);
+  EXPECT_GE(stats.idempotent_merges, 1u);
+  EXPECT_GE(stats.all_identities, 1u);
+}
+
+TEST(QueryOptimizerTest, SelectivityReorderingPutsRareTermFirst) {
+  InvertedIndex idx;
+  // "common" in 50 docs, "rare" in 1.
+  for (DocId d = 0; d < 50; ++d) {
+    ASSERT_TRUE(idx.IndexDocument(d, d == 0 ? "common rare" : "common filler").ok());
+  }
+  EXPECT_EQ(Optimized("common AND rare", &idx), "(rare AND common)");
+  EXPECT_EQ(Optimized("rare AND common", &idx), "(rare AND common)");
+  // Without an index, order is preserved.
+  EXPECT_EQ(Optimized("common AND rare"), "(common AND rare)");
+}
+
+// Property: optimization never changes evaluation results.
+class OptimizerEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerEquivalenceTest, OptimizedQueriesEvaluateIdentically) {
+  Rng rng(GetParam());
+  InvertedIndex idx;
+  const std::vector<std::string> vocab = {"alpha", "bravo", "charlie", "delta", "echo"};
+  for (DocId d = 0; d < 80; ++d) {
+    std::string doc;
+    size_t n = 2 + rng.NextBelow(8);
+    for (size_t i = 0; i < n; ++i) {
+      doc += vocab[rng.NextBelow(vocab.size())] + " ";
+    }
+    ASSERT_TRUE(idx.IndexDocument(d, doc).ok());
+  }
+  Bitmap scope = Bitmap::AllUpTo(80);
+
+  std::function<QueryExprPtr(int)> random_query = [&](int depth) -> QueryExprPtr {
+    if (depth == 0 || rng.NextBool(0.35)) {
+      if (rng.NextBool(0.1)) {
+        return QueryExpr::All();
+      }
+      return QueryExpr::Term(vocab[rng.NextBelow(vocab.size())]);
+    }
+    switch (rng.NextBelow(3)) {
+      case 0:
+        return QueryExpr::And(random_query(depth - 1), random_query(depth - 1));
+      case 1:
+        return QueryExpr::Or(random_query(depth - 1), random_query(depth - 1));
+      default:
+        return QueryExpr::Not(random_query(depth - 1));
+    }
+  };
+
+  for (int round = 0; round < 40; ++round) {
+    QueryExprPtr original = random_query(4);
+    QueryExprPtr optimized = OptimizeQuery(original->Clone(), &idx);
+    auto a = idx.Evaluate(*original, scope, nullptr);
+    auto b = idx.Evaluate(*optimized, scope, nullptr);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value(), b.value())
+        << original->ToString() << "  =>  " << optimized->ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerEquivalenceTest,
+                         ::testing::Values(9, 18, 27, 36, 45, 54));
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/index/query.h"
+
+namespace hac {
+namespace {
+
+std::string Parse(const std::string& input) {
+  auto r = ParseQuery(input);
+  if (!r.ok()) {
+    return "ERR:" + std::string(ErrorCodeName(r.code()));
+  }
+  return r.value()->ToString();
+}
+
+TEST(QueryParserTest, SingleTerm) {
+  EXPECT_EQ(Parse("fingerprint"), "fingerprint");
+}
+
+TEST(QueryParserTest, TermsLowercased) {
+  EXPECT_EQ(Parse("FingerPrint"), "fingerprint");
+}
+
+TEST(QueryParserTest, ExplicitAndOrNot) {
+  EXPECT_EQ(Parse("a1 AND b1"), "(a1 AND b1)");
+  EXPECT_EQ(Parse("a1 OR b1"), "(a1 OR b1)");
+  EXPECT_EQ(Parse("NOT a1"), "(NOT a1)");
+}
+
+TEST(QueryParserTest, KeywordsCaseInsensitive) {
+  EXPECT_EQ(Parse("a1 and b1 or not c1"), "((a1 AND b1) OR (NOT c1))");
+}
+
+TEST(QueryParserTest, SymbolOperators) {
+  EXPECT_EQ(Parse("a1 & b1 | !c1"), "((a1 AND b1) OR (NOT c1))");
+}
+
+TEST(QueryParserTest, ImplicitAndOnAdjacency) {
+  EXPECT_EQ(Parse("fingerprint image"), "(fingerprint AND image)");
+  EXPECT_EQ(Parse("x1 y1 z1"), "((x1 AND y1) AND z1)");
+}
+
+TEST(QueryParserTest, PrecedenceNotOverAndOverOr) {
+  EXPECT_EQ(Parse("a1 OR b1 AND c1"), "(a1 OR (b1 AND c1))");
+  EXPECT_EQ(Parse("NOT a1 AND b1"), "((NOT a1) AND b1)");
+  EXPECT_EQ(Parse("a1 AND b1 OR c1 AND d1"), "((a1 AND b1) OR (c1 AND d1))");
+}
+
+TEST(QueryParserTest, ParenthesesOverride) {
+  EXPECT_EQ(Parse("(a1 OR b1) AND c1"), "((a1 OR b1) AND c1)");
+  EXPECT_EQ(Parse("NOT (a1 OR b1)"), "(NOT (a1 OR b1))");
+  EXPECT_EQ(Parse("((a1))"), "a1");
+}
+
+TEST(QueryParserTest, PrefixQueries) {
+  EXPECT_EQ(Parse("finger*"), "finger*");
+  EXPECT_EQ(Parse("finger* AND print"), "(finger* AND print)");
+}
+
+TEST(QueryParserTest, AllKeyword) {
+  EXPECT_EQ(Parse("ALL"), "ALL");
+  EXPECT_EQ(Parse("all AND NOT junk"), "(ALL AND (NOT junk))");
+}
+
+TEST(QueryParserTest, DirRef) {
+  EXPECT_EQ(Parse("dir(/projects/fp)"), "dir(/projects/fp)");
+  EXPECT_EQ(Parse("fingerprint AND dir(/mail)"), "(fingerprint AND dir(/mail))");
+}
+
+TEST(QueryParserTest, DirRefWithSpacesTrimmed) {
+  EXPECT_EQ(Parse("dir( /a/b )"), "dir(/a/b)");
+}
+
+TEST(QueryParserTest, NestedNot) {
+  EXPECT_EQ(Parse("NOT NOT a1"), "(NOT (NOT a1))");
+}
+
+TEST(QueryParserTest, TheWordDirAloneIsATerm) {
+  // "dir" not followed by '(' is an ordinary term.
+  EXPECT_EQ(Parse("dir"), "dir");
+  EXPECT_EQ(Parse("dir AND x1"), "(dir AND x1)");
+}
+
+TEST(QueryParserTest, Errors) {
+  EXPECT_EQ(Parse(""), "ERR:parse_error");
+  EXPECT_EQ(Parse("   "), "ERR:parse_error");
+  EXPECT_EQ(Parse("AND x"), "ERR:parse_error");
+  EXPECT_EQ(Parse("x AND"), "ERR:parse_error");
+  EXPECT_EQ(Parse("(x"), "ERR:parse_error");
+  EXPECT_EQ(Parse("x)"), "ERR:parse_error");
+  EXPECT_EQ(Parse("dir("), "ERR:parse_error");
+  EXPECT_EQ(Parse("dir()"), "ERR:parse_error");
+  EXPECT_EQ(Parse("NOT"), "ERR:parse_error");
+  EXPECT_EQ(Parse("*"), "ERR:parse_error");
+  EXPECT_EQ(Parse("@#$"), "ERR:parse_error");
+}
+
+TEST(QueryExprTest, CloneIsDeepAndEqual) {
+  auto q = ParseQuery("a1 AND (b1 OR NOT c1) AND dir(/d)").value();
+  auto clone = q->Clone();
+  EXPECT_TRUE(q->StructurallyEquals(*clone));
+  clone->children[0]->text = "zz";
+  EXPECT_FALSE(q->StructurallyEquals(*clone));
+}
+
+TEST(QueryExprTest, CollectTermsFindsAll) {
+  auto q = ParseQuery("a1 AND (b1 OR NOT c1) AND pre* AND dir(/d)").value();
+  auto terms = q->CollectTerms();
+  std::sort(terms.begin(), terms.end());
+  EXPECT_EQ(terms, (std::vector<std::string>{"a1", "b1", "c1", "pre"}));
+}
+
+TEST(QueryExprTest, ReferencedDirsOnlyBound) {
+  auto q = ParseQuery("a1 AND dir(/d)").value();
+  EXPECT_TRUE(q->ReferencedDirs().empty());  // unbound
+  std::vector<QueryExpr*> refs;
+  q->CollectDirRefs(refs);
+  ASSERT_EQ(refs.size(), 1u);
+  refs[0]->dir_uid = 42;
+  EXPECT_EQ(q->ReferencedDirs(), std::vector<DirUid>{42});
+}
+
+TEST(QueryExprTest, BoundDirRefRendersWithResolver) {
+  auto q = QueryExpr::BoundDirRef(7);
+  std::function<std::string(DirUid)> resolver = [](DirUid) { return "/resolved"; };
+  EXPECT_EQ(q->ToString(&resolver), "dir(/resolved)");
+  EXPECT_EQ(q->ToString(), "dir(#7)");
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,82 @@
+#include "src/index/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(TokenizerTest, SplitsOnNonWordChars) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("hello,world!foo"),
+            (std::vector<std::string>{"hello", "world", "foo"}));
+}
+
+TEST(TokenizerTest, Lowercases) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("FingerPrint MINUTIAE"),
+            (std::vector<std::string>{"fingerprint", "minutiae"}));
+}
+
+TEST(TokenizerTest, KeepsDigitsAndUnderscores) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("foo_bar 1999 x86"),
+            (std::vector<std::string>{"foo_bar", "1999", "x86"}));
+}
+
+TEST(TokenizerTest, DropsShortTokens) {
+  Tokenizer t;  // min length 2
+  EXPECT_EQ(t.Tokenize("a bb c dd"), (std::vector<std::string>{"bb", "dd"}));
+}
+
+TEST(TokenizerTest, MinLengthConfigurable) {
+  TokenizerOptions opts;
+  opts.min_token_length = 1;
+  opts.use_default_stopwords = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("a bb"), (std::vector<std::string>{"a", "bb"}));
+}
+
+TEST(TokenizerTest, TruncatesVeryLongTokens) {
+  TokenizerOptions opts;
+  opts.max_token_length = 8;
+  Tokenizer t(opts);
+  std::string word(50, 'x');
+  auto tokens = t.Tokenize(word);
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0], std::string(8, 'x'));
+}
+
+TEST(TokenizerTest, DropsStopwordsByDefault) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("the fingerprint of the suspect"),
+            (std::vector<std::string>{"fingerprint", "suspect"}));
+  EXPECT_TRUE(t.IsStopword("the"));
+  EXPECT_FALSE(t.IsStopword("fingerprint"));
+}
+
+TEST(TokenizerTest, StopwordsCanBeDisabled) {
+  TokenizerOptions opts;
+  opts.use_default_stopwords = false;
+  Tokenizer t(opts);
+  EXPECT_EQ(t.Tokenize("the cat"), (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, EmptyAndPunctuationOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("!!! ... ???").empty());
+}
+
+TEST(TokenizerTest, UniqueTokensSortedDeduped) {
+  Tokenizer t;
+  EXPECT_EQ(t.UniqueTokens("zz aa zz mm aa"),
+            (std::vector<std::string>{"aa", "mm", "zz"}));
+}
+
+TEST(TokenizerTest, PreservesDuplicatesInOrderMode) {
+  Tokenizer t;
+  EXPECT_EQ(t.Tokenize("go go go"), (std::vector<std::string>{"go", "go", "go"}));
+}
+
+}  // namespace
+}  // namespace hac

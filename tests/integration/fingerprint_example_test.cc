@@ -1,0 +1,133 @@
+// Integration test reproducing the paper's running example end-to-end (sections 2-3):
+// a fingerprint project combining local notes, email, source code, manual tuning, and
+// a remote digital library behind a semantic mount point.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/digital_library.h"
+
+namespace hac {
+namespace {
+
+std::vector<std::string> Names(HacFileSystem& fs, const std::string& dir) {
+  std::vector<std::string> out;
+  auto entries = fs.ReadDir(dir);
+  EXPECT_TRUE(entries.ok()) << dir;
+  if (entries.ok()) {
+    for (const auto& e : entries.value()) {
+      out.push_back(e.name);
+    }
+  }
+  return out;
+}
+
+TEST(FingerprintExampleTest, FullScenario) {
+  HacFileSystem fs;
+
+  // --- The user's existing, scattered information ---
+  ASSERT_TRUE(fs.MkdirAll("/home/mail").ok());
+  ASSERT_TRUE(fs.MkdirAll("/home/notes").ok());
+  ASSERT_TRUE(fs.MkdirAll("/home/src").ok());
+  ASSERT_TRUE(fs.WriteFile("/home/mail/alice1.eml",
+                           "From: alice\nSubject: fingerprint minutiae extraction\n"
+                           "we should compare ridge endings")
+                  .ok());
+  ASSERT_TRUE(fs.WriteFile("/home/mail/spam.eml", "buy cheap watches").ok());
+  ASSERT_TRUE(fs.WriteFile("/home/notes/ideas.txt",
+                           "fingerprint matching via local ridge structures")
+                  .ok());
+  ASSERT_TRUE(fs.WriteFile("/home/notes/crime_story.txt",
+                           "newspaper clipping: fingerprint links suspect to murder")
+                  .ok());
+  ASSERT_TRUE(fs.WriteFile("/home/src/match.c",
+                           "/* fingerprint matcher */ int match(int x) { return x; }")
+                  .ok());
+  ASSERT_TRUE(fs.WriteFile("/home/src/unrelated.c", "int main(void) { return 0; }").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+
+  // --- Build the fingerprint semantic directory ---
+  ASSERT_TRUE(fs.SMkdir("/home/fingerprint", "fingerprint").ok());
+  auto names = Names(fs, "/home/fingerprint");
+  EXPECT_EQ(names.size(), 4u);  // alice1, ideas, crime_story, match.c
+
+  // --- Manual tuning: the crime story matches but is not wanted ---
+  ASSERT_TRUE(fs.Unlink("/home/fingerprint/crime_story.txt").ok());
+  // An image file does not match the query but belongs to the project.
+  ASSERT_TRUE(fs.WriteFile("/home/notes/scan1.pgm", "P5 raw image bytes").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.Symlink("/home/notes/scan1.pgm", "/home/fingerprint/scan1.pgm").ok());
+
+  names = Names(fs, "/home/fingerprint");
+  EXPECT_EQ(names.size(), 4u);  // alice1, ideas, match.c, scan1.pgm
+  EXPECT_EQ(std::count(names.begin(), names.end(), "crime_story.txt"), 0);
+  EXPECT_EQ(std::count(names.begin(), names.end(), "scan1.pgm"), 1);
+
+  // --- Refinement: email-only view inside the project dir ---
+  ASSERT_TRUE(fs.SMkdir("/home/fingerprint/from_alice", "alice").ok());
+  EXPECT_EQ(Names(fs, "/home/fingerprint/from_alice"),
+            std::vector<std::string>{"alice1.eml"});
+
+  // --- New mail arrives; a reindex folds it in everywhere ---
+  ASSERT_TRUE(fs.WriteFile("/home/mail/alice2.eml",
+                           "From: alice\nSubject: fingerprint dataset\nnew scans ready")
+                  .ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  EXPECT_EQ(Names(fs, "/home/fingerprint/from_alice"),
+            (std::vector<std::string>{"alice1.eml", "alice2.eml"}));
+
+  // --- The crime story must still be gone (prohibited) ---
+  names = Names(fs, "/home/fingerprint");
+  EXPECT_EQ(std::count(names.begin(), names.end(), "crime_story.txt"), 0);
+
+  // --- Remote digital library through a semantic mount ---
+  DigitalLibrary library("digilib");
+  library.AddArticle({"fp99", "A Survey of Fingerprint Matching", "Maltoni",
+                      "fingerprint minutiae matching algorithms", "full text ridge"});
+  library.AddArticle({"db01", "B-Trees Revisited", "Bayer", "btree index", "pages"});
+  ASSERT_TRUE(fs.MkdirAll("/home/library").ok());
+  ASSERT_TRUE(fs.MountSemantic("/home/library", &library).ok());
+  ASSERT_TRUE(fs.SMkdir("/home/library/fp_papers", "fingerprint").ok());
+  auto papers = Names(fs, "/home/library/fp_papers");
+  ASSERT_EQ(papers.size(), 1u);
+  EXPECT_NE(papers[0].find("Survey"), std::string::npos);
+
+  // The imported article also matches the project directory after a sync: it is a
+  // physical (cached) file inside the name space now.
+  ASSERT_TRUE(fs.SSync("/home/fingerprint").ok());
+  names = Names(fs, "/home/fingerprint");
+  // alice1, alice2, from_alice (dir), ideas, match.c, scan1.pgm + the cached article.
+  EXPECT_EQ(names.size(), 7u);
+
+  // sact pulls the matching lines out of a result.
+  auto lines = fs.SAct("/home/fingerprint/ideas.txt");
+  ASSERT_TRUE(lines.ok());
+  ASSERT_EQ(lines.value().size(), 1u);
+  EXPECT_NE(lines.value()[0].find("fingerprint"), std::string::npos);
+
+  // The user renames the project directory; every query keeps working (UID map).
+  ASSERT_TRUE(fs.Rename("/home/fingerprint", "/home/biometrics").ok());
+  EXPECT_TRUE(fs.Exists("/home/biometrics/from_alice/alice1.eml"));
+  ASSERT_TRUE(fs.SSync("/home/biometrics").ok());
+  EXPECT_EQ(Names(fs, "/home/biometrics/from_alice").size(), 2u);
+}
+
+TEST(FingerprintExampleTest, CountsLikeScenarioExpectations) {
+  // A compact numeric cross-check of the same flow with stats assertions.
+  HacFileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/d").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs.WriteFile("/d/f" + std::to_string(i) + ".txt",
+                             i % 2 == 0 ? "fingerprint data" : "other data")
+                    .ok());
+  }
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.SMkdir("/q", "fingerprint").ok());
+  HacStats stats = fs.Stats();
+  EXPECT_EQ(stats.transient_links_added, 5u);
+  EXPECT_GE(stats.query_evaluations, 1u);
+  EXPECT_EQ(stats.docs_indexed, 10u);
+}
+
+}  // namespace
+}  // namespace hac

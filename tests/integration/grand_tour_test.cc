@@ -1,0 +1,107 @@
+// The grand tour: every major feature in one scenario, audited with hacfsck at each
+// waypoint. Exercises the interactions the per-feature suites cannot: mounts +
+// persistence + renames + approximate queries + the optimizer + link editing, together.
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/digital_library.h"
+#include "src/remote/remote_hac.h"
+#include "src/tools/commands.h"
+#include "src/tools/fsck.h"
+
+namespace hac {
+namespace {
+
+#define AUDIT(fs)                                   \
+  do {                                              \
+    FsckReport report = RunFsck(fs);                \
+    ASSERT_TRUE(report.Clean()) << report.ToString(); \
+  } while (0)
+
+TEST(GrandTourTest, EverythingTogether) {
+  HacFileSystem fs;
+
+  // --- Phase 1: build a working tree through the command layer ---
+  CommandInterpreter sh(&fs);
+  for (const char* cmd : {
+           "mkdir /projects",
+           "mkdir /projects/fp",
+           "echo 'fingerprint minutiae matching notes' > /projects/fp/notes.txt",
+           "echo 'ridge extraction algorithm draft' > /projects/fp/draft.txt",
+           "mkdir /mail",
+           "echo 'From alice: fingerprint dataset ready' > /mail/m1.eml",
+           "echo 'From bob: lunch?' > /mail/m2.eml",
+           "reindex",
+       }) {
+    ASSERT_TRUE(sh.Execute(cmd).ok()) << cmd;
+  }
+  AUDIT(fs);
+
+  // --- Phase 2: semantic structure with a typo'd approximate query ---
+  ASSERT_TRUE(fs.SMkdir("/views", "").ok());
+  ASSERT_TRUE(fs.SMkdir("/views/fp", "fingerprnt~1 OR minutiae").ok());
+  auto entries = fs.ReadDir("/views/fp").value();
+  EXPECT_EQ(entries.size(), 2u);  // notes.txt + m1.eml
+  ASSERT_TRUE(fs.SMkdir("/views/fp/mail_only", "ALL AND dir(/mail)").ok());
+  EXPECT_EQ(fs.ReadDir("/views/fp/mail_only").value().size(), 1u);
+  AUDIT(fs);
+
+  // --- Phase 3: edit results, then mount a remote library ---
+  ASSERT_TRUE(fs.Unlink("/views/fp/m1.eml").ok());      // prohibited
+  EXPECT_TRUE(fs.ReadDir("/views/fp/mail_only").value().empty());  // propagated
+  ASSERT_TRUE(fs.Symlink("/mail/m2.eml", "/views/fp/keep_lunch").ok());
+
+  DigitalLibrary lib("lib");
+  lib.AddArticle({"a1", "Minutiae Handbook", "X", "minutiae fingerprint reference",
+                  "chapters"});
+  ASSERT_TRUE(fs.Mkdir("/lib").ok());
+  ASSERT_TRUE(fs.MountSemantic("/lib", &lib).ok());
+  ASSERT_TRUE(fs.SMkdir("/lib/handbooks", "minutiae").ok());
+  EXPECT_EQ(fs.ReadDir("/lib/handbooks").value().size(), 1u);
+  ASSERT_TRUE(fs.SSync("/views/fp").ok());  // the cached import now matches here too
+  auto names = fs.ReadDir("/views/fp").value();
+  bool has_import = false;
+  for (const auto& e : names) {
+    has_import |= e.name.find("Minutiae_Handbook") != std::string::npos;
+  }
+  EXPECT_TRUE(has_import);
+  AUDIT(fs);
+
+  // --- Phase 4: rename storms; queries must survive via the UID map ---
+  ASSERT_TRUE(fs.Rename("/mail", "/correspondence").ok());
+  ASSERT_TRUE(fs.Rename("/views", "/classified").ok());
+  EXPECT_EQ(fs.GetQuery("/classified/fp/mail_only").value(),
+            "(ALL AND dir(/correspondence))");
+  ASSERT_TRUE(fs.Reindex().ok());
+  AUDIT(fs);
+
+  // --- Phase 5: persist everything, load, audit, keep working ---
+  auto loaded = HacFileSystem::LoadState(fs.SaveState());
+  ASSERT_TRUE(loaded.ok());
+  HacFileSystem& l = *loaded.value();
+  AUDIT(l);
+  // The prohibition survived the round trip and further reindexing.
+  ASSERT_TRUE(l.Reindex().ok());
+  auto classes = l.GetLinkClasses("/classified/fp").value();
+  ASSERT_EQ(classes.prohibited.size(), 1u);
+  EXPECT_EQ(classes.prohibited[0], "/correspondence/m1.eml");
+  // The permanent hand link too.
+  bool keep_found = false;
+  for (const auto& [name, target] : classes.permanent) {
+    keep_found |= name == "keep_lunch";
+  }
+  EXPECT_TRUE(keep_found);
+
+  // --- Phase 6: the loaded system serves as a remote for another user ---
+  RemoteHacNameSpace ns("peer", &l, "/");
+  HacFileSystem other;
+  ASSERT_TRUE(other.Mkdir("/peer").ok());
+  ASSERT_TRUE(other.MountSemantic("/peer", &ns).ok());
+  ASSERT_TRUE(other.SMkdir("/peer/minutiae_stuff", "minutiae").ok());
+  EXPECT_GE(other.ReadDir("/peer/minutiae_stuff").value().size(), 2u);
+  AUDIT(other);
+}
+
+}  // namespace
+}  // namespace hac

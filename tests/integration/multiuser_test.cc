@@ -1,0 +1,95 @@
+// Integration test for section 3.2's sharing scenarios: coworkers combining syntactic
+// and semantic mounts of each other's HAC file systems, and a central database of
+// semantic-directory queries.
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/remote/remote_hac.h"
+
+namespace hac {
+namespace {
+
+TEST(MultiUserTest, CoworkerBrowsesAndSearchesPeerClassification) {
+  // User A builds a personal classification.
+  HacFileSystem alice;
+  ASSERT_TRUE(alice.MkdirAll("/work/papers").ok());
+  ASSERT_TRUE(alice.WriteFile("/work/papers/p1.txt", "fingerprint minutiae survey").ok());
+  ASSERT_TRUE(alice.WriteFile("/work/papers/p2.txt", "database btree survey").ok());
+  ASSERT_TRUE(alice.Reindex().ok());
+  ASSERT_TRUE(alice.SMkdir("/work/fp", "fingerprint").ok());
+
+  // User B mounts A's tree syntactically (browse) AND semantically (search).
+  HacFileSystem bob;
+  ASSERT_TRUE(bob.MkdirAll("/peers/alice").ok());
+  ASSERT_TRUE(bob.MountSyntactic("/peers/alice", &alice, "/work").ok());
+  EXPECT_EQ(bob.ReadFileToString("/peers/alice/fp/p1.txt").value(),
+            "fingerprint minutiae survey");
+
+  RemoteHacNameSpace alice_ns("alice", &alice, "/work");
+  ASSERT_TRUE(bob.MkdirAll("/search/alice").ok());
+  ASSERT_TRUE(bob.MountSemantic("/search/alice", &alice_ns).ok());
+  ASSERT_TRUE(bob.SMkdir("/search/alice/fp", "fingerprint").ok());
+  auto entries = bob.ReadDir("/search/alice/fp");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+
+  // Bob's copy is personal: he can prune and annotate without affecting Alice.
+  ASSERT_TRUE(
+      bob.WriteFile("/search/alice/fp/notes.txt", "my notes on her fingerprint work")
+          .ok());
+  EXPECT_EQ(bob.ReadDir("/search/alice/fp").value().size(), 2u);
+  EXPECT_EQ(alice.ReadDir("/work/fp").value().size(), 1u);
+}
+
+TEST(MultiUserTest, CentralQueryDatabase) {
+  // "collect the names, queries and query-results of many semantic directories of many
+  //  users in a central database that itself can be indexed and searched".
+  HacFileSystem alice;
+  HacFileSystem bob;
+  ASSERT_TRUE(alice.Mkdir("/d").ok());
+  ASSERT_TRUE(alice.WriteFile("/d/a.txt", "fingerprint ridge").ok());
+  ASSERT_TRUE(alice.Reindex().ok());
+  ASSERT_TRUE(alice.SMkdir("/fp", "fingerprint AND ridge").ok());
+  ASSERT_TRUE(bob.Mkdir("/d").ok());
+  ASSERT_TRUE(bob.WriteFile("/d/b.txt", "sailing regatta").ok());
+  ASSERT_TRUE(bob.Reindex().ok());
+  ASSERT_TRUE(bob.SMkdir("/sail", "sailing OR regatta").ok());
+
+  // The central database is itself a HAC file system indexing the exported queries.
+  HacFileSystem central;
+  ASSERT_TRUE(central.Mkdir("/catalog").ok());
+  auto export_dir = [&central](HacFileSystem& user, const std::string& dir,
+                               const std::string& owner) {
+    std::string query = user.GetQuery(dir).value();
+    std::string entry = "owner " + owner + "\ndirectory " + dir + "\nquery " + query;
+    ASSERT_TRUE(
+        central.WriteFile("/catalog/" + owner + "_" + dir.substr(1) + ".txt", entry)
+            .ok());
+  };
+  export_dir(alice, "/fp", "alice");
+  export_dir(bob, "/sail", "bob");
+  ASSERT_TRUE(central.Reindex().ok());
+
+  // Users search the catalog to find people with similar interests.
+  ASSERT_TRUE(central.SMkdir("/who_likes_fp", "fingerprint").ok());
+  auto hits = central.ReadDir("/who_likes_fp");
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits.value().size(), 1u);
+  EXPECT_EQ(hits.value()[0].name, "alice_fp.txt");
+}
+
+TEST(MultiUserTest, ChainedMounts) {
+  // C mounts B, B mounts A: reads flow through two layers of forwarding.
+  HacFileSystem a;
+  HacFileSystem b;
+  HacFileSystem c;
+  ASSERT_TRUE(a.WriteFile("/origin.txt", "deep payload").ok());
+  ASSERT_TRUE(b.Mkdir("/from_a").ok());
+  ASSERT_TRUE(b.MountSyntactic("/from_a", &a, "/").ok());
+  ASSERT_TRUE(c.Mkdir("/from_b").ok());
+  ASSERT_TRUE(c.MountSyntactic("/from_b", &b, "/").ok());
+  EXPECT_EQ(c.ReadFileToString("/from_b/from_a/origin.txt").value(), "deep payload");
+}
+
+}  // namespace
+}  // namespace hac

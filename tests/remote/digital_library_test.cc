@@ -1,0 +1,61 @@
+#include "src/remote/digital_library.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+class DigitalLibraryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    lib_.AddArticle({"a1", "Fingerprint Survey", "Doe", "fingerprint minutiae", "body"});
+    lib_.AddArticle({"a2", "Crime Analysis", "Roe", "murder fingerprint evidence", "text"});
+    lib_.AddArticle({"a3", "Baking", "Chef", "butter flour", "oven"});
+  }
+  DigitalLibrary lib_{"lib"};
+};
+
+TEST_F(DigitalLibraryTest, BooleanSearchWorks) {
+  auto r = lib_.Search(*ParseQuery("fingerprint AND NOT murder").value());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].handle, "a1");
+}
+
+TEST_F(DigitalLibraryTest, OrQueries) {
+  auto r = lib_.Search(*ParseQuery("butter OR murder").value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST_F(DigitalLibraryTest, AuthorsSearchable) {
+  auto r = lib_.Search(*ParseQuery("chef").value());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].title, "Baking");
+}
+
+TEST_F(DigitalLibraryTest, FetchFullText) {
+  auto body = lib_.Fetch("a2");
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body.value().find("Crime Analysis"), std::string::npos);
+  EXPECT_NE(body.value().find("by Roe"), std::string::npos);
+  EXPECT_EQ(lib_.Fetch("zz").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(DigitalLibraryTest, EmptyResult) {
+  auto r = lib_.Search(*ParseQuery("nonexistentterm").value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.value().empty());
+}
+
+TEST_F(DigitalLibraryTest, CountsSearches) {
+  ASSERT_TRUE(lib_.Search(*ParseQuery("butter").value()).ok());
+  ASSERT_TRUE(lib_.Search(*ParseQuery("flour").value()).ok());
+  EXPECT_EQ(lib_.searches_served(), 2u);
+  EXPECT_EQ(lib_.ArticleCount(), 3u);
+  EXPECT_EQ(lib_.QueryLanguage(), "hac-bool");
+}
+
+}  // namespace
+}  // namespace hac

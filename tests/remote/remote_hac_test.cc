@@ -1,0 +1,65 @@
+#include "src/remote/remote_hac.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+class RemoteHacTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(remote_fs_.Mkdir("/pub").ok());
+    ASSERT_TRUE(remote_fs_.Mkdir("/private").ok());
+    ASSERT_TRUE(remote_fs_.WriteFile("/pub/fp.txt", "fingerprint ridge data").ok());
+    ASSERT_TRUE(remote_fs_.WriteFile("/pub/cook.txt", "butter flour").ok());
+    ASSERT_TRUE(remote_fs_.WriteFile("/private/secret.txt", "fingerprint secret").ok());
+    ASSERT_TRUE(remote_fs_.Reindex().ok());
+  }
+  HacFileSystem remote_fs_;
+};
+
+TEST_F(RemoteHacTest, SearchReturnsPathsAsHandles) {
+  RemoteHacNameSpace ns("peer", &remote_fs_);
+  auto r = ns.Search(*ParseQuery("fingerprint").value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST_F(RemoteHacTest, ExportRootRestrictsVisibility) {
+  RemoteHacNameSpace ns("peer", &remote_fs_, "/pub");
+  auto r = ns.Search(*ParseQuery("fingerprint").value());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].handle, "/pub/fp.txt");
+}
+
+TEST_F(RemoteHacTest, FetchReadsRemoteContent) {
+  RemoteHacNameSpace ns("peer", &remote_fs_, "/pub");
+  auto body = ns.Fetch("/pub/fp.txt");
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value(), "fingerprint ridge data");
+}
+
+TEST_F(RemoteHacTest, MountedIntoAnotherHac) {
+  // End-to-end: user B semantically mounts user A's file system.
+  HacFileSystem local;
+  RemoteHacNameSpace ns("peer", &remote_fs_, "/pub");
+  ASSERT_TRUE(local.Mkdir("/peer").ok());
+  ASSERT_TRUE(local.MountSemantic("/peer", &ns).ok());
+  ASSERT_TRUE(local.SMkdir("/peer/fp", "fingerprint").ok());
+  auto entries = local.ReadDir("/peer/fp");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  auto body = local.ReadFileToString("/peer/fp/" + entries.value()[0].name);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body.value(), "fingerprint ridge data");
+}
+
+TEST_F(RemoteHacTest, RemoteQueryCannotUseDirRefs) {
+  RemoteHacNameSpace ns("peer", &remote_fs_);
+  auto q = QueryExpr::And(QueryExpr::Term("fingerprint"), QueryExpr::BoundDirRef(3));
+  EXPECT_FALSE(ns.Search(*q).ok());
+}
+
+}  // namespace
+}  // namespace hac

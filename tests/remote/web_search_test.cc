@@ -1,0 +1,71 @@
+#include "src/remote/web_search.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+class WebSearchTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_.AddPage("http://one", "Fingerprint tutorial", "fingerprint ridge minutiae");
+    engine_.AddPage("http://two", "Cooking", "butter flour fingerprint cookie");
+    engine_.AddPage("http://three", "Crime news", "murder investigation fingerprint");
+  }
+  WebSearchEngine engine_{"web", /*max_results=*/10};
+};
+
+TEST_F(WebSearchTest, SingleKeyword) {
+  auto r = engine_.Search(*ParseQuery("fingerprint").value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST_F(WebSearchTest, ConjunctionNarrows) {
+  auto r = engine_.Search(*ParseQuery("fingerprint AND murder").value());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  EXPECT_EQ(r.value()[0].title, "Crime news");
+}
+
+TEST_F(WebSearchTest, TitleTermsAreSearchable) {
+  auto r = engine_.Search(*ParseQuery("tutorial").value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 1u);
+}
+
+TEST_F(WebSearchTest, UnsupportedOperatorsRejected) {
+  EXPECT_EQ(engine_.Search(*ParseQuery("a OR b").value()).code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(engine_.Search(*ParseQuery("NOT a").value()).code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(engine_.Search(*ParseQuery("pre*").value()).code(), ErrorCode::kUnsupported);
+  EXPECT_EQ(engine_.Search(*ParseQuery("ALL").value()).code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(WebSearchTest, MaxResultsCap) {
+  WebSearchEngine small("s", 2);
+  for (int i = 0; i < 5; ++i) {
+    small.AddPage("u" + std::to_string(i), "t" + std::to_string(i), "common word");
+  }
+  auto r = small.Search(*ParseQuery("common").value());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 2u);
+}
+
+TEST_F(WebSearchTest, FetchByHandle) {
+  auto r = engine_.Search(*ParseQuery("murder").value());
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 1u);
+  auto body = engine_.Fetch(r.value()[0].handle);
+  ASSERT_TRUE(body.ok());
+  EXPECT_NE(body.value().find("Crime news"), std::string::npos);
+  EXPECT_NE(body.value().find("http://three"), std::string::npos);
+  EXPECT_EQ(engine_.Fetch("bogus").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(WebSearchTest, LanguageTag) {
+  EXPECT_EQ(engine_.QueryLanguage(), "keyword");
+  EXPECT_EQ(engine_.Name(), "web");
+}
+
+}  // namespace
+}  // namespace hac

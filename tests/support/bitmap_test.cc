@@ -1,0 +1,226 @@
+#include "src/support/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+TEST(BitmapTest, StartsEmpty) {
+  Bitmap bm;
+  EXPECT_EQ(bm.Count(), 0u);
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_FALSE(bm.Test(0));
+  EXPECT_FALSE(bm.Test(1000));
+}
+
+TEST(BitmapTest, SetTestClear) {
+  Bitmap bm;
+  bm.Set(5);
+  bm.Set(64);
+  bm.Set(1000);
+  EXPECT_TRUE(bm.Test(5));
+  EXPECT_TRUE(bm.Test(64));
+  EXPECT_TRUE(bm.Test(1000));
+  EXPECT_FALSE(bm.Test(6));
+  EXPECT_EQ(bm.Count(), 3u);
+  bm.Clear(64);
+  EXPECT_FALSE(bm.Test(64));
+  EXPECT_EQ(bm.Count(), 2u);
+}
+
+TEST(BitmapTest, SetIsIdempotent) {
+  Bitmap bm;
+  bm.Set(7);
+  bm.Set(7);
+  EXPECT_EQ(bm.Count(), 1u);
+}
+
+TEST(BitmapTest, ClearBeyondCapacityIsNoop) {
+  Bitmap bm;
+  bm.Set(3);
+  bm.Clear(100000);
+  EXPECT_EQ(bm.Count(), 1u);
+}
+
+TEST(BitmapTest, FromIdsAndToIdsRoundTrip) {
+  std::vector<uint32_t> ids = {0, 63, 64, 65, 127, 128, 511};
+  Bitmap bm = Bitmap::FromIds(ids);
+  EXPECT_EQ(bm.ToIds(), ids);
+}
+
+TEST(BitmapTest, AllUpToSetsExactPrefix) {
+  Bitmap bm = Bitmap::AllUpTo(100);
+  EXPECT_EQ(bm.Count(), 100u);
+  EXPECT_TRUE(bm.Test(0));
+  EXPECT_TRUE(bm.Test(99));
+  EXPECT_FALSE(bm.Test(100));
+}
+
+TEST(BitmapTest, AllUpToWordBoundary) {
+  Bitmap bm = Bitmap::AllUpTo(128);
+  EXPECT_EQ(bm.Count(), 128u);
+  EXPECT_TRUE(bm.Test(127));
+  EXPECT_FALSE(bm.Test(128));
+}
+
+TEST(BitmapTest, AllUpToZeroIsEmpty) {
+  Bitmap bm = Bitmap::AllUpTo(0);
+  EXPECT_TRUE(bm.Empty());
+}
+
+TEST(BitmapTest, OrMergesDifferentSizes) {
+  Bitmap a = Bitmap::FromIds({1, 2});
+  Bitmap b = Bitmap::FromIds({2, 900});
+  a |= b;
+  EXPECT_EQ(a.ToIds(), (std::vector<uint32_t>{1, 2, 900}));
+}
+
+TEST(BitmapTest, AndIntersects) {
+  Bitmap a = Bitmap::FromIds({1, 2, 3, 900});
+  Bitmap b = Bitmap::FromIds({2, 900, 901});
+  a &= b;
+  EXPECT_EQ(a.ToIds(), (std::vector<uint32_t>{2, 900}));
+}
+
+TEST(BitmapTest, AndWithShorterOperandTruncates) {
+  Bitmap a = Bitmap::FromIds({1, 900});
+  Bitmap b = Bitmap::FromIds({1});
+  a &= b;
+  EXPECT_EQ(a.ToIds(), std::vector<uint32_t>{1});
+  EXPECT_FALSE(a.Test(900));
+}
+
+TEST(BitmapTest, AndNotSubtracts) {
+  Bitmap a = Bitmap::FromIds({1, 2, 3});
+  Bitmap b = Bitmap::FromIds({2, 4});
+  a.AndNot(b);
+  EXPECT_EQ(a.ToIds(), (std::vector<uint32_t>{1, 3}));
+}
+
+TEST(BitmapTest, AndNotWithLongerOperand) {
+  Bitmap a = Bitmap::FromIds({1});
+  Bitmap b = Bitmap::FromIds({1, 10000});
+  a.AndNot(b);
+  EXPECT_TRUE(a.Empty());
+}
+
+TEST(BitmapTest, EqualityIgnoresTrailingZeroWords) {
+  Bitmap a = Bitmap::FromIds({1});
+  Bitmap b = Bitmap::FromIds({1});
+  b.Reserve(10000);  // extra zero words must not matter
+  EXPECT_EQ(a, b);
+  b.Set(9999);
+  EXPECT_NE(a, b);
+}
+
+TEST(BitmapTest, SubsetChecks) {
+  Bitmap a = Bitmap::FromIds({1, 2});
+  Bitmap b = Bitmap::FromIds({1, 2, 3});
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+  Bitmap empty;
+  EXPECT_TRUE(empty.IsSubsetOf(a));
+  EXPECT_TRUE(empty.IsSubsetOf(empty));
+}
+
+TEST(BitmapTest, SubsetWithLongerLhs) {
+  Bitmap a = Bitmap::FromIds({1, 5000});
+  Bitmap b = Bitmap::FromIds({1});
+  EXPECT_FALSE(a.IsSubsetOf(b));
+}
+
+TEST(BitmapTest, DisjointChecks) {
+  Bitmap a = Bitmap::FromIds({1, 3});
+  Bitmap b = Bitmap::FromIds({2, 4});
+  EXPECT_TRUE(a.DisjointWith(b));
+  b.Set(3);
+  EXPECT_FALSE(a.DisjointWith(b));
+}
+
+TEST(BitmapTest, ForEachVisitsInOrder) {
+  Bitmap bm = Bitmap::FromIds({3, 64, 70, 500});
+  std::vector<uint32_t> seen;
+  bm.ForEach([&](uint32_t b) { seen.push_back(b); });
+  EXPECT_EQ(seen, (std::vector<uint32_t>{3, 64, 70, 500}));
+}
+
+TEST(BitmapTest, SizeBytesMatchesPaperFormula) {
+  // N indexed files => ceil(N/64) words => ~N/8 bytes, the paper's per-directory cost.
+  Bitmap bm(17000);
+  EXPECT_EQ(bm.SizeBytes(), ((17000 + 63) / 64) * 8u);
+  EXPECT_NEAR(static_cast<double>(bm.SizeBytes()), 17000.0 / 8.0, 64.0);
+}
+
+TEST(BitmapTest, ClearAllKeepsCapacity) {
+  Bitmap bm = Bitmap::FromIds({1, 1000});
+  size_t cap = bm.CapacityBits();
+  bm.ClearAll();
+  EXPECT_TRUE(bm.Empty());
+  EXPECT_EQ(bm.CapacityBits(), cap);
+}
+
+// Property: randomized algebra laws against a reference std::set implementation.
+class BitmapAlgebraTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BitmapAlgebraTest, MatchesReferenceSetSemantics) {
+  Rng rng(GetParam());
+  std::vector<uint32_t> xs;
+  std::vector<uint32_t> ys;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back(static_cast<uint32_t>(rng.NextBelow(2048)));
+    ys.push_back(static_cast<uint32_t>(rng.NextBelow(2048)));
+  }
+  Bitmap a = Bitmap::FromIds(xs);
+  Bitmap b = Bitmap::FromIds(ys);
+
+  std::set<uint32_t> sa(xs.begin(), xs.end());
+  std::set<uint32_t> sb(ys.begin(), ys.end());
+
+  // Union
+  std::set<uint32_t> su;
+  std::set_union(sa.begin(), sa.end(), sb.begin(), sb.end(), std::inserter(su, su.end()));
+  Bitmap u = a | b;
+  EXPECT_EQ(u.ToIds(), std::vector<uint32_t>(su.begin(), su.end()));
+
+  // Intersection
+  std::set<uint32_t> si;
+  std::set_intersection(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                        std::inserter(si, si.end()));
+  Bitmap i = a & b;
+  EXPECT_EQ(i.ToIds(), std::vector<uint32_t>(si.begin(), si.end()));
+
+  // Difference
+  std::set<uint32_t> sd;
+  std::set_difference(sa.begin(), sa.end(), sb.begin(), sb.end(),
+                      std::inserter(sd, sd.end()));
+  Bitmap d = a;
+  d.AndNot(b);
+  EXPECT_EQ(d.ToIds(), std::vector<uint32_t>(sd.begin(), sd.end()));
+
+  // De Morgan within a universe: U \ (A|B) == (U\A) & (U\B)
+  Bitmap universe = Bitmap::AllUpTo(2048);
+  Bitmap lhs = universe;
+  lhs.AndNot(u);
+  Bitmap na = universe;
+  na.AndNot(a);
+  Bitmap nb = universe;
+  nb.AndNot(b);
+  EXPECT_EQ(lhs, na & nb);
+
+  // Subset/disjoint coherence
+  EXPECT_TRUE(i.IsSubsetOf(a));
+  EXPECT_TRUE(i.IsSubsetOf(b));
+  EXPECT_TRUE(d.DisjointWith(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BitmapAlgebraTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace hac

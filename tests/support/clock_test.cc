@@ -1,0 +1,34 @@
+#include "src/support/clock.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+TEST(VirtualClockTest, StartsAtZeroAndAdvances) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.Now(), 0u);
+  clock.Advance();
+  EXPECT_EQ(clock.Now(), 1u);
+  clock.Advance(41);
+  EXPECT_EQ(clock.Now(), 42u);
+}
+
+TEST(VirtualClockTest, FileSystemMutationsAdvanceIt) {
+  FileSystem fs;
+  uint64_t t0 = fs.clock().Now();
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.WriteFile("/d/f", "x").ok());
+  EXPECT_GT(fs.clock().Now(), t0);
+  uint64_t t1 = fs.clock().Now();
+  // Reads do not advance virtual time.
+  ASSERT_TRUE(fs.ReadFileToString("/d/f").ok());
+  ASSERT_TRUE(fs.StatPath("/d/f").ok());
+  ASSERT_TRUE(fs.ReadDir("/d").ok());
+  EXPECT_EQ(fs.clock().Now(), t1);
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,83 @@
+#include "src/support/id_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+TEST(IdSetTest, ConstructorSortsAndDedups) {
+  IdSet s({5, 1, 5, 3, 1});
+  EXPECT_EQ(s.ids(), (std::vector<uint32_t>{1, 3, 5}));
+  EXPECT_EQ(s.Size(), 3u);
+}
+
+TEST(IdSetTest, InsertKeepsOrder) {
+  IdSet s;
+  s.Insert(10);
+  s.Insert(5);
+  s.Insert(7);
+  s.Insert(5);
+  EXPECT_EQ(s.ids(), (std::vector<uint32_t>{5, 7, 10}));
+}
+
+TEST(IdSetTest, EraseAndContains) {
+  IdSet s({1, 2, 3});
+  EXPECT_TRUE(s.Contains(2));
+  s.Erase(2);
+  EXPECT_FALSE(s.Contains(2));
+  s.Erase(2);  // idempotent
+  EXPECT_EQ(s.Size(), 2u);
+}
+
+TEST(IdSetTest, SetOperations) {
+  IdSet a({1, 2, 3});
+  IdSet b({3, 4});
+  EXPECT_EQ(a.Union(b).ids(), (std::vector<uint32_t>{1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b).ids(), (std::vector<uint32_t>{3}));
+  EXPECT_EQ(a.Difference(b).ids(), (std::vector<uint32_t>{1, 2}));
+  EXPECT_TRUE(a.Intersect(b).IsSubsetOf(a));
+}
+
+TEST(IdSetTest, BitmapRoundTrip) {
+  IdSet s({0, 64, 100, 4000});
+  EXPECT_EQ(IdSet::FromBitmap(s.ToBitmap()), s);
+}
+
+TEST(IdSetTest, SpaceScalesWithMembership) {
+  // The point of the paper's future-work note: a sparse set beats N/8 bitmap bytes when
+  // few files match.
+  IdSet sparse({1, 2, 3});
+  Bitmap wide(1 << 20);
+  EXPECT_LT(sparse.SizeBytes(), wide.SizeBytes());
+}
+
+class IdSetEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IdSetEquivalenceTest, AgreesWithBitmapAlgebra) {
+  Rng rng(GetParam());
+  std::vector<uint32_t> xs;
+  std::vector<uint32_t> ys;
+  for (int i = 0; i < 300; ++i) {
+    xs.push_back(static_cast<uint32_t>(rng.NextBelow(4096)));
+    ys.push_back(static_cast<uint32_t>(rng.NextBelow(4096)));
+  }
+  IdSet a(xs);
+  IdSet b(ys);
+  Bitmap ba = Bitmap::FromIds(xs);
+  Bitmap bb = Bitmap::FromIds(ys);
+
+  EXPECT_EQ(a.Union(b).ToBitmap(), ba | bb);
+  EXPECT_EQ(a.Intersect(b).ToBitmap(), ba & bb);
+  Bitmap diff = ba;
+  diff.AndNot(bb);
+  EXPECT_EQ(a.Difference(b).ToBitmap(), diff);
+  EXPECT_EQ(a.IsSubsetOf(b), ba.IsSubsetOf(bb));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdSetEquivalenceTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,85 @@
+#include "src/support/result.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) {
+    return Error(ErrorCode::kInvalidArgument, "not positive");
+  }
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  HAC_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return x * 2;
+}
+
+Result<void> CheckPositive(int v) {
+  HAC_RETURN_IF_ERROR(ParsePositive(v));
+  return OkResult();
+}
+
+TEST(ResultTest, ValueState) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.code(), ErrorCode::kOk);
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(ResultTest, ErrorState) {
+  Result<int> r = Error(ErrorCode::kNotFound, "nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(r.error().message, "nope");
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, InlineErrorConstruction) {
+  Result<int> r(ErrorCode::kBusy, "busy");
+  EXPECT_EQ(r.code(), ErrorCode::kBusy);
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(Doubled(21).value(), 42);
+  EXPECT_EQ(Doubled(-1).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(CheckPositive(1).ok());
+  EXPECT_EQ(CheckPositive(0).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(ResultTest, VoidResult) {
+  Result<void> ok = OkResult();
+  EXPECT_TRUE(ok.ok());
+  Result<void> err = Error(ErrorCode::kCycle, "loop");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), ErrorCode::kCycle);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> p = std::move(r).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(ErrorTest, ToStringIncludesCodeAndMessage) {
+  Error e(ErrorCode::kNotFound, "/a/b");
+  EXPECT_EQ(e.ToString(), "not_found: /a/b");
+  Error bare(ErrorCode::kCycle, "");
+  EXPECT_EQ(bare.ToString(), "cycle");
+}
+
+TEST(ErrorTest, EveryCodeHasAName) {
+  for (int c = 0; c <= 18; ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "unknown") << c;
+  }
+}
+
+}  // namespace
+}  // namespace hac

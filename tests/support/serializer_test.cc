@@ -1,0 +1,100 @@
+#include "src/support/serializer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+TEST(SerializerTest, FixedWidthRoundTrip) {
+  ByteWriter w;
+  w.PutU8(0xAB);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, VarintBoundaries) {
+  ByteWriter w;
+  const uint64_t values[] = {0, 1, 127, 128, 16383, 16384, 0xFFFFFFFFull, ~0ull};
+  for (uint64_t v : values) {
+    w.PutVarint(v);
+  }
+  ByteReader r(w.buffer());
+  for (uint64_t v : values) {
+    EXPECT_EQ(r.GetVarint().value(), v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializerTest, VarintSmallValuesAreOneByte) {
+  ByteWriter w;
+  w.PutVarint(42);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(SerializerTest, StringRoundTripIncludingEmbeddedNul) {
+  ByteWriter w;
+  w.PutString("hello");
+  w.PutString(std::string("a\0b", 3));
+  w.PutString("");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), std::string("a\0b", 3));
+  EXPECT_EQ(r.GetString().value(), "");
+}
+
+TEST(SerializerTest, TruncatedBufferReportsCorrupt) {
+  ByteWriter w;
+  w.PutU64(1);
+  std::vector<uint8_t> buf = w.TakeBuffer();
+  buf.resize(4);
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetU64().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializerTest, TruncatedStringReportsCorrupt) {
+  ByteWriter w;
+  w.PutVarint(100);  // claims a 100-byte string follows
+  w.PutU8('x');
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.GetString().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializerTest, UnterminatedVarintReportsCorrupt) {
+  std::vector<uint8_t> buf = {0x80, 0x80};  // continuation bits with no end
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetVarint().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializerTest, OverlongVarintReportsCorrupt) {
+  std::vector<uint8_t> buf(11, 0x80);
+  buf.push_back(0x01);
+  ByteReader r(buf);
+  EXPECT_EQ(r.GetVarint().code(), ErrorCode::kCorrupt);
+}
+
+TEST(SerializerTest, RandomizedRoundTrip) {
+  Rng rng(99);
+  for (int round = 0; round < 50; ++round) {
+    ByteWriter w;
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 64; ++i) {
+      values.push_back(rng.Next() >> rng.NextBelow(64));
+      w.PutVarint(values.back());
+    }
+    ByteReader r(w.buffer());
+    for (uint64_t v : values) {
+      ASSERT_EQ(r.GetVarint().value(), v);
+    }
+    ASSERT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,65 @@
+#include "src/support/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(SplitStringTest, BasicSplit) {
+  EXPECT_EQ(SplitString("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitStringTest, KeepsEmptyPiecesByDefault) {
+  EXPECT_EQ(SplitString("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(SplitString(",a,", ','), (std::vector<std::string>{"", "a", ""}));
+}
+
+TEST(SplitStringTest, SkipEmpty) {
+  EXPECT_EQ(SplitString(",a,,b,", ',', /*skip_empty=*/true),
+            (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(SplitStringTest, EmptyInput) {
+  EXPECT_EQ(SplitString("", ','), (std::vector<std::string>{""}));
+  EXPECT_TRUE(SplitString("", ',', true).empty());
+}
+
+TEST(JoinStringsTest, Joins) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ","), "");
+  EXPECT_EQ(JoinStrings({"solo"}, ","), "solo");
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("FingerPrint123"), "fingerprint123");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("fingerprint", "finger"));
+  EXPECT_FALSE(StartsWith("finger", "fingerprint"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("report.txt", ".txt"));
+  EXPECT_FALSE(EndsWith(".txt", "report.txt"));
+}
+
+TEST(TrimWhitespaceTest, TrimsBothEnds) {
+  EXPECT_EQ(TrimWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("x"), "x");
+}
+
+TEST(HumanBytesTest, PicksUnits) {
+  EXPECT_EQ(HumanBytes(512), "512 B");
+  EXPECT_EQ(HumanBytes(2048), "2.0 KB");
+  EXPECT_EQ(HumanBytes(150 * 1024 * 1024), "150.0 MB");
+}
+
+TEST(FormatDoubleTest, FixedDecimals) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(46.0, 0), "46");
+}
+
+}  // namespace
+}  // namespace hac

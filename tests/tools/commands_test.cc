@@ -1,0 +1,185 @@
+#include "src/tools/commands.h"
+
+#include <gtest/gtest.h>
+
+#include "src/remote/digital_library.h"
+
+namespace hac {
+namespace {
+
+class CommandsTest : public ::testing::Test {
+ protected:
+  CommandsTest() : sh_(&fs_) {}
+
+  std::string Run(const std::string& line) {
+    auto r = sh_.Execute(line);
+    if (!r.ok()) {
+      return "ERR:" + std::string(ErrorCodeName(r.code()));
+    }
+    return r.value();
+  }
+
+  HacFileSystem fs_;
+  CommandInterpreter sh_;
+};
+
+TEST_F(CommandsTest, TokenizeBasics) {
+  EXPECT_EQ(CommandInterpreter::Tokenize("a b  c").value(),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(CommandInterpreter::Tokenize("smkdir /fp 'x AND y'").value(),
+            (std::vector<std::string>{"smkdir", "/fp", "x AND y"}));
+  EXPECT_EQ(CommandInterpreter::Tokenize("echo \"two words\"").value(),
+            (std::vector<std::string>{"echo", "two words"}));
+  EXPECT_TRUE(CommandInterpreter::Tokenize("").value().empty());
+  EXPECT_EQ(CommandInterpreter::Tokenize("open 'unterminated").code(),
+            ErrorCode::kParseError);
+  // Adjacent quotes join into one word.
+  EXPECT_EQ(CommandInterpreter::Tokenize("a'b c'd").value(),
+            (std::vector<std::string>{"ab cd"}));
+}
+
+TEST_F(CommandsTest, MkdirLsCdPwd) {
+  EXPECT_EQ(Run("mkdir /a"), "");
+  EXPECT_EQ(Run("mkdir /a/b"), "");
+  EXPECT_EQ(Run("ls /a"), "b/\n");
+  EXPECT_EQ(Run("cd /a/b"), "");
+  EXPECT_EQ(Run("pwd"), "/a/b\n");
+  // Relative paths resolve against the cwd.
+  EXPECT_EQ(Run("mkdir sub"), "");
+  EXPECT_TRUE(fs_.Exists("/a/b/sub"));
+  EXPECT_EQ(Run("cd .."), "");
+  EXPECT_EQ(Run("pwd"), "/a\n");
+}
+
+TEST_F(CommandsTest, EchoCatRmMv) {
+  EXPECT_EQ(Run("echo hello > /f.txt"), "");
+  EXPECT_EQ(Run("cat /f.txt"), "hello\n");
+  EXPECT_EQ(Run("echo more >> /f.txt"), "");
+  EXPECT_EQ(Run("cat /f.txt"), "hello\nmore\n");
+  EXPECT_EQ(Run("mv /f.txt /g.txt"), "");
+  EXPECT_EQ(Run("cat /g.txt"), "hello\nmore\n");
+  EXPECT_EQ(Run("rm /g.txt"), "");
+  EXPECT_EQ(Run("cat /g.txt"), "ERR:not_found");
+}
+
+TEST_F(CommandsTest, StatAndLn) {
+  EXPECT_EQ(Run("echo x > /t"), "");
+  EXPECT_EQ(Run("ln -s /t /l"), "");
+  std::string st = Run("stat /l");
+  EXPECT_NE(st.find("symlink"), std::string::npos);
+  EXPECT_NE(Run("ls /").find("l -> /t"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SemanticLifecycle) {
+  Run("mkdir /docs");
+  Run("echo 'fingerprint ridge' > /docs/a.txt");
+  Run("echo 'butter flour' > /docs/b.txt");
+  EXPECT_EQ(Run("reindex"), "");
+  EXPECT_EQ(Run("smkdir /fp fingerprint"), "");
+  EXPECT_EQ(Run("ls /fp"), "a.txt -> /docs/a.txt\n");
+  EXPECT_EQ(Run("sreadq /fp"), "fingerprint\n");
+  EXPECT_EQ(Run("schq /fp butter"), "");
+  EXPECT_EQ(Run("ls /fp"), "b.txt -> /docs/b.txt\n");
+  EXPECT_EQ(Run("ssync /fp"), "");
+}
+
+TEST_F(CommandsTest, SLinksShowsClassification) {
+  Run("mkdir /docs");
+  Run("echo 'fingerprint one' > /docs/a.txt");
+  Run("echo 'fingerprint two' > /docs/b.txt");
+  Run("reindex");
+  Run("smkdir /fp fingerprint");
+  Run("rm /fp/a.txt");
+  Run("ln -s /docs/b.txt /fp/pinned.txt");  // second link: promotes b.txt
+  std::string out = Run("slinks /fp");
+  EXPECT_NE(out.find("prohibited /docs/a.txt"), std::string::npos);
+  EXPECT_NE(out.find("permanent"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SActExtractsLines) {
+  Run("mkdir /docs");
+  Run("echo 'fingerprint here' > /docs/a.txt");
+  Run("echo 'nothing else' >> /docs/a.txt");
+  Run("reindex");
+  Run("smkdir /fp fingerprint");
+  EXPECT_EQ(Run("sact /fp/a.txt"), "fingerprint here\n");
+}
+
+TEST_F(CommandsTest, MountCommands) {
+  DigitalLibrary lib("lib");
+  lib.AddArticle({"a1", "FP paper", "X", "fingerprint study", "body"});
+  sh_.RegisterNameSpace("lib", &lib);
+  HacFileSystem other;
+  ASSERT_TRUE(other.WriteFile("/remote.txt", "far away").ok());
+  sh_.RegisterFileSystem("peer", &other);
+
+  Run("mkdir /lib");
+  Run("mkdir /peer");
+  EXPECT_EQ(Run("smount -s /lib lib"), "");
+  EXPECT_EQ(Run("smount -n /peer peer /"), "");
+  EXPECT_EQ(Run("cat /peer/remote.txt"), "far away");
+  EXPECT_EQ(Run("smkdir /lib/fp fingerprint"), "");
+  EXPECT_NE(Run("ls /lib/fp"), "");
+  EXPECT_EQ(Run("sumount -n /peer"), "");
+  EXPECT_EQ(Run("sumount -s /lib"), "");
+  EXPECT_EQ(Run("smount -s /lib nosuch"), "ERR:not_found");
+}
+
+TEST_F(CommandsTest, StatsAndHelp) {
+  EXPECT_NE(Run("stats").find("query evaluations"), std::string::npos);
+  EXPECT_NE(Run("help").find("smkdir"), std::string::npos);
+}
+
+TEST_F(CommandsTest, SQueryOneShotSearch) {
+  Run("mkdir /docs");
+  Run("echo 'fingerprint ridge' > /docs/a.txt");
+  Run("echo 'butter flour' > /docs/b.txt");
+  Run("reindex");
+  EXPECT_EQ(Run("squery fingerprint"), "/docs/a.txt\n");
+  EXPECT_EQ(Run("squery 'fingerprint OR butter' /docs"),
+            "/docs/a.txt\n/docs/b.txt\n");
+  EXPECT_EQ(Run("squery 'bad AND'"), "ERR:parse_error");
+  // No directory was created by searching.
+  EXPECT_EQ(Run("ls /"), "docs/\n");
+}
+
+TEST_F(CommandsTest, SPromoteAndSUnprohibit) {
+  Run("mkdir /docs");
+  Run("echo 'fingerprint one' > /docs/a.txt");
+  Run("echo 'fingerprint two' > /docs/b.txt");
+  Run("reindex");
+  Run("smkdir /fp fingerprint");
+  EXPECT_EQ(Run("spromote /fp/a.txt"), "");
+  EXPECT_NE(Run("slinks /fp").find("permanent  a.txt"), std::string::npos);
+  Run("rm /fp/b.txt");
+  EXPECT_EQ(Run("sunprohibit /fp /docs/b.txt"), "");
+  EXPECT_NE(Run("ls /fp").find("b.txt"), std::string::npos);
+  EXPECT_EQ(Run("spromote /fp/missing"), "ERR:not_found");
+  EXPECT_EQ(Run("sunprohibit /fp /docs/a.txt"), "ERR:not_found");
+}
+
+TEST_F(CommandsTest, SDumpAndSFsck) {
+  Run("mkdir /docs");
+  Run("echo 'fingerprint ridge' > /docs/a.txt");
+  Run("reindex");
+  Run("smkdir /fp fingerprint");
+  std::string dump = Run("sdump /");
+  EXPECT_NE(dump.find("[query: fingerprint]"), std::string::npos);
+  EXPECT_NE(dump.find("transient"), std::string::npos);
+  EXPECT_EQ(Run("sfsck"), "clean\n");
+}
+
+TEST_F(CommandsTest, ErrorsAndEdgeCases) {
+  EXPECT_EQ(Run("nosuchcommand"), "ERR:invalid_argument");
+  EXPECT_EQ(Run("cd /nowhere"), "ERR:not_found");
+  EXPECT_EQ(Run("mkdir"), "ERR:invalid_argument");
+  EXPECT_EQ(Run("smkdir /x"), "ERR:invalid_argument");
+  EXPECT_EQ(Run("ln /a /b"), "ERR:invalid_argument");
+  EXPECT_EQ(Run(""), "");
+  EXPECT_EQ(Run("# a comment"), "");
+  Run("echo x > /f");
+  EXPECT_EQ(Run("cd /f"), "ERR:not_a_directory");
+}
+
+}  // namespace
+}  // namespace hac

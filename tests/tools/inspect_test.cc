@@ -1,0 +1,81 @@
+#include "src/tools/inspect.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+class InspectTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/a.txt", "fingerprint ridge").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/b.txt", "fingerprint other").ok());
+    ASSERT_TRUE(fs_.WriteFile("/docs/extra.txt", "unrelated").ok());
+    ASSERT_TRUE(fs_.Reindex().ok());
+    ASSERT_TRUE(fs_.SMkdir("/fp", "fingerprint").ok());
+    ASSERT_TRUE(fs_.Unlink("/fp/b.txt").ok());  // prohibited
+    ASSERT_TRUE(fs_.Symlink("/docs/extra.txt", "/fp/pinned").ok());  // permanent
+  }
+  HacFileSystem fs_;
+};
+
+TEST_F(InspectTest, DumpShowsQueriesAndLinkClasses) {
+  auto dump = DumpTree(fs_);
+  ASSERT_TRUE(dump.ok());
+  const std::string& out = dump.value();
+  EXPECT_NE(out.find("[query: fingerprint]"), std::string::npos);
+  EXPECT_NE(out.find("transient  a.txt -> /docs/a.txt"), std::string::npos);
+  EXPECT_NE(out.find("permanent  pinned -> /docs/extra.txt"), std::string::npos);
+  EXPECT_NE(out.find("prohibited /docs/b.txt"), std::string::npos);
+  EXPECT_NE(out.find("file       a.txt"), std::string::npos);
+}
+
+TEST_F(InspectTest, DumpShowsDependencyGraphAndCounters) {
+  auto dump = DumpTree(fs_);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump.value().find("dependency graph"), std::string::npos);
+  EXPECT_NE(dump.value().find("/fp <- {/}"), std::string::npos);
+  EXPECT_NE(dump.value().find("counters:"), std::string::npos);
+  EXPECT_NE(dump.value().find("files: 3 live"), std::string::npos);
+}
+
+TEST_F(InspectTest, SubtreeDump) {
+  auto dump = DumpTree(fs_, "/docs");
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump.value().find("a.txt"), std::string::npos);
+  EXPECT_EQ(dump.value().find("[query:"), std::string::npos);
+}
+
+TEST_F(InspectTest, OptionsControlSections) {
+  InspectOptions opts;
+  opts.show_files = false;
+  opts.show_dependencies = false;
+  opts.show_counters = false;
+  auto dump = DumpTree(fs_, "/", opts);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump.value().find("file       "), std::string::npos);
+  EXPECT_EQ(dump.value().find("dependency graph"), std::string::npos);
+  EXPECT_EQ(dump.value().find("counters:"), std::string::npos);
+  // Links still shown.
+  EXPECT_NE(dump.value().find("transient"), std::string::npos);
+}
+
+TEST_F(InspectTest, TruncatesHugeDirectories) {
+  InspectOptions opts;
+  opts.max_entries_per_dir = 3;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs_.WriteFile("/docs/extra" + std::to_string(i), "x").ok());
+  }
+  auto dump = DumpTree(fs_, "/docs", opts);
+  ASSERT_TRUE(dump.ok());
+  EXPECT_NE(dump.value().find("more entries)"), std::string::npos);
+}
+
+TEST_F(InspectTest, ErrorsOnBadInput) {
+  EXPECT_EQ(DumpTree(fs_, "relative").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(DumpTree(fs_, "/missing").code(), ErrorCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace hac

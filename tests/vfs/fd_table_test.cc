@@ -1,0 +1,58 @@
+#include "src/vfs/fd_table.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(FdTableTest, AllocatesLowestFree) {
+  FdTable t;
+  Fd a = t.Allocate(OpenFile{1, 0, kOpenRead});
+  Fd b = t.Allocate(OpenFile{2, 0, kOpenRead});
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  ASSERT_TRUE(t.Release(a).ok());
+  Fd c = t.Allocate(OpenFile{3, 0, kOpenRead});
+  EXPECT_EQ(c, 0);  // reuses the freed slot
+}
+
+TEST(FdTableTest, GetReturnsMutableState) {
+  FdTable t;
+  Fd fd = t.Allocate(OpenFile{7, 0, kOpenRead});
+  auto of = t.Get(fd);
+  ASSERT_TRUE(of.ok());
+  of.value()->offset = 99;
+  EXPECT_EQ(t.Get(fd).value()->offset, 99u);
+}
+
+TEST(FdTableTest, InvalidFdRejected) {
+  FdTable t;
+  EXPECT_EQ(t.Get(-1).code(), ErrorCode::kBadDescriptor);
+  EXPECT_EQ(t.Get(0).code(), ErrorCode::kBadDescriptor);
+  EXPECT_EQ(t.Release(5).code(), ErrorCode::kBadDescriptor);
+}
+
+TEST(FdTableTest, DoubleReleaseRejected) {
+  FdTable t;
+  Fd fd = t.Allocate(OpenFile{1, 0, kOpenRead});
+  ASSERT_TRUE(t.Release(fd).ok());
+  EXPECT_EQ(t.Release(fd).code(), ErrorCode::kBadDescriptor);
+}
+
+TEST(FdTableTest, OpenCountAndHasOpen) {
+  FdTable t;
+  EXPECT_EQ(t.OpenCount(), 0u);
+  Fd a = t.Allocate(OpenFile{11, 0, kOpenRead});
+  Fd b = t.Allocate(OpenFile{22, 0, kOpenRead});
+  EXPECT_EQ(t.OpenCount(), 2u);
+  EXPECT_TRUE(t.HasOpen(11));
+  EXPECT_FALSE(t.HasOpen(33));
+  ASSERT_TRUE(t.Release(a).ok());
+  EXPECT_FALSE(t.HasOpen(11));
+  EXPECT_TRUE(t.HasOpen(22));
+  ASSERT_TRUE(t.Release(b).ok());
+  EXPECT_EQ(t.OpenCount(), 0u);
+}
+
+}  // namespace
+}  // namespace hac

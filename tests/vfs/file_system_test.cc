@@ -1,0 +1,198 @@
+#include "src/vfs/file_system.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+class FileSystemTest : public ::testing::Test {
+ protected:
+  FileSystem fs_;
+};
+
+TEST_F(FileSystemTest, RootExists) {
+  auto st = fs_.StatPath("/");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().type, NodeType::kDirectory);
+  EXPECT_TRUE(fs_.ReadDir("/").value().empty());
+}
+
+TEST_F(FileSystemTest, MkdirAndStat) {
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  auto st = fs_.StatPath("/a");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().type, NodeType::kDirectory);
+}
+
+TEST_F(FileSystemTest, MkdirErrors) {
+  ASSERT_TRUE(fs_.Mkdir("/a").ok());
+  EXPECT_EQ(fs_.Mkdir("/a").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs_.Mkdir("/missing/child").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.Mkdir("relative").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(FileSystemTest, MkdirAllCreatesChain) {
+  ASSERT_TRUE(fs_.MkdirAll("/a/b/c").ok());
+  EXPECT_TRUE(fs_.Exists("/a/b/c"));
+  // Idempotent.
+  EXPECT_TRUE(fs_.MkdirAll("/a/b/c").ok());
+}
+
+TEST_F(FileSystemTest, MkdirAllFailsThroughFile) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "x").ok());
+  EXPECT_EQ(fs_.MkdirAll("/f/sub").code(), ErrorCode::kNotADirectory);
+}
+
+TEST_F(FileSystemTest, CreateWriteRead) {
+  ASSERT_TRUE(fs_.WriteFile("/f.txt", "hello").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/f.txt").value(), "hello");
+  EXPECT_EQ(fs_.StatPath("/f.txt").value().size, 5u);
+}
+
+TEST_F(FileSystemTest, OpenFlagsValidation) {
+  EXPECT_EQ(fs_.Open("/x", 0).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Open("/x", kOpenCreate).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Open("/missing", kOpenRead).code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, OpenDirectoryFails) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_EQ(fs_.Open("/d", kOpenRead).code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(FileSystemTest, TruncateClearsContent) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "0123456789").ok());
+  auto fd = fs_.Open("/f", kOpenWrite | kOpenTruncate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Close(fd.value()).ok());
+  EXPECT_EQ(fs_.StatPath("/f").value().size, 0u);
+}
+
+TEST_F(FileSystemTest, AppendWritesAtEnd) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "ab").ok());
+  ASSERT_TRUE(fs_.AppendFile("/f", "cd").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/f").value(), "abcd");
+}
+
+TEST_F(FileSystemTest, SeekAndSparseWrite) {
+  auto fd = fs_.Open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Seek(fd.value(), 4).ok());
+  ASSERT_EQ(fs_.Write(fd.value(), "xy", 2).value(), 2u);
+  ASSERT_TRUE(fs_.Close(fd.value()).ok());
+  std::string data = fs_.ReadFileToString("/f").value();
+  EXPECT_EQ(data.size(), 6u);
+  EXPECT_EQ(data.substr(0, 4), std::string(4, '\0'));
+  EXPECT_EQ(data.substr(4), "xy");
+}
+
+TEST_F(FileSystemTest, ReadRespectsOffsetAndEof) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "abcdef").ok());
+  auto fd = fs_.Open("/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  char buf[4];
+  EXPECT_EQ(fs_.Read(fd.value(), buf, 4).value(), 4u);
+  EXPECT_EQ(std::string(buf, 4), "abcd");
+  EXPECT_EQ(fs_.Read(fd.value(), buf, 4).value(), 2u);
+  EXPECT_EQ(fs_.Read(fd.value(), buf, 4).value(), 0u);  // EOF
+  ASSERT_TRUE(fs_.Close(fd.value()).ok());
+}
+
+TEST_F(FileSystemTest, ReadOnWriteOnlyFdFails) {
+  auto fd = fs_.Open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  char buf[1];
+  EXPECT_EQ(fs_.Read(fd.value(), buf, 1).code(), ErrorCode::kPermission);
+  EXPECT_EQ(fs_.Write(fs_.Open("/f", kOpenRead).value(), "x", 1).code(),
+            ErrorCode::kPermission);
+}
+
+TEST_F(FileSystemTest, ClosedFdIsInvalid) {
+  auto fd = fs_.Open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Close(fd.value()).ok());
+  char buf[1];
+  EXPECT_EQ(fs_.Read(fd.value(), buf, 1).code(), ErrorCode::kBadDescriptor);
+  EXPECT_EQ(fs_.Close(fd.value()).code(), ErrorCode::kBadDescriptor);
+}
+
+TEST_F(FileSystemTest, UnlinkFile) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "x").ok());
+  ASSERT_TRUE(fs_.Unlink("/f").ok());
+  EXPECT_FALSE(fs_.Exists("/f"));
+  EXPECT_EQ(fs_.Unlink("/f").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(FileSystemTest, UnlinkDirectoryFails) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  EXPECT_EQ(fs_.Unlink("/d").code(), ErrorCode::kIsADirectory);
+}
+
+TEST_F(FileSystemTest, RmdirSemantics) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/f", "x").ok());
+  EXPECT_EQ(fs_.Rmdir("/d").code(), ErrorCode::kNotEmpty);
+  ASSERT_TRUE(fs_.Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_.Rmdir("/d").ok());
+  EXPECT_EQ(fs_.Rmdir("/").code(), ErrorCode::kPermission);
+}
+
+TEST_F(FileSystemTest, ReadDirSortedAndTyped) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/b.txt", "x").ok());
+  ASSERT_TRUE(fs_.Mkdir("/d/a").ok());
+  ASSERT_TRUE(fs_.Symlink("/d/b.txt", "/d/c.lnk").ok());
+  auto entries = fs_.ReadDir("/d").value();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "a");
+  EXPECT_EQ(entries[0].type, NodeType::kDirectory);
+  EXPECT_EQ(entries[1].name, "b.txt");
+  EXPECT_EQ(entries[1].type, NodeType::kFile);
+  EXPECT_EQ(entries[2].name, "c.lnk");
+  EXPECT_EQ(entries[2].type, NodeType::kSymlink);
+}
+
+TEST_F(FileSystemTest, LookupAndPathOfRoundTrip) {
+  ASSERT_TRUE(fs_.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(fs_.WriteFile("/a/b/f", "x").ok());
+  auto id = fs_.Lookup("/a/b/f");
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(fs_.PathOf(id.value()).value(), "/a/b/f");
+  EXPECT_EQ(fs_.PathOf(fs_.root_id()).value(), "/");
+}
+
+TEST_F(FileSystemTest, StatsCountOperations) {
+  fs_.stats().Reset();
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/f", "xyz").ok());
+  EXPECT_EQ(fs_.stats().mkdirs, 1u);
+  EXPECT_EQ(fs_.stats().creates, 1u);
+  EXPECT_EQ(fs_.stats().writes, 1u);
+  EXPECT_EQ(fs_.stats().written_bytes, 3u);
+  EXPECT_GE(fs_.stats().lookups, 2u);
+}
+
+TEST_F(FileSystemTest, MtimeAdvancesOnWrite) {
+  ASSERT_TRUE(fs_.WriteFile("/f", "a").ok());
+  uint64_t t1 = fs_.StatPath("/f").value().mtime;
+  ASSERT_TRUE(fs_.AppendFile("/f", "b").ok());
+  uint64_t t2 = fs_.StatPath("/f").value().mtime;
+  EXPECT_GT(t2, t1);
+}
+
+TEST_F(FileSystemTest, TotalDataBytes) {
+  ASSERT_TRUE(fs_.WriteFile("/a", "12345").ok());
+  ASSERT_TRUE(fs_.WriteFile("/b", "123").ok());
+  EXPECT_EQ(fs_.TotalDataBytes(), 8u);
+}
+
+TEST_F(FileSystemTest, ListTreeEnumeratesEverything) {
+  ASSERT_TRUE(fs_.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(fs_.WriteFile("/a/f1", "x").ok());
+  ASSERT_TRUE(fs_.WriteFile("/a/b/f2", "x").ok());
+  auto tree = fs_.ListTree("/a").value();
+  EXPECT_EQ(tree, (std::vector<std::string>{"/a/b", "/a/b/f2", "/a/f1"}));
+}
+
+}  // namespace
+}  // namespace hac

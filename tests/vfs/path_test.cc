@@ -1,0 +1,72 @@
+#include "src/vfs/path.h"
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+TEST(NormalizePathTest, CollapsesSeparatorsAndDots) {
+  EXPECT_EQ(NormalizePath("/"), "/");
+  EXPECT_EQ(NormalizePath("//"), "/");
+  EXPECT_EQ(NormalizePath("/a//b/"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/./b"), "/a/b");
+  EXPECT_EQ(NormalizePath("/a/b/.."), "/a");
+  EXPECT_EQ(NormalizePath("/a/../../b"), "/b");
+  EXPECT_EQ(NormalizePath("/.."), "/");
+  EXPECT_EQ(NormalizePath("/a/b/c/../../d"), "/a/d");
+}
+
+TEST(NormalizePathTest, RejectsRelativeAndEmpty) {
+  EXPECT_EQ(NormalizePath(""), "");
+  EXPECT_EQ(NormalizePath("a/b"), "");
+  EXPECT_EQ(NormalizePath("./a"), "");
+}
+
+TEST(SplitPathTest, Splits) {
+  EXPECT_EQ(SplitPath("/a/b/c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitPath("/").empty());
+  EXPECT_EQ(SplitPath("/x"), std::vector<std::string>{"x"});
+}
+
+TEST(JoinPathTest, Joins) {
+  EXPECT_EQ(JoinPath("/a/b", "c"), "/a/b/c");
+  EXPECT_EQ(JoinPath("/", "c"), "/c");
+  EXPECT_EQ(JoinPath("", "c"), "/c");
+}
+
+TEST(DirBaseNameTest, Decomposes) {
+  EXPECT_EQ(DirName("/a/b/c"), "/a/b");
+  EXPECT_EQ(DirName("/a"), "/");
+  EXPECT_EQ(DirName("/"), "/");
+  EXPECT_EQ(BaseName("/a/b/c"), "c");
+  EXPECT_EQ(BaseName("/a"), "a");
+  EXPECT_EQ(BaseName("/"), "");
+}
+
+TEST(IsValidEntryNameTest, Rules) {
+  EXPECT_TRUE(IsValidEntryName("file.txt"));
+  EXPECT_TRUE(IsValidEntryName("a~2"));
+  EXPECT_FALSE(IsValidEntryName(""));
+  EXPECT_FALSE(IsValidEntryName("."));
+  EXPECT_FALSE(IsValidEntryName(".."));
+  EXPECT_FALSE(IsValidEntryName("a/b"));
+}
+
+TEST(PathIsWithinTest, Containment) {
+  EXPECT_TRUE(PathIsWithin("/a/b", "/a"));
+  EXPECT_TRUE(PathIsWithin("/a", "/a"));
+  EXPECT_TRUE(PathIsWithin("/anything", "/"));
+  EXPECT_FALSE(PathIsWithin("/ab", "/a"));  // sibling with shared prefix
+  EXPECT_FALSE(PathIsWithin("/a", "/a/b"));
+}
+
+TEST(RebasePathTest, Rewrites) {
+  EXPECT_EQ(RebasePath("/a/b/x", "/a/b", "/q"), "/q/x");
+  EXPECT_EQ(RebasePath("/a/b", "/a/b", "/q"), "/q");
+  EXPECT_EQ(RebasePath("/a/b", "/a/b", "/"), "/");
+  EXPECT_EQ(RebasePath("/x/y", "/", "/m"), "/m/x/y");
+  EXPECT_EQ(RebasePath("/x", "/x", "/x2"), "/x2");
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+TEST(PersistenceTest, EmptyFsRoundTrips) {
+  FileSystem fs;
+  auto image = fs.SaveImage();
+  auto loaded = FileSystem::LoadImage(image);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.value().ReadDir("/").value().empty());
+}
+
+TEST(PersistenceTest, FullTreeRoundTrips) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/f.txt", "content one").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/b/g.txt", "content two").ok());
+  ASSERT_TRUE(fs.Symlink("/a/f.txt", "/a/b/link").ok());
+
+  auto loaded = FileSystem::LoadImage(fs.SaveImage());
+  ASSERT_TRUE(loaded.ok());
+  FileSystem& l = loaded.value();
+  EXPECT_EQ(l.ReadFileToString("/a/f.txt").value(), "content one");
+  EXPECT_EQ(l.ReadFileToString("/a/b/g.txt").value(), "content two");
+  EXPECT_EQ(l.ReadLink("/a/b/link").value(), "/a/f.txt");
+  EXPECT_EQ(l.ReadFileToString("/a/b/link").value(), "content one");
+  EXPECT_EQ(l.InodeCount(), fs.InodeCount());
+}
+
+TEST(PersistenceTest, MtimePreservedAndClockResumes) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  uint64_t mtime = fs.StatPath("/f").value().mtime;
+  auto loaded = FileSystem::LoadImage(fs.SaveImage());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().StatPath("/f").value().mtime, mtime);
+  // New mutations get later timestamps than anything persisted.
+  ASSERT_TRUE(loaded.value().WriteFile("/g", "y").ok());
+  EXPECT_GT(loaded.value().StatPath("/g").value().mtime, mtime);
+}
+
+TEST(PersistenceTest, LoadedFsAcceptsNewOperations) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/a").ok());
+  auto loaded = FileSystem::LoadImage(fs.SaveImage());
+  ASSERT_TRUE(loaded.ok());
+  FileSystem& l = loaded.value();
+  ASSERT_TRUE(l.WriteFile("/a/new", "fresh").ok());
+  ASSERT_TRUE(l.Mkdir("/a/dir").ok());
+  EXPECT_EQ(l.ReadFileToString("/a/new").value(), "fresh");
+  // Inode ids never collide with persisted ones.
+  EXPECT_NE(l.StatPath("/a/new").value().inode, l.StatPath("/a").value().inode);
+}
+
+TEST(PersistenceTest, BadMagicRejected) {
+  std::vector<uint8_t> junk = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(FileSystem::LoadImage(junk).code(), ErrorCode::kCorrupt);
+}
+
+TEST(PersistenceTest, TruncatedImageRejected) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "data").ok());
+  auto image = fs.SaveImage();
+  image.resize(image.size() / 2);
+  EXPECT_EQ(FileSystem::LoadImage(image).code(), ErrorCode::kCorrupt);
+}
+
+TEST(PersistenceTest, CorruptedEntryTargetRejected) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  auto image = fs.SaveImage();
+  // Flip bytes until validation trips; save formats without validation would accept
+  // silently. We only require: no crash, and most flips yield kCorrupt or a valid FS.
+  int rejected = 0;
+  for (size_t i = 8; i < image.size(); ++i) {
+    auto copy = image;
+    copy[i] ^= 0xFF;
+    auto loaded = FileSystem::LoadImage(copy);
+    if (!loaded.ok()) {
+      ++rejected;
+    }
+  }
+  EXPECT_GT(rejected, 0);
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+class RenameTest : public ::testing::Test {
+ protected:
+  FileSystem fs_;
+};
+
+TEST_F(RenameTest, RenameFileWithinDirectory) {
+  ASSERT_TRUE(fs_.WriteFile("/a", "x").ok());
+  ASSERT_TRUE(fs_.Rename("/a", "/b").ok());
+  EXPECT_FALSE(fs_.Exists("/a"));
+  EXPECT_EQ(fs_.ReadFileToString("/b").value(), "x");
+}
+
+TEST_F(RenameTest, RenameFileAcrossDirectories) {
+  ASSERT_TRUE(fs_.MkdirAll("/d1").ok());
+  ASSERT_TRUE(fs_.MkdirAll("/d2").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d1/f", "x").ok());
+  ASSERT_TRUE(fs_.Rename("/d1/f", "/d2/g").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/d2/g").value(), "x");
+}
+
+TEST_F(RenameTest, RenamePreservesInode) {
+  ASSERT_TRUE(fs_.WriteFile("/a", "x").ok());
+  InodeId before = fs_.StatPath("/a").value().inode;
+  ASSERT_TRUE(fs_.Rename("/a", "/b").ok());
+  EXPECT_EQ(fs_.StatPath("/b").value().inode, before);
+}
+
+TEST_F(RenameTest, FileReplacesFile) {
+  ASSERT_TRUE(fs_.WriteFile("/a", "new").ok());
+  ASSERT_TRUE(fs_.WriteFile("/b", "old").ok());
+  ASSERT_TRUE(fs_.Rename("/a", "/b").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/b").value(), "new");
+  EXPECT_FALSE(fs_.Exists("/a"));
+}
+
+TEST_F(RenameTest, DirectoryCannotReplaceAnything) {
+  ASSERT_TRUE(fs_.Mkdir("/d").ok());
+  ASSERT_TRUE(fs_.Mkdir("/e").ok());
+  EXPECT_EQ(fs_.Rename("/d", "/e").code(), ErrorCode::kAlreadyExists);
+  ASSERT_TRUE(fs_.WriteFile("/f", "x").ok());
+  EXPECT_EQ(fs_.Rename("/d", "/f").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(fs_.Rename("/f", "/d").code(), ErrorCode::kAlreadyExists);
+}
+
+TEST_F(RenameTest, RenameDirectoryMovesSubtree) {
+  ASSERT_TRUE(fs_.MkdirAll("/d/sub").ok());
+  ASSERT_TRUE(fs_.WriteFile("/d/sub/f", "deep").ok());
+  ASSERT_TRUE(fs_.Rename("/d", "/moved").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/moved/sub/f").value(), "deep");
+  EXPECT_FALSE(fs_.Exists("/d"));
+}
+
+TEST_F(RenameTest, CannotMoveDirectoryIntoItself) {
+  ASSERT_TRUE(fs_.MkdirAll("/d/sub").ok());
+  EXPECT_EQ(fs_.Rename("/d", "/d/sub/d").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.Rename("/d", "/d/d").code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(RenameTest, RenameToSelfIsNoop) {
+  ASSERT_TRUE(fs_.WriteFile("/a", "x").ok());
+  ASSERT_TRUE(fs_.Rename("/a", "/a").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/a").value(), "x");
+}
+
+TEST_F(RenameTest, RenameRootFails) {
+  EXPECT_EQ(fs_.Rename("/", "/x").code(), ErrorCode::kPermission);
+}
+
+TEST_F(RenameTest, MissingSourceFails) {
+  EXPECT_EQ(fs_.Rename("/missing", "/x").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(RenameTest, RenameSymlinkMovesLinkItself) {
+  ASSERT_TRUE(fs_.WriteFile("/t", "x").ok());
+  ASSERT_TRUE(fs_.Symlink("/t", "/l").ok());
+  ASSERT_TRUE(fs_.Rename("/l", "/l2").ok());
+  EXPECT_EQ(fs_.ReadLink("/l2").value(), "/t");
+  EXPECT_FALSE(fs_.Exists("/l"));
+  EXPECT_TRUE(fs_.Exists("/t"));
+}
+
+TEST_F(RenameTest, OpenDescriptorSurvivesRename) {
+  ASSERT_TRUE(fs_.WriteFile("/a", "abc").ok());
+  auto fd = fs_.Open("/a", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs_.Rename("/a", "/b").ok());
+  char buf[3];
+  EXPECT_EQ(fs_.Read(fd.value(), buf, 3).value(), 3u);
+  EXPECT_EQ(std::string(buf, 3), "abc");
+  ASSERT_TRUE(fs_.Close(fd.value()).ok());
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+class SymlinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkdir("/d").ok());
+    ASSERT_TRUE(fs_.WriteFile("/d/target.txt", "payload").ok());
+  }
+  FileSystem fs_;
+};
+
+TEST_F(SymlinkTest, CreateAndReadLink) {
+  ASSERT_TRUE(fs_.Symlink("/d/target.txt", "/link").ok());
+  EXPECT_EQ(fs_.ReadLink("/link").value(), "/d/target.txt");
+}
+
+TEST_F(SymlinkTest, ReadLinkOnNonSymlinkFails) {
+  EXPECT_EQ(fs_.ReadLink("/d/target.txt").code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(fs_.ReadLink("/missing").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SymlinkTest, StatFollowsLstatDoesNot) {
+  ASSERT_TRUE(fs_.Symlink("/d/target.txt", "/link").ok());
+  EXPECT_EQ(fs_.StatPath("/link").value().type, NodeType::kFile);
+  EXPECT_EQ(fs_.StatPath("/link").value().size, 7u);
+  EXPECT_EQ(fs_.LstatPath("/link").value().type, NodeType::kSymlink);
+}
+
+TEST_F(SymlinkTest, OpenFollowsLink) {
+  ASSERT_TRUE(fs_.Symlink("/d/target.txt", "/link").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/link").value(), "payload");
+}
+
+TEST_F(SymlinkTest, DanglingLinkAllowedButNotFollowable) {
+  ASSERT_TRUE(fs_.Symlink("/nowhere", "/dangling").ok());
+  EXPECT_EQ(fs_.LstatPath("/dangling").value().type, NodeType::kSymlink);
+  EXPECT_EQ(fs_.StatPath("/dangling").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.ReadFileToString("/dangling").code(), ErrorCode::kNotFound);
+}
+
+TEST_F(SymlinkTest, IntermediateSymlinkIsFollowed) {
+  ASSERT_TRUE(fs_.Symlink("/d", "/dl").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/dl/target.txt").value(), "payload");
+  EXPECT_EQ(fs_.ReadDir("/dl").value().size(), 1u);
+}
+
+TEST_F(SymlinkTest, RelativeTargetResolvesAgainstLinkDir) {
+  ASSERT_TRUE(fs_.Symlink("target.txt", "/d/rel").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/d/rel").value(), "payload");
+}
+
+TEST_F(SymlinkTest, ChainOfLinksResolves) {
+  ASSERT_TRUE(fs_.Symlink("/d/target.txt", "/l1").ok());
+  ASSERT_TRUE(fs_.Symlink("/l1", "/l2").ok());
+  ASSERT_TRUE(fs_.Symlink("/l2", "/l3").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/l3").value(), "payload");
+}
+
+TEST_F(SymlinkTest, LoopDetected) {
+  ASSERT_TRUE(fs_.Symlink("/b", "/a").ok());
+  ASSERT_TRUE(fs_.Symlink("/a", "/b").ok());
+  EXPECT_EQ(fs_.StatPath("/a").code(), ErrorCode::kTooManyLinks);
+}
+
+TEST_F(SymlinkTest, SelfLoopDetected) {
+  ASSERT_TRUE(fs_.Symlink("/self", "/self").ok());
+  EXPECT_EQ(fs_.ReadFileToString("/self").code(), ErrorCode::kTooManyLinks);
+}
+
+TEST_F(SymlinkTest, UnlinkRemovesLinkNotTarget) {
+  ASSERT_TRUE(fs_.Symlink("/d/target.txt", "/link").ok());
+  ASSERT_TRUE(fs_.Unlink("/link").ok());
+  EXPECT_FALSE(fs_.Exists("/link"));
+  EXPECT_TRUE(fs_.Exists("/d/target.txt"));
+}
+
+TEST_F(SymlinkTest, SymlinkOverExistingFails) {
+  EXPECT_EQ(fs_.Symlink("/x", "/d/target.txt").code(), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace hac

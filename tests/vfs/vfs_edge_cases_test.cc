@@ -1,0 +1,137 @@
+// Odds and ends in VFS semantics that the main suites don't pin down.
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+TEST(VfsEdgeCasesTest, CreateThroughDanglingSymlinkCreatesTarget) {
+  // POSIX O_CREAT through a dangling symlink creates the target file.
+  FileSystem fs;
+  ASSERT_TRUE(fs.Mkdir("/d").ok());
+  ASSERT_TRUE(fs.Symlink("/d/target.txt", "/link").ok());
+  EXPECT_FALSE(fs.Exists("/d/target.txt"));
+  ASSERT_TRUE(fs.WriteFile("/link", "created through the link").ok());
+  EXPECT_EQ(fs.ReadFileToString("/d/target.txt").value(), "created through the link");
+  EXPECT_EQ(fs.LstatPath("/link").value().type, NodeType::kSymlink);
+}
+
+TEST(VfsEdgeCasesTest, ReadDirOnFileFails) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  EXPECT_EQ(fs.ReadDir("/f").code(), ErrorCode::kNotADirectory);
+}
+
+TEST(VfsEdgeCasesTest, LookupThroughFileComponentFails) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  EXPECT_EQ(fs.StatPath("/f/child").code(), ErrorCode::kNotADirectory);
+}
+
+TEST(VfsEdgeCasesTest, DotAndDotDotResolveLexically) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.MkdirAll("/a/b").ok());
+  ASSERT_TRUE(fs.WriteFile("/a/b/f", "deep").ok());
+  EXPECT_EQ(fs.ReadFileToString("/a/./b/../b/f").value(), "deep");
+  EXPECT_EQ(fs.ReadFileToString("/../a/b/f").value(), "deep");
+}
+
+TEST(VfsEdgeCasesTest, LongNamesAndDeepTrees) {
+  FileSystem fs;
+  std::string name(200, 'n');
+  ASSERT_TRUE(fs.Mkdir("/" + name).ok());
+  EXPECT_TRUE(fs.Exists("/" + name));
+  std::string path;
+  for (int d = 0; d < 100; ++d) {
+    path += "/d";
+    ASSERT_TRUE(fs.Mkdir(path).ok());
+  }
+  ASSERT_TRUE(fs.WriteFile(path + "/leaf", "x").ok());
+  EXPECT_TRUE(fs.Exists(path + "/leaf"));
+}
+
+TEST(VfsEdgeCasesTest, ZeroByteIo) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "").ok());
+  EXPECT_EQ(fs.StatPath("/f").value().size, 0u);
+  auto fd = fs.Open("/f", kOpenRead | kOpenWrite);
+  ASSERT_TRUE(fd.ok());
+  char buf[1];
+  EXPECT_EQ(fs.Read(fd.value(), buf, 0).value(), 0u);
+  EXPECT_EQ(fs.Write(fd.value(), buf, 0).value(), 0u);
+  ASSERT_TRUE(fs.Close(fd.value()).ok());
+}
+
+TEST(VfsEdgeCasesTest, MultipleFdsIndependentOffsets) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "abcdef").ok());
+  auto fd1 = fs.Open("/f", kOpenRead);
+  auto fd2 = fs.Open("/f", kOpenRead);
+  ASSERT_TRUE(fd1.ok());
+  ASSERT_TRUE(fd2.ok());
+  char b1[3];
+  char b2[6];
+  EXPECT_EQ(fs.Read(fd1.value(), b1, 3).value(), 3u);
+  EXPECT_EQ(fs.Read(fd2.value(), b2, 6).value(), 6u);
+  EXPECT_EQ(std::string(b1, 3), "abc");
+  EXPECT_EQ(std::string(b2, 6), "abcdef");
+  ASSERT_TRUE(fs.Close(fd1.value()).ok());
+  ASSERT_TRUE(fs.Close(fd2.value()).ok());
+}
+
+TEST(VfsEdgeCasesTest, WriterVisibleToConcurrentReader) {
+  FileSystem fs;
+  auto w = fs.Open("/f", kOpenWrite | kOpenCreate);
+  ASSERT_TRUE(w.ok());
+  ASSERT_EQ(fs.Write(w.value(), "live", 4).value(), 4u);
+  // A reader opened mid-write sees the bytes written so far.
+  EXPECT_EQ(fs.ReadFileToString("/f").value(), "live");
+  ASSERT_TRUE(fs.Close(w.value()).ok());
+}
+
+TEST(VfsEdgeCasesTest, UnlinkedFileReadableThroughOpenFd) {
+  // POSIX: the inode lives until the last descriptor closes.
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "ghost").ok());
+  auto fd = fs.Open("/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  uint64_t inodes_before = fs.InodeCount();
+  ASSERT_TRUE(fs.Unlink("/f").ok());
+  EXPECT_FALSE(fs.Exists("/f"));
+  EXPECT_EQ(fs.InodeCount(), inodes_before);  // kept alive
+  char buf[5];
+  EXPECT_EQ(fs.Read(fd.value(), buf, 5).value(), 5u);
+  EXPECT_EQ(std::string(buf, 5), "ghost");
+  ASSERT_TRUE(fs.Close(fd.value()).ok());
+  EXPECT_EQ(fs.InodeCount(), inodes_before - 1);  // reaped at last close
+}
+
+TEST(VfsEdgeCasesTest, ReplacedRenameTargetAliveWhileOpen) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/old", "old content").ok());
+  ASSERT_TRUE(fs.WriteFile("/new", "new content").ok());
+  auto fd = fs.Open("/old", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs.Rename("/new", "/old").ok());
+  char buf[11];
+  EXPECT_EQ(fs.Read(fd.value(), buf, 11).value(), 11u);
+  EXPECT_EQ(std::string(buf, 11), "old content");
+  ASSERT_TRUE(fs.Close(fd.value()).ok());
+  EXPECT_EQ(fs.ReadFileToString("/old").value(), "new content");
+}
+
+TEST(VfsEdgeCasesTest, OrphanedInodesNotPersisted) {
+  FileSystem fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "ghost").ok());
+  auto fd = fs.Open("/f", kOpenRead);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(fs.Unlink("/f").ok());
+  auto loaded = FileSystem::LoadImage(fs.SaveImage());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().InodeCount(), 1u);  // just the root
+  ASSERT_TRUE(fs.Close(fd.value()).ok());
+}
+
+}  // namespace
+}  // namespace hac

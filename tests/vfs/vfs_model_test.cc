@@ -1,0 +1,168 @@
+// Model-based VFS test: the file system must agree with a trivial reference model
+// (map of path -> content, set of directories) under long random operation sequences.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/support/rng.h"
+#include "src/vfs/file_system.h"
+#include "src/vfs/path.h"
+
+namespace hac {
+namespace {
+
+class VfsModelTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Reference model.
+  std::set<std::string> dirs_ = {"/"};
+  std::map<std::string, std::string> files_;
+
+  bool ModelHasParent(const std::string& path) { return dirs_.count(DirName(path)) != 0; }
+
+  void VerifyAgainstModel(FileSystem& fs) {
+    // Every model entry exists with matching content/type.
+    for (const std::string& d : dirs_) {
+      auto st = fs.StatPath(d);
+      ASSERT_TRUE(st.ok()) << d;
+      EXPECT_EQ(st.value().type, NodeType::kDirectory) << d;
+    }
+    for (const auto& [path, content] : files_) {
+      auto body = fs.ReadFileToString(path);
+      ASSERT_TRUE(body.ok()) << path;
+      EXPECT_EQ(body.value(), content) << path;
+    }
+    // And the file system holds nothing else.
+    auto tree = fs.ListTree("/");
+    ASSERT_TRUE(tree.ok());
+    EXPECT_EQ(tree.value().size(), dirs_.size() - 1 + files_.size());
+  }
+};
+
+TEST_P(VfsModelTest, RandomOpsAgreeWithModel) {
+  Rng rng(GetParam());
+  FileSystem fs;
+  int id = 0;
+  auto random_dir = [&]() {
+    auto it = dirs_.begin();
+    std::advance(it, static_cast<long>(rng.NextBelow(dirs_.size())));
+    return *it;
+  };
+  for (int step = 0; step < 500; ++step) {
+    switch (rng.NextBelow(8)) {
+      case 0: {  // mkdir
+        std::string base = random_dir();
+        std::string d = JoinPath(base == "/" ? "" : base, "d" + std::to_string(id++));
+        ASSERT_TRUE(fs.Mkdir(d).ok()) << d;
+        dirs_.insert(d);
+        break;
+      }
+      case 1: {  // create/overwrite file
+        std::string base = random_dir();
+        std::string f = JoinPath(base == "/" ? "" : base, "f" + std::to_string(id++));
+        std::string content = "c" + std::to_string(rng.Next() % 100000);
+        ASSERT_TRUE(fs.WriteFile(f, content).ok()) << f;
+        files_[f] = content;
+        break;
+      }
+      case 2: {  // append
+        if (!files_.empty()) {
+          auto it = files_.begin();
+          std::advance(it, static_cast<long>(rng.NextBelow(files_.size())));
+          ASSERT_TRUE(fs.AppendFile(it->first, "+more").ok());
+          it->second += "+more";
+        }
+        break;
+      }
+      case 3: {  // unlink
+        if (!files_.empty()) {
+          auto it = files_.begin();
+          std::advance(it, static_cast<long>(rng.NextBelow(files_.size())));
+          ASSERT_TRUE(fs.Unlink(it->first).ok());
+          files_.erase(it);
+        }
+        break;
+      }
+      case 4: {  // rmdir (only when empty in the model)
+        std::string d = random_dir();
+        if (d == "/") {
+          break;
+        }
+        bool empty = true;
+        for (const std::string& other : dirs_) {
+          if (other != d && PathIsWithin(other, d)) {
+            empty = false;
+          }
+        }
+        for (const auto& [f, c] : files_) {
+          if (PathIsWithin(f, d)) {
+            empty = false;
+          }
+        }
+        auto r = fs.Rmdir(d);
+        if (empty) {
+          ASSERT_TRUE(r.ok()) << d;
+          dirs_.erase(d);
+        } else {
+          ASSERT_EQ(r.code(), ErrorCode::kNotEmpty) << d;
+        }
+        break;
+      }
+      case 5: {  // rename a file
+        if (!files_.empty()) {
+          auto it = files_.begin();
+          std::advance(it, static_cast<long>(rng.NextBelow(files_.size())));
+          std::string base = random_dir();
+          std::string to = JoinPath(base == "/" ? "" : base, "r" + std::to_string(id++));
+          ASSERT_TRUE(fs.Rename(it->first, to).ok());
+          files_[to] = it->second;
+          files_.erase(it);
+        }
+        break;
+      }
+      case 6: {  // rename a directory (subtree move), avoiding into-itself moves
+        std::string d = random_dir();
+        if (d == "/") {
+          break;
+        }
+        std::string base = random_dir();
+        if (PathIsWithin(base, d)) {
+          break;
+        }
+        std::string to = JoinPath(base == "/" ? "" : base, "m" + std::to_string(id++));
+        ASSERT_TRUE(fs.Rename(d, to).ok()) << d << " -> " << to;
+        std::set<std::string> new_dirs;
+        for (const std::string& other : dirs_) {
+          new_dirs.insert(PathIsWithin(other, d) ? RebasePath(other, d, to) : other);
+        }
+        dirs_ = std::move(new_dirs);
+        std::map<std::string, std::string> new_files;
+        for (const auto& [f, c] : files_) {
+          new_files[PathIsWithin(f, d) ? RebasePath(f, d, to) : f] = c;
+        }
+        files_ = std::move(new_files);
+        break;
+      }
+      case 7: {  // negative lookups stay errors
+        EXPECT_EQ(fs.StatPath("/no/such/thing" + std::to_string(id)).code(),
+                  ErrorCode::kNotFound);
+        break;
+      }
+    }
+    if (step % 100 == 99) {
+      VerifyAgainstModel(fs);
+    }
+  }
+  VerifyAgainstModel(fs);
+
+  // Snapshot round trip preserves the whole state.
+  auto loaded = FileSystem::LoadImage(fs.SaveImage());
+  ASSERT_TRUE(loaded.ok());
+  VerifyAgainstModel(loaded.value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VfsModelTest,
+                         ::testing::Values(111, 222, 333, 444, 555, 666, 777, 888));
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,103 @@
+#include "src/workload/andrew.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+AndrewConfig SmallConfig() {
+  AndrewConfig cfg;
+  cfg.dirs = 3;
+  cfg.files_per_dir = 2;
+  cfg.functions_per_file = 2;
+  cfg.compile_passes = 2;
+  return cfg;
+}
+
+TEST(AndrewTest, BuildsSourceTree) {
+  FileSystem fs;
+  AndrewConfig cfg = SmallConfig();
+  ASSERT_TRUE(BuildAndrewSource(fs, cfg).ok());
+  auto tree = fs.ListTree(cfg.src_root).value();
+  size_t c_files = 0;
+  for (const std::string& p : tree) {
+    if (p.size() > 2 && p.substr(p.size() - 2) == ".c") {
+      ++c_files;
+    }
+  }
+  EXPECT_EQ(c_files, 6u);
+}
+
+TEST(AndrewTest, RunsAllPhasesOnRawVfs) {
+  FileSystem fs;
+  AndrewConfig cfg = SmallConfig();
+  ASSERT_TRUE(BuildAndrewSource(fs, cfg).ok());
+  auto times = RunAndrew(fs, cfg);
+  ASSERT_TRUE(times.ok());
+  EXPECT_GE(times.value().total_ms(), 0.0);
+  // Destination mirrors the source: same .c files plus .o files and the linked prog.
+  auto tree = fs.ListTree(cfg.dst_root).value();
+  size_t c = 0;
+  size_t o = 0;
+  bool prog = false;
+  for (const std::string& p : tree) {
+    if (p.size() > 2 && p.substr(p.size() - 2) == ".c") {
+      ++c;
+    }
+    if (p.size() > 2 && p.substr(p.size() - 2) == ".o") {
+      ++o;
+    }
+    if (p.substr(p.rfind('/') + 1) == "prog") {
+      prog = true;
+    }
+  }
+  EXPECT_EQ(c, 6u);
+  EXPECT_EQ(o, 6u);
+  EXPECT_TRUE(prog);
+}
+
+TEST(AndrewTest, CopyPreservesContent) {
+  FileSystem fs;
+  AndrewConfig cfg = SmallConfig();
+  ASSERT_TRUE(BuildAndrewSource(fs, cfg).ok());
+  ASSERT_TRUE(RunAndrew(fs, cfg).ok());
+  std::string src = fs.ReadFileToString(cfg.src_root + "/sub0/f0_0.c").value();
+  std::string dst = fs.ReadFileToString(cfg.dst_root + "/sub0/f0_0.c").value();
+  EXPECT_EQ(src, dst);
+}
+
+TEST(AndrewTest, RunsOnHacFileSystem) {
+  HacFileSystem fs;
+  AndrewConfig cfg = SmallConfig();
+  ASSERT_TRUE(BuildAndrewSource(fs, cfg).ok());
+  auto times = RunAndrew(fs, cfg);
+  ASSERT_TRUE(times.ok());
+  // HAC registered every created file.
+  EXPECT_GT(fs.registry().LiveCount(), 12u);  // sources + copies + objects
+}
+
+TEST(AndrewTest, DeterministicSourceTree) {
+  FileSystem a;
+  FileSystem b;
+  AndrewConfig cfg = SmallConfig();
+  ASSERT_TRUE(BuildAndrewSource(a, cfg).ok());
+  ASSERT_TRUE(BuildAndrewSource(b, cfg).ok());
+  EXPECT_EQ(a.ReadFileToString(cfg.src_root + "/sub1/f1_1.c").value(),
+            b.ReadFileToString(cfg.src_root + "/sub1/f1_1.c").value());
+}
+
+TEST(AndrewTest, RerunWithFreshDestination) {
+  FileSystem fs;
+  AndrewConfig cfg = SmallConfig();
+  ASSERT_TRUE(BuildAndrewSource(fs, cfg).ok());
+  ASSERT_TRUE(RunAndrew(fs, cfg).ok());
+  AndrewConfig second = cfg;
+  second.dst_root = "/andrew/dst2";
+  EXPECT_TRUE(RunAndrew(fs, second).ok());
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,127 @@
+#include "src/workload/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+
+namespace hac {
+namespace {
+
+TEST(CorpusTest, GeneratesRequestedFileCount) {
+  FileSystem fs;
+  CorpusOptions opts;
+  opts.num_files = 50;
+  opts.dirs = 5;
+  opts.words_per_file = 60;
+  auto info = GenerateCorpus(fs, opts);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().files, 50u);
+  EXPECT_GT(info.value().bytes, 1000u);
+  // All files live under the corpus root.
+  auto tree = fs.ListTree("/corpus").value();
+  size_t file_count = 0;
+  for (const std::string& p : tree) {
+    if (fs.StatPath(p).value().type == NodeType::kFile) {
+      ++file_count;
+    }
+  }
+  EXPECT_EQ(file_count, 50u);
+}
+
+TEST(CorpusTest, DeterministicAcrossRuns) {
+  FileSystem a;
+  FileSystem b;
+  CorpusOptions opts;
+  opts.num_files = 20;
+  opts.seed = 77;
+  ASSERT_TRUE(GenerateCorpus(a, opts).ok());
+  ASSERT_TRUE(GenerateCorpus(b, opts).ok());
+  auto ta = a.ListTree("/corpus").value();
+  auto tb = b.ListTree("/corpus").value();
+  ASSERT_EQ(ta, tb);
+  for (const std::string& p : ta) {
+    if (a.StatPath(p).value().type == NodeType::kFile) {
+      EXPECT_EQ(a.ReadFileToString(p).value(), b.ReadFileToString(p).value()) << p;
+    }
+  }
+}
+
+TEST(CorpusTest, DifferentSeedsDiffer) {
+  FileSystem a;
+  FileSystem b;
+  CorpusOptions opts;
+  opts.num_files = 10;
+  opts.seed = 1;
+  ASSERT_TRUE(GenerateCorpus(a, opts).ok());
+  opts.seed = 2;
+  ASSERT_TRUE(GenerateCorpus(b, opts).ok());
+  bool differs = false;
+  for (const std::string& p : a.ListTree("/corpus").value()) {
+    if (a.StatPath(p).value().type != NodeType::kFile || !b.Exists(p)) {
+      continue;
+    }
+    if (a.ReadFileToString(p).value() != b.ReadFileToString(p).value()) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(CorpusTest, TopicMarkersAppearInDocuments) {
+  Rng rng(5);
+  std::string doc = GenerateDocument(rng, {"fingerprint"}, 100);
+  EXPECT_NE(doc.find("fingerprint"), std::string::npos);
+}
+
+TEST(CorpusTest, EmailHasHeaders) {
+  Rng rng(6);
+  std::string mail = GenerateEmail(rng, "alice", "bob", "fingerprint", 40);
+  EXPECT_NE(mail.find("From: alice"), std::string::npos);
+  EXPECT_NE(mail.find("To: bob"), std::string::npos);
+  EXPECT_NE(mail.find("Subject: about fingerprint"), std::string::npos);
+}
+
+TEST(CorpusTest, CSourceLooksLikeC) {
+  Rng rng(7);
+  std::string src = GenerateCSource(rng, "kernel", 3);
+  EXPECT_NE(src.find("#include <stdio.h>"), std::string::npos);
+  EXPECT_NE(src.find("int kernel_op0"), std::string::npos);
+  EXPECT_NE(src.find("int main(void)"), std::string::npos);
+}
+
+TEST(CorpusTest, MixIncludesEmailsAndSources) {
+  FileSystem fs;
+  CorpusOptions opts;
+  opts.num_files = 40;
+  opts.email_fraction = 0.25;
+  opts.source_fraction = 0.25;
+  ASSERT_TRUE(GenerateCorpus(fs, opts).ok());
+  size_t emails = 0;
+  size_t sources = 0;
+  size_t notes = 0;
+  for (const std::string& p : fs.ListTree("/corpus").value()) {
+    if (p.size() > 4 && p.substr(p.size() - 4) == ".eml") {
+      ++emails;
+    } else if (p.size() > 2 && p.substr(p.size() - 2) == ".c") {
+      ++sources;
+    } else if (p.size() > 4 && p.substr(p.size() - 4) == ".txt") {
+      ++notes;
+    }
+  }
+  EXPECT_EQ(emails, 10u);
+  EXPECT_EQ(sources, 10u);
+  EXPECT_EQ(notes, 20u);
+}
+
+TEST(CorpusTest, TopicsListedInInfo) {
+  FileSystem fs;
+  CorpusOptions opts;
+  opts.num_files = 5;
+  auto info = GenerateCorpus(fs, opts);
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info.value().topics, CorpusTopics());
+  EXPECT_GE(CorpusTopics().size(), 10u);
+}
+
+}  // namespace
+}  // namespace hac

@@ -1,0 +1,78 @@
+#include "src/workload/query_workload.h"
+
+#include <gtest/gtest.h>
+
+#include "src/vfs/file_system.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+class QueryWorkloadTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    FileSystem fs;
+    CorpusOptions opts;
+    opts.num_files = 400;
+    opts.words_per_file = 120;
+    ASSERT_TRUE(GenerateCorpus(fs, opts).ok());
+    DocId doc = 0;
+    for (const std::string& p : fs.ListTree("/corpus").value()) {
+      auto st = fs.StatPath(p).value();
+      if (st.type == NodeType::kFile) {
+        ASSERT_TRUE(index_.IndexDocument(doc++, fs.ReadFileToString(p).value()).ok());
+      }
+    }
+    total_docs_ = doc;
+  }
+  InvertedIndex index_;
+  size_t total_docs_ = 0;
+};
+
+TEST_F(QueryWorkloadTest, BucketsRespectSelectivityBands) {
+  QueryBucketOptions opts;
+  opts.per_bucket = 4;
+  QueryBuckets buckets = SelectQueryBuckets(index_, total_docs_, opts);
+  ASSERT_FALSE(buckets.few.empty());
+  ASSERT_FALSE(buckets.medium.empty());
+  ASSERT_FALSE(buckets.many.empty());
+
+  for (const std::string& t : buckets.few) {
+    EXPECT_LE(index_.TermFrequency(t),
+              static_cast<size_t>(opts.few_max_frac * static_cast<double>(total_docs_)))
+        << t;
+    EXPECT_GE(index_.TermFrequency(t), 1u);
+  }
+  for (const std::string& t : buckets.medium) {
+    double frac = static_cast<double>(index_.TermFrequency(t)) /
+                  static_cast<double>(total_docs_);
+    EXPECT_GE(frac, opts.medium_lo_frac * 0.9) << t;
+    EXPECT_LE(frac, opts.medium_hi_frac * 1.1) << t;
+  }
+  for (const std::string& t : buckets.many) {
+    double frac = static_cast<double>(index_.TermFrequency(t)) /
+                  static_cast<double>(total_docs_);
+    EXPECT_GE(frac, opts.many_min_frac * 0.9) << t;
+  }
+}
+
+TEST_F(QueryWorkloadTest, RespectsPerBucketCount) {
+  QueryBucketOptions opts;
+  opts.per_bucket = 3;
+  QueryBuckets buckets = SelectQueryBuckets(index_, total_docs_, opts);
+  EXPECT_LE(buckets.few.size(), 3u);
+  EXPECT_LE(buckets.medium.size(), 3u);
+  EXPECT_LE(buckets.many.size(), 3u);
+}
+
+TEST_F(QueryWorkloadTest, TermsAreDistinct) {
+  QueryBuckets buckets = SelectQueryBuckets(index_, total_docs_, {});
+  auto all = buckets.few;
+  all.insert(all.end(), buckets.medium.begin(), buckets.medium.end());
+  all.insert(all.end(), buckets.many.begin(), buckets.many.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
+}  // namespace
+}  // namespace hac

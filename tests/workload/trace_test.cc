@@ -1,0 +1,139 @@
+#include "src/workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "src/core/hac_file_system.h"
+#include "src/support/rng.h"
+#include "src/vfs/file_system.h"
+#include "src/workload/andrew.h"
+
+namespace hac {
+namespace {
+
+TEST(TraceTest, RecordsAndReplaysBasicSession) {
+  FileSystem backing;
+  TracingFs traced(&backing);
+  ASSERT_TRUE(traced.Mkdir("/d").ok());
+  ASSERT_TRUE(traced.WriteFile("/d/f.txt", "hello").ok());
+  ASSERT_TRUE(traced.ReadFileToString("/d/f.txt").ok());
+  ASSERT_TRUE(traced.Rename("/d/f.txt", "/d/g.txt").ok());
+  ASSERT_TRUE(traced.Symlink("/d/g.txt", "/l").ok());
+  EXPECT_GT(traced.trace().size(), 5u);
+
+  FileSystem fresh;
+  auto stats = ReplayTrace(traced.trace(), fresh);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().mismatches, 0u);
+  EXPECT_EQ(fresh.ReadFileToString("/d/g.txt").value(), "hello");
+  EXPECT_EQ(fresh.ReadLink("/l").value(), "/d/g.txt");
+  EXPECT_EQ(fresh.ListTree("/").value(), backing.ListTree("/").value());
+}
+
+TEST(TraceTest, FailedOperationsAreRecordedAndReplayMatches) {
+  FileSystem backing;
+  TracingFs traced(&backing);
+  EXPECT_FALSE(traced.Mkdir("/a/b").ok());  // parent missing
+  EXPECT_FALSE(traced.Unlink("/missing").ok());
+  ASSERT_TRUE(traced.Mkdir("/a").ok());
+  EXPECT_FALSE(traced.Mkdir("/a").ok());  // duplicate
+
+  FileSystem fresh;
+  auto stats = ReplayTrace(traced.trace(), fresh);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().mismatches, 0u);
+}
+
+TEST(TraceTest, SerializationRoundTrips) {
+  FileSystem backing;
+  TracingFs traced(&backing);
+  ASSERT_TRUE(traced.Mkdir("/x").ok());
+  ASSERT_TRUE(traced.WriteFile("/x/f", "data with \n newline").ok());
+  auto blob = traced.Serialize();
+  auto decoded = TracingFs::Deserialize(blob);
+  ASSERT_TRUE(decoded.ok());
+  ASSERT_EQ(decoded.value().size(), traced.trace().size());
+  FileSystem fresh;
+  auto stats = ReplayTrace(decoded.value(), fresh);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().mismatches, 0u);
+  EXPECT_EQ(fresh.ReadFileToString("/x/f").value(), "data with \n newline");
+}
+
+TEST(TraceTest, DeserializeRejectsGarbage) {
+  EXPECT_EQ(TracingFs::Deserialize({9, 9, 9, 9}).code(), ErrorCode::kCorrupt);
+  FileSystem backing;
+  TracingFs traced(&backing);
+  ASSERT_TRUE(traced.Mkdir("/x").ok());
+  auto blob = traced.Serialize();
+  blob.resize(blob.size() - 2);
+  EXPECT_FALSE(TracingFs::Deserialize(blob).ok());
+}
+
+TEST(TraceTest, AndrewTraceReplaysOntoHac) {
+  // Record the whole Andrew benchmark against the raw VFS, replay it onto a HAC file
+  // system: every operation must succeed identically (HAC is call-compatible).
+  FileSystem backing;
+  TracingFs traced(&backing);
+  AndrewConfig cfg;
+  cfg.dirs = 3;
+  cfg.files_per_dir = 2;
+  cfg.functions_per_file = 2;
+  cfg.compile_passes = 1;
+  ASSERT_TRUE(BuildAndrewSource(traced, cfg).ok());
+  ASSERT_TRUE(RunAndrew(traced, cfg).ok());
+
+  HacFileSystem hac_fs;
+  auto stats = ReplayTrace(traced.trace(), hac_fs);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().mismatches, 0u);
+  EXPECT_EQ(hac_fs.ListTree("/").value(), backing.ListTree("/").value());
+  // And the replayed system is fully HAC-functional.
+  ASSERT_TRUE(hac_fs.Reindex().ok());
+  ASSERT_TRUE(hac_fs.SMkdir("/fp", "fingerprint").ok());
+}
+
+TEST(TraceTest, RandomizedTraceEquivalence) {
+  Rng rng(777);
+  FileSystem backing;
+  TracingFs traced(&backing);
+  std::vector<std::string> files;
+  int id = 0;
+  for (int step = 0; step < 200; ++step) {
+    switch (rng.NextBelow(4)) {
+      case 0: {
+        std::string f = "/f" + std::to_string(id++);
+        (void)traced.WriteFile(f, "content" + std::to_string(step));
+        files.push_back(f);
+        break;
+      }
+      case 1:
+        if (!files.empty()) {
+          (void)traced.AppendFile(rng.Pick(files), "+x");
+        }
+        break;
+      case 2:
+        if (!files.empty()) {
+          size_t i = rng.NextBelow(files.size());
+          (void)traced.Unlink(files[i]);
+          files.erase(files.begin() + static_cast<long>(i));
+        }
+        break;
+      case 3:
+        if (!files.empty()) {
+          (void)traced.ReadFileToString(rng.Pick(files));
+        }
+        break;
+    }
+  }
+  FileSystem fresh;
+  auto stats = ReplayTrace(TracingFs::Deserialize(traced.Serialize()).value(), fresh);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats.value().mismatches, 0u);
+  // Byte-identical final contents.
+  for (const std::string& f : files) {
+    EXPECT_EQ(fresh.ReadFileToString(f).value(), backing.ReadFileToString(f).value());
+  }
+}
+
+}  // namespace
+}  // namespace hac
