@@ -3,7 +3,15 @@
 //
 // DESIGN.md calls out the update-ordering design (topological propagation over the
 // dependency DAG); this bench quantifies what one link edit costs as that graph scales.
+//
+// Run with --hac_ab_json for the engine A/B experiment instead: the same Andrew-style
+// bulk-ingest + link-edit workload under ConsistencyMode::kEager and kIncremental
+// (batched), printing a JSON comparison of query_evaluations + scope_propagations.
+// Exits nonzero if the incremental engine does not cut that sum by at least 5x.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
 
 #include "src/core/hac_file_system.h"
 #include "src/workload/corpus.h"
@@ -13,8 +21,11 @@ namespace {
 
 constexpr size_t kFiles = 300;
 
-std::unique_ptr<HacFileSystem> CorpusFs() {
-  auto fs = std::make_unique<HacFileSystem>();
+std::unique_ptr<HacFileSystem> CorpusFs(
+    ConsistencyMode mode = ConsistencyMode::kIncremental) {
+  HacOptions options;
+  options.consistency = mode;
+  auto fs = std::make_unique<HacFileSystem>(options);
   CorpusOptions opts;
   opts.num_files = kFiles;
   opts.dirs = 10;
@@ -133,7 +144,171 @@ BENCHMARK(BM_PropagationByFanout)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_PropagationByDagRefs)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
 BENCHMARK(BM_FullReindex);
 
+// --- engine A/B: eager vs incremental+batched on a bulk workload ---
+
+struct AbResult {
+  uint64_t query_evaluations = 0;
+  uint64_t delta_evaluations = 0;
+  uint64_t scope_propagations = 0;
+  uint64_t short_circuits = 0;
+  uint64_t batch_flushes = 0;
+  uint64_t links = 0;  // final transient-link count, for cross-engine sanity
+};
+
+// Andrew-style phases against a pre-built semantic structure: bulk file ingest
+// (MakeDir/Copy), then a burst of hand-link edits. Under the incremental engine the
+// mutation phases run inside one BatchScope each, coalescing propagation; the eager
+// engine re-evaluates on every mutation, as the paper's prototype does.
+AbResult RunAbWorkload(ConsistencyMode mode) {
+  auto fs = CorpusFs(mode);
+  const auto& topics = CorpusTopics();
+  {
+    // Phase 1 (MakeDir): a topic fan-out, a refinement chain under the first topic,
+    // and two dir() views stitched across topics — enough DAG for deltas to matter.
+    BatchScope batch(*fs);
+    for (size_t t = 0; t < 8 && t < topics.size(); ++t) {
+      if (!fs->SMkdir("/topic" + std::to_string(t), topics[t]).ok()) {
+        std::abort();
+      }
+    }
+    std::string chain = "/topic0";
+    for (int d = 0; d < 4; ++d) {
+      chain += "/more";
+      if (!fs->SMkdir(chain, topics[(d + 1) % topics.size()]).ok()) {
+        std::abort();
+      }
+    }
+    if (!fs->SMkdir("/view_a", "ALL AND dir(/topic0)").ok() ||
+        !fs->SMkdir("/view_b", "dir(/view_a) OR dir(/topic1)").ok()) {
+      std::abort();
+    }
+    if (!batch.Commit().ok()) {
+      std::abort();
+    }
+  }
+  {
+    // Phase 2 (Copy): bulk ingest of a second corpus tree.
+    BatchScope batch(*fs);
+    CorpusOptions ingest;
+    ingest.root = "/ingest";
+    ingest.num_files = 120;
+    ingest.dirs = 6;
+    ingest.words_per_file = 60;
+    ingest.seed = 99;
+    if (!GenerateCorpus(*fs, ingest).ok()) {
+      std::abort();
+    }
+    if (!batch.Commit().ok()) {
+      std::abort();
+    }
+  }
+  if (!fs->Reindex().ok()) {
+    std::abort();
+  }
+
+  {
+    // Phase 3 (link edits): a burst of pins and evictions across the structure.
+    BatchScope batch(*fs);
+    for (int i = 0; i < 100; ++i) {
+      std::string target = "/corpus/d" + std::to_string(i % 10) + "/note" +
+                           std::to_string(20 + i) + ".txt";
+      std::string link = "/topic" + std::to_string(i % 8) + "/pin" + std::to_string(i);
+      if (!fs->Symlink(target, link).ok()) {
+        std::abort();
+      }
+    }
+    for (int i = 0; i < 50; ++i) {
+      (void)fs->Unlink("/topic" + std::to_string(i % 8) + "/pin" + std::to_string(i));
+    }
+    if (!batch.Commit().ok()) {
+      std::abort();
+    }
+  }
+
+  // Reader: forces the flush and gives both engines the same observable end state.
+  AbResult r;
+  for (size_t t = 0; t < 8 && t < topics.size(); ++t) {
+    auto entries = fs->ReadDir("/topic" + std::to_string(t));
+    if (!entries.ok()) {
+      std::abort();
+    }
+  }
+  auto view = fs->GetLinkClasses("/view_b");
+  if (!view.ok()) {
+    std::abort();
+  }
+  StatsSnapshot s = fs->Stats();
+  r.query_evaluations = s.query_evaluations;
+  r.delta_evaluations = s.delta_evaluations;
+  r.scope_propagations = s.scope_propagations;
+  r.short_circuits = s.short_circuit_propagations;
+  r.batch_flushes = s.batch_flushes;
+  for (const char* dir : {"/topic0", "/topic1", "/view_a", "/view_b"}) {
+    auto classes = fs->GetLinkClasses(dir);
+    if (classes.ok()) {
+      r.links += classes.value().transient.size();
+    }
+  }
+  return r;
+}
+
+int RunAbComparison() {
+  AbResult eager = RunAbWorkload(ConsistencyMode::kEager);
+  AbResult incr = RunAbWorkload(ConsistencyMode::kIncremental);
+  uint64_t eager_work = eager.query_evaluations + eager.scope_propagations;
+  uint64_t incr_work = incr.query_evaluations + incr.scope_propagations;
+  double reduction = incr_work == 0 ? 0.0
+                                    : static_cast<double>(eager_work) /
+                                          static_cast<double>(incr_work);
+  std::printf(
+      "{\n"
+      "  \"workload\": \"bulk_ingest_plus_link_edits\",\n"
+      "  \"eager\": {\"query_evaluations\": %llu, \"scope_propagations\": %llu,"
+      " \"work\": %llu, \"transient_links\": %llu},\n"
+      "  \"incremental\": {\"query_evaluations\": %llu, \"delta_evaluations\": %llu,"
+      " \"scope_propagations\": %llu, \"short_circuits\": %llu,"
+      " \"batch_flushes\": %llu, \"work\": %llu, \"transient_links\": %llu},\n"
+      "  \"reduction\": %.2f,\n"
+      "  \"links_match\": %s\n"
+      "}\n",
+      static_cast<unsigned long long>(eager.query_evaluations),
+      static_cast<unsigned long long>(eager.scope_propagations),
+      static_cast<unsigned long long>(eager_work),
+      static_cast<unsigned long long>(eager.links),
+      static_cast<unsigned long long>(incr.query_evaluations),
+      static_cast<unsigned long long>(incr.delta_evaluations),
+      static_cast<unsigned long long>(incr.scope_propagations),
+      static_cast<unsigned long long>(incr.short_circuits),
+      static_cast<unsigned long long>(incr.batch_flushes),
+      static_cast<unsigned long long>(incr_work),
+      static_cast<unsigned long long>(incr.links),
+      reduction, eager.links == incr.links ? "true" : "false");
+  if (eager.links != incr.links) {
+    std::fprintf(stderr, "FAIL: engines disagree on transient link sets\n");
+    return 2;
+  }
+  if (reduction < 5.0) {
+    std::fprintf(stderr, "FAIL: reduction %.2fx below the 5x acceptance bar\n",
+                 reduction);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace hac
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hac_ab_json") == 0) {
+      return hac::RunAbComparison();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,10 @@
-// The scope-consistency engine (sections 2.3-2.5) and the deferred data-consistency
-// pass (section 2.4).
+// Consistency helpers shared by both engines: scope/contents derivation, dependency
+// computation, remote import, and the deferred data-consistency pass (section 2.4).
+// The propagation algorithms themselves live in core/consistency_engine.cc.
 //
 // Invariant maintained for every semantic directory sd with parent p:
 //   transient(sd) == Eval(query(sd)) ∩ scope(p)  −  permanent(sd)  −  prohibited(sd)
-// where scope(p) is p's current link set plus the files physically under p. Parent
-// refinement is implemented, exactly as the paper describes, by evaluating the
-// *effective query*  `<query> AND dir(p)`; the engine itself only knows the dependency
-// DAG and recomputes dependents in topological order.
+// where scope(p) is p's current link set plus the files physically under p.
 #include <algorithm>
 #include <cctype>
 
@@ -121,138 +119,12 @@ Result<void> HacFileSystem::ImportRemoteResults(const SemanticMount& mount,
       HAC_ASSIGN_OR_RETURN(DocId id, registry_.AddRemote(inode, cache_path, key));
       HAC_RETURN_IF_ERROR(index_->IndexDocument(id, body));
       registry_.ClearDirty(id);
+      engine_->NoteDocChanged(id);
       ++stats_.remote_imports;
       ++stats_.docs_indexed;
     }
   }
   return OkResult();
-}
-
-Result<void> HacFileSystem::RecomputeDir(DirUid uid) {
-  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
-  if (!meta->IsSemantic()) {
-    return OkResult();  // syntactic directories own no transient links
-  }
-  HAC_ASSIGN_OR_RETURN(std::string path, uid_map_.PathOf(uid));
-  std::string parent_path = DirName(path);
-
-  // If the parent is a semantic mount point, the query's scope includes the mounted
-  // name spaces: forward the content part and import the results first (section 3.1).
-  if (const SemanticMount* mount = mounts_.FindSemanticAt(parent_path); mount != nullptr) {
-    HAC_RETURN_IF_ERROR(ImportRemoteResults(*mount, *meta->query));
-  }
-
-  // Hierarchical refinement: the query is evaluated against the scope the parent
-  // provides (equivalent to the paper's `<query> AND dir(parent)` encoding, since the
-  // evaluator interprets NOT relative to the supplied scope). User-written dir()
-  // references resolve to the referenced directory's own contents.
-  HAC_ASSIGN_OR_RETURN(DirUid parent_uid, uid_map_.UidOf(parent_path));
-  HAC_ASSIGN_OR_RETURN(Bitmap parent_scope, ScopeOfUid(parent_uid));
-
-  DirResolver resolver = [this](DirUid ref) -> Result<Bitmap> {
-    return this->DirContentsOfUid(ref);
-  };
-  ++stats_.query_evaluations;
-  // The stored query stays as written (GetQuery renders it back); evaluation runs the
-  // optimized form, re-derived here so selectivity ordering uses current statistics.
-  QueryExprPtr optimized = OptimizeQuery(meta->query->Clone(), index_.get());
-  HAC_ASSIGN_OR_RETURN(Bitmap result,
-                       index_->Evaluate(*optimized, parent_scope, &resolver));
-
-  // A file physically sitting in this very directory is already "here": no self-link.
-  result.AndNot(registry_.DirectChildrenOf(path));
-
-  // The user's edits always win: permanent links are never re-derived, prohibited links
-  // never return.
-  Bitmap new_transient = result;
-  new_transient.AndNot(meta->links.permanent());
-  new_transient.AndNot(meta->links.prohibited());
-
-  // Materialize the diff as symlink churn in the VFS.
-  Bitmap old_transient = meta->links.transient();
-  Bitmap removed = old_transient;
-  removed.AndNot(new_transient);
-  Bitmap added = new_transient;
-  added.AndNot(old_transient);
-
-  Result<void> status = OkResult();
-  removed.ForEach([&](DocId doc) {
-    if (!status.ok()) {
-      return;
-    }
-    auto name = meta->links.NameOf(doc);
-    if (!name.ok()) {
-      return;
-    }
-    (void)meta->links.RemoveLink(name.value());
-    (void)vfs_.Unlink(JoinPath(path == "/" ? "" : path, name.value()));
-    ++stats_.transient_links_removed;
-  });
-  HAC_RETURN_IF_ERROR(status);
-
-  auto taken = [this, &path](const std::string& candidate) {
-    return vfs_.Exists(JoinPath(path == "/" ? "" : path, candidate));
-  };
-  added.ForEach([&](DocId doc) {
-    if (!status.ok()) {
-      return;
-    }
-    const FileRecord* rec = registry_.Get(doc);
-    if (rec == nullptr || !rec->alive) {
-      return;
-    }
-    std::string name = meta->links.UniqueName(BaseName(rec->path), taken);
-    Result<void> s = vfs_.Symlink(rec->path, JoinPath(path == "/" ? "" : path, name));
-    if (!s.ok()) {
-      status = s;
-      return;
-    }
-    s = meta->links.AddLink(name, doc, LinkClass::kTransient);
-    if (!s.ok()) {
-      status = s;
-      return;
-    }
-    ++stats_.transient_links_added;
-  });
-  HAC_RETURN_IF_ERROR(status);
-
-  // Refresh stale symlink targets (files may have been renamed since materialization).
-  for (const auto& [name, rec] : meta->links.links()) {
-    if (rec.doc == kInvalidDocId) {
-      continue;
-    }
-    const FileRecord* file = registry_.Get(rec.doc);
-    if (file == nullptr || !file->alive) {
-      continue;
-    }
-    std::string link_path = JoinPath(path == "/" ? "" : path, name);
-    auto target = vfs_.ReadLink(link_path);
-    if (target.ok() && target.value() != file->path) {
-      (void)vfs_.Unlink(link_path);
-      (void)vfs_.Symlink(file->path, link_path);
-    }
-  }
-  return OkResult();
-}
-
-Result<void> HacFileSystem::PropagateFrom(DirUid uid) {
-  if (in_recompute_) {
-    return OkResult();  // the outer propagation already covers this change
-  }
-  in_recompute_ = true;
-  Result<void> status = RecomputeDir(uid);
-  ++stats_.scope_propagations;
-  if (status.ok()) {
-    for (DirUid dep : graph_.DependentsInTopoOrder(uid)) {
-      status = RecomputeDir(dep);
-      ++stats_.scope_propagations;
-      if (!status.ok()) {
-        break;
-      }
-    }
-  }
-  in_recompute_ = false;
-  return status;
 }
 
 Result<void> HacFileSystem::FlushDirtyDocs(const std::string& subtree_root) {
@@ -269,6 +141,7 @@ Result<void> HacFileSystem::FlushDirtyDocs(const std::string& subtree_root) {
         ++stats_.docs_purged;
       }
       registry_.ClearDirty(doc);
+      engine_->NoteDocChanged(doc);
       continue;
     }
     // Content is read through HAC's own call surface (descriptor table, attribute
@@ -280,27 +153,14 @@ Result<void> HacFileSystem::FlushDirtyDocs(const std::string& subtree_root) {
     HAC_RETURN_IF_ERROR(index_->IndexDocument(doc, body.value()));
     ++stats_.docs_indexed;
     registry_.ClearDirty(doc);
+    engine_->NoteDocChanged(doc);
   }
   return OkResult();
 }
 
-Result<void> HacFileSystem::RecomputeAll() {
-  in_recompute_ = true;
-  Result<void> status = OkResult();
-  for (DirUid uid : graph_.FullTopoOrder()) {
-    status = RecomputeDir(uid);
-    ++stats_.scope_propagations;
-    if (!status.ok()) {
-      break;
-    }
-  }
-  in_recompute_ = false;
-  return status;
-}
-
 Result<void> HacFileSystem::Reindex() {
   HAC_RETURN_IF_ERROR(FlushDirtyDocs("/"));
-  HAC_RETURN_IF_ERROR(RecomputeAll());
+  HAC_RETURN_IF_ERROR(engine_->PropagateAll());
   content_mutations_since_reindex_ = 0;
   last_reindex_tick_ = vfs_.clock().Now();
   return OkResult();
@@ -313,7 +173,7 @@ Result<void> HacFileSystem::ReindexSubtree(const std::string& path) {
   }
   HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
   HAC_RETURN_IF_ERROR(FlushDirtyDocs(norm));
-  return PropagateFrom(uid);
+  return engine_->SyncFrom(uid);
 }
 
 void HacFileSystem::MaybeAutoReindex() {
@@ -332,7 +192,7 @@ void HacFileSystem::MaybeAutoReindex() {
       due = true;
       break;
   }
-  if (due && !in_recompute_) {
+  if (due && !engine_->InPass() && !engine_->InBatch()) {
     ++stats_.auto_reindexes;
     (void)Reindex();
   }

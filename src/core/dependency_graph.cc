@@ -101,9 +101,21 @@ std::vector<DirUid> DependencyGraph::DirectDependentsOf(DirUid uid) const {
 }
 
 std::vector<DirUid> DependencyGraph::DependentsInTopoOrder(DirUid uid) const {
-  // Collect the affected subgraph.
+  std::vector<DirUid> order = AffectedInTopoOrder({uid});
+  order.erase(std::remove(order.begin(), order.end(), uid), order.end());
+  return order;
+}
+
+std::vector<DirUid> DependencyGraph::AffectedInTopoOrder(
+    const std::vector<DirUid>& sources) const {
+  // Collect the affected subgraph: the sources plus their dependent closure.
   std::unordered_set<DirUid> affected;
-  std::vector<DirUid> stack = {uid};
+  std::vector<DirUid> stack;
+  for (DirUid uid : sources) {
+    if (deps_.count(uid) != 0 && affected.insert(uid).second) {
+      stack.push_back(uid);
+    }
+  }
   while (!stack.empty()) {
     DirUid cur = stack.back();
     stack.pop_back();

@@ -40,6 +40,11 @@ class DependencyGraph {
   // excluding `uid` itself.
   std::vector<DirUid> DependentsInTopoOrder(DirUid uid) const;
 
+  // The union of `sources` and everything reachable from any of them along dependent
+  // edges, in topological order. This is the affected set of a batched flush: one
+  // pass over AffectedInTopoOrder replaces one DependentsInTopoOrder pass per edit.
+  std::vector<DirUid> AffectedInTopoOrder(const std::vector<DirUid>& sources) const;
+
   // Topological order of the whole graph (dependencies first).
   std::vector<DirUid> FullTopoOrder() const;
 

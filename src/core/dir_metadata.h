@@ -13,6 +13,28 @@
 
 namespace hac {
 
+// Cached evaluation state kept by the incremental consistency engine
+// (core/consistency_engine.cc). `raw_result` is Eval(query, scope) *before* the
+// link-class edits (permanent/prohibited/self-link subtraction), so a scope delta can
+// be spliced in without re-deriving the user's edits. The eager engine ignores it.
+struct DirEvalCache {
+  bool valid = false;
+  Bitmap raw_result;        // Eval(query, scope) at the last visit
+  Bitmap scope;             // parent-provided scope at the last visit
+  uint64_t dep_epoch_sum = 0;   // Σ scope_epoch over dependencies at the last visit
+  uint64_t doc_gen_seen = 0;    // engine doc-change generation applied so far
+
+  void Invalidate() {
+    valid = false;
+    raw_result = Bitmap();
+    scope = Bitmap();
+    dep_epoch_sum = 0;
+    doc_gen_seen = 0;
+  }
+
+  size_t SizeBytes() const { return raw_result.SizeBytes() + scope.SizeBytes(); }
+};
+
 struct DirMetadata {
   DirUid uid = kInvalidDirUid;
   InodeId inode = kInvalidInode;
@@ -23,6 +45,14 @@ struct DirMetadata {
   QueryExprPtr query;
 
   LinkTable links;
+
+  // Scope version: bumped whenever what this directory provides to dependents (its
+  // link set, the files physically under it, or — for scope-transparent syntactic
+  // directories — the scope passed through from above) may have changed. Dependents
+  // compare the sum of their dependencies' epochs against DirEvalCache::dep_epoch_sum
+  // to short-circuit propagation when nothing upstream moved.
+  uint64_t scope_epoch = 0;
+  DirEvalCache eval;
 
   bool IsSemantic() const { return query != nullptr; }
 
@@ -40,7 +70,8 @@ struct DirMetadata {
         }
       }
     }
-    return sizeof(DirMetadata) + query_text.size() + ast + links.SizeBytes();
+    return sizeof(DirMetadata) + query_text.size() + ast + links.SizeBytes() +
+           eval.SizeBytes();
   }
 };
 

@@ -9,7 +9,9 @@
 namespace hac {
 
 HacFileSystem::HacFileSystem(HacOptions options)
-    : options_(options), index_(std::make_unique<InvertedIndex>(options.tokenizer)) {
+    : options_(options),
+      index_(std::make_unique<InvertedIndex>(options.tokenizer)),
+      engine_(std::make_unique<ConsistencyEngine>(this, options.consistency)) {
   // The root's bookkeeping: UID 1 (pre-registered by UidMap), a dependency-graph node,
   // and metadata with no query.
   DirUid root = uid_map_.root_uid();
@@ -61,8 +63,30 @@ Result<DirMetadata*> HacFileSystem::MetaOfUid(DirUid uid) {
 
 void HacFileSystem::NoteContentMutation() {
   ++content_mutations_since_reindex_;
+  if (engine_->InBatch()) {
+    // The auto-reindex check runs once, when the outermost EndBatch flushes.
+    batch_had_content_mutation_ = true;
+    return;
+  }
   MaybeAutoReindex();
 }
+
+// ---------------------------------------------------------------------------
+// Batched mutation surface
+// ---------------------------------------------------------------------------
+
+void HacFileSystem::BeginBatch() { engine_->BeginBatch(); }
+
+Result<void> HacFileSystem::EndBatch() {
+  HAC_RETURN_IF_ERROR(engine_->EndBatch());
+  if (!engine_->InBatch() && batch_had_content_mutation_) {
+    batch_had_content_mutation_ = false;
+    MaybeAutoReindex();
+  }
+  return OkResult();
+}
+
+bool HacFileSystem::InBatch() const { return engine_->InBatch(); }
 
 // ---------------------------------------------------------------------------
 // Directories
@@ -105,6 +129,8 @@ Result<void> HacFileSystem::Rmdir(const std::string& path) {
   if (!r.local) {
     return r.fs->Rmdir(r.path);
   }
+  // The emptiness check below must see settled link sets, not a half-open batch.
+  HAC_RETURN_IF_ERROR(engine_->Flush());
   HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(r.path));
   if (!graph_.DirectDependentsOf(uid).empty()) {
     // Either child directories (then the directory is not empty) or query references
@@ -125,6 +151,10 @@ Result<void> HacFileSystem::Rmdir(const std::string& path) {
 
 Result<std::vector<DirEntry>> HacFileSystem::ReadDir(const std::string& path) {
   HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (r.local) {
+    // Listing a directory observes its link set: settle any batched mutations first.
+    HAC_RETURN_IF_ERROR(engine_->Flush());
+  }
   return r.fs->ReadDir(r.path);
 }
 
@@ -147,6 +177,9 @@ Result<Fd> HacFileSystem::Open(const std::string& path, uint32_t flags) {
     auto doc = registry_.Add(inode, r.path);
     if (doc.ok()) {
       journal_.Append(JournalOp::kFileRegistered, doc.value(), r.path);
+      // The new doc entered every enclosing scope; dependents fold it into their next
+      // delta (it stays unindexed until reindex, exactly the deferred semantics).
+      engine_->NoteDocChanged(doc.value());
     }
     const Inode* node = vfs_.FindInode(inode);
     if (node != nullptr) {
@@ -198,6 +231,22 @@ Result<uint64_t> HacFileSystem::Seek(Fd fd, uint64_t offset) {
 // Namespace mutations
 // ---------------------------------------------------------------------------
 
+Result<void> HacFileSystem::ProhibitTrackedLink(DirMetadata* m, const std::string& dir_path,
+                                                const std::string& name, bool unlink_vfs) {
+  if (unlink_vfs) {
+    (void)vfs_.Unlink(JoinPath(dir_path == "/" ? "" : dir_path, name));
+  }
+  auto removed = m->links.RemoveLink(name);
+  journal_.Append(JournalOp::kLinkRemoved, m->uid, name);
+  if (!removed.ok() || removed.value().doc == kInvalidDocId) {
+    return OkResult();  // foreign link: nothing to prohibit, no scope change
+  }
+  m->links.Prohibit(removed.value().doc);
+  Bitmap delta;
+  delta.Set(removed.value().doc);
+  return engine_->NotifyScopeChanged(m->uid, &delta);
+}
+
 Result<void> HacFileSystem::Unlink(const std::string& path) {
   HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
   if (!r.local) {
@@ -211,16 +260,10 @@ Result<void> HacFileSystem::Unlink(const std::string& path) {
     HAC_RETURN_IF_ERROR(vfs_.Unlink(r.path));
     auto meta = MetaOfPath(parent_path);
     if (meta.ok() && meta.value()->links.Find(name) != nullptr) {
-      DirMetadata* m = meta.value();
-      auto removed = m->links.RemoveLink(name);
-      if (removed.ok() && removed.value().doc != kInvalidDocId) {
-        // Explicit user deletion: the link becomes prohibited and must never be
-        // silently re-added (section 2.3).
-        m->links.Prohibit(removed.value().doc);
-        journal_.Append(JournalOp::kLinkRemoved, m->uid, name);
-        return PropagateFrom(m->uid);
-      }
-      journal_.Append(JournalOp::kLinkRemoved, m->uid, name);
+      // Explicit user deletion: the link becomes prohibited and must never be
+      // silently re-added (section 2.3). Shared with the Prohibit() API.
+      return ProhibitTrackedLink(meta.value(), parent_path, name,
+                                 /*unlink_vfs=*/false);
     }
     return OkResult();
   }
@@ -230,6 +273,7 @@ Result<void> HacFileSystem::Unlink(const std::string& path) {
   if (auto doc = registry_.FindByInode(st.inode); doc.ok()) {
     (void)registry_.Deactivate(doc.value());
     journal_.Append(JournalOp::kFileDeactivated, doc.value(), r.path);
+    engine_->NoteDocChanged(doc.value());  // left every scope it was in
   }
   attr_cache_.Invalidate(st.inode);
   NoteContentMutation();
@@ -273,7 +317,11 @@ Result<void> HacFileSystem::Rename(const std::string& from, const std::string& t
           meta.value()->links.Prohibit(doc);
         }
         journal_.Append(JournalOp::kLinkRemoved, meta.value()->uid, src_name);
-        HAC_RETURN_IF_ERROR(PropagateFrom(meta.value()->uid));
+        Bitmap delta;
+        if (doc != kInvalidDocId) {
+          delta.Set(doc);
+        }
+        HAC_RETURN_IF_ERROR(engine_->NotifyScopeChanged(meta.value()->uid, &delta));
       }
     }
     if (auto meta = MetaOfPath(dst_parent); meta.ok()) {
@@ -285,7 +333,11 @@ Result<void> HacFileSystem::Rename(const std::string& from, const std::string& t
         HAC_RETURN_IF_ERROR(m->links.AddForeignLink(dst_name));
       }
       journal_.Append(JournalOp::kLinkAdded, m->uid, dst_name);
-      HAC_RETURN_IF_ERROR(PropagateFrom(m->uid));
+      Bitmap delta;
+      if (doc != kInvalidDocId) {
+        delta.Set(doc);
+      }
+      HAC_RETURN_IF_ERROR(engine_->NotifyScopeChanged(m->uid, &delta));
     }
     journal_.Append(JournalOp::kRename, 0, src.path, dst.path);
     return OkResult();
@@ -299,11 +351,15 @@ Result<void> HacFileSystem::Rename(const std::string& from, const std::string& t
       if (auto doc = registry_.FindByInode(old_target.value().inode); doc.ok()) {
         (void)registry_.Deactivate(doc.value());
         journal_.Append(JournalOp::kFileDeactivated, doc.value(), dst.path);
+        engine_->NoteDocChanged(doc.value());
       }
       attr_cache_.Invalidate(old_target.value().inode);
     }
     if (auto doc = registry_.FindByInode(st.inode); doc.ok()) {
       (void)registry_.SetPath(doc.value(), dst.path);
+      // Membership in dir()-referenced scopes and link-target paths both shift with
+      // the path; the log puts the doc into every dependent's next delta.
+      engine_->NoteDocChanged(doc.value());
     }
     journal_.Append(JournalOp::kRename, 0, src.path, dst.path);
     // Scope effects of a file move are data consistency: settled at the next reindex
@@ -324,12 +380,16 @@ Result<void> HacFileSystem::Rename(const std::string& from, const std::string& t
     (void)vfs_.Rename(dst.path, src.path);
     return dep_update.error();
   }
+  // Every file in the moved subtree changes which scopes it belongs to; capture the
+  // set before the registry paths move.
+  Bitmap moved_docs = registry_.FilesWithin(src.path);
   uid_map_.RenameSubtree(src.path, dst.path);
   registry_.RenameSubtree(src.path, dst.path);
   mounts_.RenameSubtree(src.path, dst.path);
   journal_.Append(JournalOp::kRename, uid, src.path, dst.path);
+  moved_docs.ForEach([this](DocId doc) { engine_->NoteDocChanged(doc); });
   // Immediate scope consistency: the directory's scope (and its descendants') changed.
-  return PropagateFrom(uid);
+  return engine_->NotifyScopeChanged(uid);
 }
 
 Result<void> HacFileSystem::Symlink(const std::string& target, const std::string& link_path) {
@@ -352,21 +412,24 @@ Result<void> HacFileSystem::Symlink(const std::string& target, const std::string
   }
   abs_target = NormalizePath(abs_target);
   auto doc = registry_.FindByPath(abs_target);
+  Bitmap delta;
   if (doc.ok() && !m->links.HasDoc(doc.value())) {
     // An explicit user action: re-adding a prohibited file un-prohibits it.
     m->links.Unprohibit(doc.value());
     HAC_RETURN_IF_ERROR(m->links.AddLink(name, doc.value(), LinkClass::kPermanent));
+    delta.Set(doc.value());
   } else if (doc.ok()) {
     // The file is already linked here; the user's explicit symlink pins it. Promote the
     // existing link to permanent and track the new entry as a plain alias.
     HAC_ASSIGN_OR_RETURN(std::string existing, m->links.NameOf(doc.value()));
     HAC_RETURN_IF_ERROR(m->links.Promote(existing));
     HAC_RETURN_IF_ERROR(m->links.AddForeignLink(name));
+    delta.Set(doc.value());
   } else {
     HAC_RETURN_IF_ERROR(m->links.AddForeignLink(name));
   }
   journal_.Append(JournalOp::kLinkAdded, m->uid, name, abs_target);
-  return PropagateFrom(m->uid);
+  return engine_->NotifyScopeChanged(m->uid, &delta);
 }
 
 Result<std::string> HacFileSystem::ReadLink(const std::string& path) {
@@ -420,10 +483,12 @@ Result<void> HacFileSystem::SetCurrentProcess(ProcessId pid) {
   return OkResult();
 }
 
-HacStats HacFileSystem::Stats() const {
-  HacStats s = stats_;
+StatsSnapshot HacFileSystem::Stats() const {
+  StatsSnapshot s = stats_;
   s.attr_cache_hits = attr_cache_.hits();
   s.attr_cache_misses = attr_cache_.misses();
+  s.index = index_->Stats();
+  s.vfs = vfs_.stats();
   return s;
 }
 
@@ -432,6 +497,7 @@ Result<Bitmap> HacFileSystem::ScopeOf(const std::string& dir_path) {
   if (norm.empty()) {
     return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + dir_path);
   }
+  HAC_RETURN_IF_ERROR(engine_->Flush());
   HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
   return ScopeOfUid(uid);
 }
@@ -441,6 +507,7 @@ Result<Bitmap> HacFileSystem::DirectoryResultOf(const std::string& dir_path) {
   if (norm.empty()) {
     return Error(ErrorCode::kInvalidArgument, "path must be absolute: " + dir_path);
   }
+  HAC_RETURN_IF_ERROR(engine_->Flush());
   HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
   return DirContentsOfUid(uid);
 }

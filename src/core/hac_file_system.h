@@ -8,9 +8,10 @@
 // smount and the link-class control API of the paper's footnote 1.
 //
 // Consistency model (sections 2.3-2.4):
-//   * scope consistency is restored immediately after any link edit, query change or
-//     directory move, by re-evaluating the affected directory and every directory that
-//     directly or indirectly depends on it, in topological order;
+//   * scope consistency is restored after any link edit, query change or directory
+//     move by the ConsistencyEngine (core/consistency_engine.h): immediately with the
+//     eager engine, or as epoch-gated delta propagation — coalescible into batches via
+//     BeginBatch()/EndBatch() — with the incremental engine (the default);
 //   * data consistency (file contents/creation/deletion) is deferred to Reindex(),
 //     driven manually or by a SyncPolicy.
 #ifndef HAC_CORE_HAC_FILE_SYSTEM_H_
@@ -22,12 +23,14 @@
 #include <vector>
 
 #include "src/core/attribute_cache.h"
+#include "src/core/consistency_engine.h"
 #include "src/core/dependency_graph.h"
 #include "src/core/dir_metadata.h"
 #include "src/core/file_registry.h"
 #include "src/core/metadata_journal.h"
 #include "src/core/mount_table.h"
 #include "src/core/process_state.h"
+#include "src/core/stats_snapshot.h"
 #include "src/core/sync_policy.h"
 #include "src/core/uid_map.h"
 #include "src/index/cba.h"
@@ -39,24 +42,14 @@ namespace hac {
 struct HacOptions {
   SyncPolicy sync_policy = SyncPolicy::Manual();
   TokenizerOptions tokenizer;
+  // Which scope-consistency engine maintains transient links. kIncremental batches
+  // and delta-evaluates; kEager is the paper-faithful full re-evaluation. Both keep
+  // identical link sets at every read point.
+  ConsistencyMode consistency = ConsistencyMode::kIncremental;
   // Glimpse-fidelity mode: re-check every query candidate against the file's current
   // content (the two-level search cost model). Off by default — the library's deferred
   // data-consistency semantics (stale links persist until reindex) are the paper's.
   bool verify_results_with_content = false;
-};
-
-struct HacStats {
-  uint64_t query_evaluations = 0;      // semantic-directory recomputations
-  uint64_t scope_propagations = 0;     // directories visited by propagation passes
-  uint64_t transient_links_added = 0;
-  uint64_t transient_links_removed = 0;
-  uint64_t docs_indexed = 0;
-  uint64_t docs_purged = 0;
-  uint64_t remote_searches = 0;
-  uint64_t remote_imports = 0;
-  uint64_t auto_reindexes = 0;
-  uint64_t attr_cache_hits = 0;
-  uint64_t attr_cache_misses = 0;
 };
 
 // Snapshot of a directory's link classification (names relative to the directory).
@@ -124,10 +117,33 @@ class HacFileSystem final : public FsInterface {
   Result<void> UnmountSyntactic(const std::string& path);
   Result<void> UnmountSemantic(const std::string& path);
 
+  // --- batched mutation surface ---
+  //
+  // Mutations issued between BeginBatch() and the matching EndBatch() are coalesced:
+  // scope propagation is deferred and EndBatch runs ONE multi-source topological pass
+  // over everything the batch touched, instead of one pass per mutation. Readers that
+  // observe link sets (ReadDir, Search, SSync, SAct, GetLinkClasses, ScopeOf,
+  // DirectoryResultOf, Reindex, SaveState) force a flush first, so batching is never
+  // observable — only cheaper. Open/StatPath/ReadLink do NOT flush, which keeps bulk
+  // ingest inside a batch from defeating it. Nesting balances; only the outermost
+  // EndBatch flushes. The eager engine propagates immediately and treats these as
+  // no-ops (the paper's behavior). Prefer the RAII BatchScope below.
+  void BeginBatch();
+  Result<void> EndBatch();
+  bool InBatch() const;
+  ConsistencyMode consistency_mode() const { return engine_->mode(); }
+
   // --- link-class control (the paper's footnote-1 API) ---
   Result<LinkClassView> GetLinkClasses(const std::string& dir_path);
   // Promote a transient link to permanent so no query change can remove it.
   Result<void> PromoteLink(const std::string& link_path);
+  // The inverse: hand a permanent link back to HAC as transient; the re-evaluation
+  // this triggers removes it unless the directory's query still selects it.
+  Result<void> DemoteLink(const std::string& link_path);
+  // Prohibit a file in a directory: removes any existing link to it there and
+  // guarantees HAC never re-adds it. Unlink of a transient link routes through the
+  // same path (section 2.3's "deleted results stay deleted").
+  Result<void> Prohibit(const std::string& dir_path, const std::string& file_path);
   // Forget a prohibition so the file may reappear as a transient link.
   Result<void> Unprohibit(const std::string& dir_path, const std::string& file_path);
 
@@ -144,7 +160,8 @@ class HacFileSystem final : public FsInterface {
   const UidMap& uid_map() const { return uid_map_; }
   const DependencyGraph& dependency_graph() const { return graph_; }
   const MetadataJournal& journal() const { return journal_; }
-  HacStats Stats() const;
+  // Unified counter snapshot: facade counters plus the index and VFS component views.
+  StatsSnapshot Stats() const;
 
   // Scope a directory provides to its children (syntactic directories inherit their
   // parent's scope in addition to their own contents).
@@ -177,6 +194,7 @@ class HacFileSystem final : public FsInterface {
 
  private:
   friend class HacStateCodec;
+  friend class ConsistencyEngine;
 
   struct Routed {
     FsInterface* fs;
@@ -199,14 +217,17 @@ class HacFileSystem final : public FsInterface {
   Result<std::vector<DirUid>> ComputeDeps(DirUid uid, const std::string& norm_path,
                                           const QueryExpr* query);
 
-  // --- the scope-consistency engine (consistency.cc) ---
-  Result<void> RecomputeDir(DirUid uid);
-  Result<void> PropagateFrom(DirUid uid);
+  // --- consistency helpers (consistency.cc); propagation itself lives in the
+  //     ConsistencyEngine (consistency_engine.cc) ---
   Result<void> ImportRemoteResults(const SemanticMount& mount, const QueryExpr& query);
   Result<void> FlushDirtyDocs(const std::string& subtree_root);
-  Result<void> RecomputeAll();
   void MaybeAutoReindex();
   void NoteContentMutation();
+
+  // Shared prohibit path: removes `name`'s link record from `m` (and its symlink when
+  // `unlink_vfs`), marks the doc prohibited, journals, and notifies the engine.
+  Result<void> ProhibitTrackedLink(DirMetadata* m, const std::string& dir_path,
+                                   const std::string& name, bool unlink_vfs);
 
   // Registers bookkeeping for a directory created locally at `norm_path`.
   Result<void> RegisterDirectory(const std::string& norm_path);
@@ -227,10 +248,35 @@ class HacFileSystem final : public FsInterface {
   std::vector<HacFdTable> processes_;
   ProcessId current_process_ = 0;
 
-  HacStats stats_;
+  std::unique_ptr<ConsistencyEngine> engine_;
+  StatsSnapshot stats_;
   uint64_t content_mutations_since_reindex_ = 0;
   uint64_t last_reindex_tick_ = 0;
-  bool in_recompute_ = false;  // guards against recursive propagation
+  bool batch_had_content_mutation_ = false;  // auto-reindex check deferred to EndBatch
+};
+
+// RAII form of the batch API: opens a batch on construction, closes it on scope exit.
+// Call Commit() to observe the flush's status; the destructor swallows it otherwise.
+class BatchScope {
+ public:
+  explicit BatchScope(HacFileSystem& fs) : fs_(&fs) { fs_->BeginBatch(); }
+  ~BatchScope() {
+    if (fs_ != nullptr) {
+      (void)fs_->EndBatch();
+    }
+  }
+  BatchScope(const BatchScope&) = delete;
+  BatchScope& operator=(const BatchScope&) = delete;
+
+  // Ends the batch now and reports the flush's result.
+  Result<void> Commit() {
+    HacFileSystem* fs = fs_;
+    fs_ = nullptr;
+    return fs->EndBatch();
+  }
+
+ private:
+  HacFileSystem* fs_;
 };
 
 }  // namespace hac

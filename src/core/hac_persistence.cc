@@ -23,6 +23,8 @@ constexpr uint32_t kStateVersion = 2;
 class HacStateCodec {
  public:
   static std::vector<uint8_t> Save(const HacFileSystem& fs) {
+    // Batched mutations must reach the link tables before they are serialized.
+    (void)fs.engine_->Flush();
     ByteWriter w;
     w.PutU32(kStateMagic);
     w.PutU32(kStateVersion);
@@ -158,18 +160,18 @@ class HacStateCodec {
 
     // 4. Queries (binding dir() references against the rebuilt UID map); propagation
     // is suppressed — the authoritative link sets come from the image.
-    fs->in_recompute_ = true;
+    fs->engine_->Suspend(true);
     for (const SavedDir& dir : saved) {
       if (!dir.query.empty()) {
         Result<void> set = fs->SetQuery(dir.path, dir.query);
         if (!set.ok()) {
-          fs->in_recompute_ = false;
+          fs->engine_->Suspend(false);
           return Error(ErrorCode::kCorrupt,
                        "query of " + dir.path + ": " + set.error().ToString());
         }
       }
     }
-    fs->in_recompute_ = false;
+    fs->engine_->Suspend(false);
 
     // 5. Link tables.
     for (const SavedDir& dir : saved) {

@@ -85,6 +85,25 @@ Result<void> LinkTable::Promote(const std::string& name) {
   return OkResult();
 }
 
+Result<void> LinkTable::Demote(const std::string& name) {
+  auto it = links_.find(name);
+  if (it == links_.end()) {
+    return Error(ErrorCode::kNotFound, "link " + name);
+  }
+  LinkRecord& rec = it->second;
+  if (rec.doc == kInvalidDocId) {
+    return Error(ErrorCode::kInvalidArgument,
+                 "foreign link " + name + " has no document to hand back");
+  }
+  if (rec.cls == LinkClass::kTransient) {
+    return OkResult();  // already transient
+  }
+  rec.cls = LinkClass::kTransient;
+  permanent_.Clear(rec.doc);
+  transient_.Set(rec.doc);
+  return OkResult();
+}
+
 size_t LinkTable::SizeBytes() const {
   size_t total = permanent_.SizeBytes() + transient_.SizeBytes() + prohibited_.SizeBytes();
   for (const auto& [name, rec] : links_) {

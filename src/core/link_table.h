@@ -70,6 +70,10 @@ class LinkTable {
   // Promotes an existing transient link to permanent (the paper's footnote API).
   Result<void> Promote(const std::string& name);
 
+  // The inverse: hands a permanent link back to HAC as transient, so the next
+  // re-evaluation may remove it. Foreign links (no DocId) cannot be demoted.
+  Result<void> Demote(const std::string& name);
+
   const std::map<std::string, LinkRecord>& links() const { return links_; }
 
   size_t SizeBytes() const;

@@ -28,10 +28,13 @@ Result<void> HacFileSystem::SetQuery(const std::string& path, const std::string&
 
   if (TrimWhitespace(query).empty()) {
     // Revert to a syntactic directory: HAC-owned transient links disappear, the user's
-    // permanent and prohibited bookkeeping stays.
+    // permanent and prohibited bookkeeping stays. The cached evaluation and the
+    // query's dependency-graph edges must go with the query — a stale cache here
+    // would resurrect the old result set if a query is ever set again.
     meta->query_text.clear();
     QueryExprPtr old_query = std::move(meta->query);
     meta->query = nullptr;
+    engine_->InvalidateCache(uid);
     Bitmap old_transient = meta->links.transient();
     Result<void> status = OkResult();
     old_transient.ForEach([&](DocId doc) {
@@ -50,7 +53,8 @@ Result<void> HacFileSystem::SetQuery(const std::string& path, const std::string&
     HAC_ASSIGN_OR_RETURN(std::vector<DirUid> deps, ComputeDeps(uid, r.path, nullptr));
     HAC_RETURN_IF_ERROR(graph_.SetDependencies(uid, deps));
     journal_.Append(JournalOp::kQuerySet, uid, "");
-    return PropagateFrom(uid);
+    // Dependents see every formerly provided transient doc as the delta.
+    return engine_->NotifyScopeChanged(uid, &old_transient);
   }
 
   HAC_ASSIGN_OR_RETURN(QueryExprPtr ast, ParseQuery(query));
@@ -75,8 +79,10 @@ Result<void> HacFileSystem::SetQuery(const std::string& path, const std::string&
   HAC_RETURN_IF_ERROR(graph_.SetDependencies(uid, deps));
   meta->query_text = query;
   meta->query = std::move(ast);
+  // A cached evaluation of the previous query says nothing about this one.
+  engine_->InvalidateCache(uid);
   journal_.Append(JournalOp::kQuerySet, uid, query);
-  return PropagateFrom(uid);
+  return engine_->NotifyScopeChanged(uid);
 }
 
 Result<std::string> HacFileSystem::GetQuery(const std::string& path) {
@@ -101,7 +107,7 @@ Result<void> HacFileSystem::SSync(const std::string& path) {
     return Error(ErrorCode::kUnsupported, "ssync applies to the local name space");
   }
   HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(r.path));
-  return PropagateFrom(uid);
+  return engine_->SyncFrom(uid);
 }
 
 Result<std::vector<std::string>> HacFileSystem::SAct(const std::string& link_path) {
@@ -109,6 +115,7 @@ Result<std::vector<std::string>> HacFileSystem::SAct(const std::string& link_pat
   if (!r.local) {
     return Error(ErrorCode::kUnsupported, "sact applies to the local name space");
   }
+  HAC_RETURN_IF_ERROR(engine_->Flush());
   HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfPath(DirName(r.path)));
   if (!meta->IsSemantic()) {
     return Error(ErrorCode::kNotSemantic, DirName(r.path) + " has no query");
@@ -139,6 +146,9 @@ Result<std::vector<std::string>> HacFileSystem::Search(const std::string& query,
   if (!r.local) {
     return Error(ErrorCode::kUnsupported, "search applies to the local name space");
   }
+  // Search reads link sets through dir() references and the scope directory: settle
+  // any batched mutations first.
+  HAC_RETURN_IF_ERROR(engine_->Flush());
   HAC_ASSIGN_OR_RETURN(QueryExprPtr ast, ParseQuery(query));
   std::vector<QueryExpr*> refs;
   ast->CollectDirRefs(refs);
@@ -208,7 +218,7 @@ Result<void> HacFileSystem::MountSemantic(const std::string& path, NameSpace* sp
   journal_.Append(JournalOp::kMount, 0, norm, "semantic:" + space->Name());
   // Queries already asked under the mount now cover the new name space.
   HAC_ASSIGN_OR_RETURN(DirUid uid, uid_map_.UidOf(norm));
-  return PropagateFrom(uid);
+  return engine_->NotifyScopeChanged(uid);
 }
 
 Result<void> HacFileSystem::UnmountSyntactic(const std::string& path) {
@@ -235,6 +245,7 @@ Result<LinkClassView> HacFileSystem::GetLinkClasses(const std::string& dir_path)
   if (!r.local) {
     return Error(ErrorCode::kUnsupported, "link classes live in the local name space");
   }
+  HAC_RETURN_IF_ERROR(engine_->Flush());
   HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfPath(r.path));
   LinkClassView view;
   for (const auto& [name, rec] : meta->links.links()) {
@@ -272,6 +283,53 @@ Result<void> HacFileSystem::PromoteLink(const std::string& link_path) {
   return OkResult();
 }
 
+Result<void> HacFileSystem::DemoteLink(const std::string& link_path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(link_path));
+  if (!r.local) {
+    return Error(ErrorCode::kUnsupported, "link classes live in the local name space");
+  }
+  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfPath(DirName(r.path)));
+  std::string name = BaseName(r.path);
+  const LinkRecord* rec = meta->links.Find(name);
+  if (rec == nullptr) {
+    return Error(ErrorCode::kNotFound, "link " + name);
+  }
+  DocId doc = rec->doc;
+  HAC_RETURN_IF_ERROR(meta->links.Demote(name));
+  journal_.Append(JournalOp::kLinkAdded, meta->uid, name, "demoted");
+  // Unlike promotion, demotion can change membership: the link is HAC's again and the
+  // re-evaluation removes it unless the query still selects it.
+  Bitmap delta;
+  delta.Set(doc);
+  return engine_->NotifyScopeChanged(meta->uid, &delta);
+}
+
+Result<void> HacFileSystem::Prohibit(const std::string& dir_path,
+                                     const std::string& file_path) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(dir_path));
+  if (!r.local) {
+    return Error(ErrorCode::kUnsupported, "link classes live in the local name space");
+  }
+  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfPath(r.path));
+  std::string norm_file = NormalizePath(file_path);
+  if (norm_file.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "file path must be absolute");
+  }
+  HAC_ASSIGN_OR_RETURN(DocId doc, registry_.FindByPath(norm_file));
+  if (auto name = meta->links.NameOf(doc); name.ok()) {
+    // Currently linked here: drop the link (and its symlink) on the way out.
+    return ProhibitTrackedLink(meta, r.path, name.value(), /*unlink_vfs=*/true);
+  }
+  if (meta->links.IsProhibited(doc)) {
+    return OkResult();
+  }
+  meta->links.Prohibit(doc);
+  journal_.Append(JournalOp::kLinkRemoved, meta->uid, norm_file, "prohibited");
+  Bitmap delta;
+  delta.Set(doc);
+  return engine_->NotifyScopeChanged(meta->uid, &delta);
+}
+
 Result<void> HacFileSystem::Unprohibit(const std::string& dir_path,
                                        const std::string& file_path) {
   HAC_ASSIGN_OR_RETURN(Routed r, Route(dir_path));
@@ -290,7 +348,9 @@ Result<void> HacFileSystem::Unprohibit(const std::string& dir_path,
   meta->links.Unprohibit(doc);
   journal_.Append(JournalOp::kLinkAdded, meta->uid, norm_file, "unprohibited");
   // The file may now come back as a transient link.
-  return PropagateFrom(meta->uid);
+  Bitmap delta;
+  delta.Set(doc);
+  return engine_->NotifyScopeChanged(meta->uid, &delta);
 }
 
 }  // namespace hac

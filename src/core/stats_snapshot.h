@@ -1,0 +1,51 @@
+// One unified counter surface for the whole stack. HacFileSystem::Stats() returns a
+// StatsSnapshot that flattens the facade's own counters and embeds the component views
+// (the index's CbaStats, the VFS's FsStats) that used to require three separate calls.
+//
+// `HacStats` remains as a deprecated alias for one release so existing callers keep
+// compiling; new code should say StatsSnapshot.
+#ifndef HAC_CORE_STATS_SNAPSHOT_H_
+#define HAC_CORE_STATS_SNAPSHOT_H_
+
+#include <cstdint>
+
+#include "src/index/cba.h"
+#include "src/vfs/fs_stats.h"
+
+namespace hac {
+
+struct StatsSnapshot {
+  // --- scope-consistency engine ---
+  uint64_t query_evaluations = 0;   // full query evaluations (cold cache, eager mode)
+  uint64_t delta_evaluations = 0;   // incremental re-evaluations over a delta bitmap
+  uint64_t scope_propagations = 0;  // directories actually recomputed by passes
+  uint64_t short_circuit_propagations = 0;  // visits skipped: nothing upstream changed
+  uint64_t batch_flushes = 0;       // batched passes run (EndBatch or a forced flush)
+  uint64_t batched_mutations = 0;   // mutations coalesced inside Begin/EndBatch
+  uint64_t transient_links_added = 0;
+  uint64_t transient_links_removed = 0;
+
+  // --- deferred data consistency ---
+  uint64_t docs_indexed = 0;
+  uint64_t docs_purged = 0;
+  uint64_t auto_reindexes = 0;
+
+  // --- remote semantic mounts ---
+  uint64_t remote_searches = 0;
+  uint64_t remote_imports = 0;
+
+  // --- shared attribute cache ---
+  uint64_t attr_cache_hits = 0;
+  uint64_t attr_cache_misses = 0;
+
+  // --- component views ---
+  CbaStats index;  // content-based access mechanism (documents, terms, postings)
+  FsStats vfs;     // underlying VFS call counts
+};
+
+// Deprecated: kept for one release; use StatsSnapshot.
+using HacStats = StatsSnapshot;
+
+}  // namespace hac
+
+#endif  // HAC_CORE_STATS_SNAPSHOT_H_

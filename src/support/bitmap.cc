@@ -75,6 +75,28 @@ Bitmap& Bitmap::operator&=(const Bitmap& other) {
   return *this;
 }
 
+Bitmap& Bitmap::operator^=(const Bitmap& other) {
+  if (other.words_.size() > words_.size()) {
+    words_.resize(other.words_.size(), 0);
+  }
+  for (size_t i = 0; i < other.words_.size(); ++i) {
+    words_[i] ^= other.words_[i];
+  }
+  return *this;
+}
+
+void Bitmap::DiffWith(const Bitmap& now, Bitmap* added, Bitmap* removed) const {
+  size_t n = std::max(words_.size(), now.words_.size());
+  added->words_.assign(n, 0);
+  removed->words_.assign(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t before = i < words_.size() ? words_[i] : 0;
+    uint64_t after = i < now.words_.size() ? now.words_[i] : 0;
+    added->words_[i] = after & ~before;
+    removed->words_[i] = before & ~after;
+  }
+}
+
 Bitmap& Bitmap::AndNot(const Bitmap& other) {
   size_t n = std::min(words_.size(), other.words_.size());
   for (size_t i = 0; i < n; ++i) {

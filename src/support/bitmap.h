@@ -37,11 +37,22 @@ class Bitmap {
   // In-place set algebra. The result's capacity is the max of the operands'.
   Bitmap& operator|=(const Bitmap& other);
   Bitmap& operator&=(const Bitmap& other);
+  // Symmetric difference: after the call, bit i is set iff it differed between the
+  // operands. `old ^ new` is the delta bitmap the consistency engine propagates.
+  Bitmap& operator^=(const Bitmap& other);
   // this = this AND NOT other.
   Bitmap& AndNot(const Bitmap& other);
 
   friend Bitmap operator|(Bitmap a, const Bitmap& b) { return a |= b; }
   friend Bitmap operator&(Bitmap a, const Bitmap& b) { return a &= b; }
+  friend Bitmap operator^(Bitmap a, const Bitmap& b) { return a ^= b; }
+
+  // Splits `now ∖ *this` and `*this ∖ now` in one pass: the docs that entered and
+  // left the set between two snapshots.
+  void DiffWith(const Bitmap& now, Bitmap* added, Bitmap* removed) const;
+
+  // True iff any set bit is shared with `other`.
+  bool Intersects(const Bitmap& other) const { return !DisjointWith(other); }
 
   bool operator==(const Bitmap& other) const;
   bool operator!=(const Bitmap& other) const { return !(*this == other); }

@@ -421,10 +421,14 @@ Result<std::string> CommandInterpreter::CmdStats(const std::vector<std::string>&
   if (args.size() != 1) {
     return Error(ErrorCode::kInvalidArgument, "usage: stats");
   }
-  HacStats s = fs_->Stats();
+  StatsSnapshot s = fs_->Stats();
   std::string out;
   out += "query evaluations     " + std::to_string(s.query_evaluations) + "\n";
+  out += "delta evaluations     " + std::to_string(s.delta_evaluations) + "\n";
   out += "scope propagations    " + std::to_string(s.scope_propagations) + "\n";
+  out += "short-circuited       " + std::to_string(s.short_circuit_propagations) + "\n";
+  out += "batch flushes         " + std::to_string(s.batch_flushes) + " (" +
+         std::to_string(s.batched_mutations) + " mutations coalesced)\n";
   out += "transient links +/-   " + std::to_string(s.transient_links_added) + "/" +
          std::to_string(s.transient_links_removed) + "\n";
   out += "docs indexed/purged   " + std::to_string(s.docs_indexed) + "/" +

@@ -101,14 +101,16 @@ Result<std::string> DumpTree(HacFileSystem& fs, const std::string& root,
 
   if (options.show_counters) {
     CbaStats index_stats = fs.index().Stats();
-    HacStats stats = fs.Stats();
+    StatsSnapshot stats = fs.Stats();
     out += "\ncounters:\n";
     out += "  files: " + std::to_string(fs.registry().LiveCount()) + " live / " +
            std::to_string(fs.registry().TotalRecords()) + " total\n";
     out += "  index: " + std::to_string(index_stats.documents) + " docs, " +
            std::to_string(index_stats.terms) + " terms, " +
            std::to_string(index_stats.postings) + " postings\n";
-    out += "  activity: " + std::to_string(stats.query_evaluations) + " evaluations, " +
+    out += "  activity: " + std::to_string(stats.query_evaluations) + " evaluations (" +
+           std::to_string(stats.delta_evaluations) + " delta, " +
+           std::to_string(stats.short_circuit_propagations) + " short-circuited), " +
            std::to_string(stats.transient_links_added) + "+" +
            std::to_string(stats.transient_links_removed) + "- links\n";
   }

@@ -62,6 +62,7 @@ class FileSystem final : public FsInterface {
   InodeId root_id() const { return root_; }
 
   FsStats& stats() { return stats_; }
+  const FsStats& stats() const { return stats_; }
   VirtualClock& clock() { return clock_; }
 
   // Total bytes of file content (for bench reporting).
