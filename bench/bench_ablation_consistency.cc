@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "bench/bench_util.h"
 #include "src/core/hac_file_system.h"
 #include "src/workload/corpus.h"
 
@@ -260,29 +261,26 @@ int RunAbComparison() {
   double reduction = incr_work == 0 ? 0.0
                                     : static_cast<double>(eager_work) /
                                           static_cast<double>(incr_work);
-  std::printf(
-      "{\n"
-      "  \"workload\": \"bulk_ingest_plus_link_edits\",\n"
-      "  \"eager\": {\"query_evaluations\": %llu, \"scope_propagations\": %llu,"
-      " \"work\": %llu, \"transient_links\": %llu},\n"
-      "  \"incremental\": {\"query_evaluations\": %llu, \"delta_evaluations\": %llu,"
-      " \"scope_propagations\": %llu, \"short_circuits\": %llu,"
-      " \"batch_flushes\": %llu, \"work\": %llu, \"transient_links\": %llu},\n"
-      "  \"reduction\": %.2f,\n"
-      "  \"links_match\": %s\n"
-      "}\n",
-      static_cast<unsigned long long>(eager.query_evaluations),
-      static_cast<unsigned long long>(eager.scope_propagations),
-      static_cast<unsigned long long>(eager_work),
-      static_cast<unsigned long long>(eager.links),
-      static_cast<unsigned long long>(incr.query_evaluations),
-      static_cast<unsigned long long>(incr.delta_evaluations),
-      static_cast<unsigned long long>(incr.scope_propagations),
-      static_cast<unsigned long long>(incr.short_circuits),
-      static_cast<unsigned long long>(incr.batch_flushes),
-      static_cast<unsigned long long>(incr_work),
-      static_cast<unsigned long long>(incr.links),
-      reduction, eager.links == incr.links ? "true" : "false");
+  JsonObject eager_json;
+  eager_json.Add("query_evaluations", eager.query_evaluations)
+      .Add("scope_propagations", eager.scope_propagations)
+      .Add("work", eager_work)
+      .Add("transient_links", eager.links);
+  JsonObject incr_json;
+  incr_json.Add("query_evaluations", incr.query_evaluations)
+      .Add("delta_evaluations", incr.delta_evaluations)
+      .Add("scope_propagations", incr.scope_propagations)
+      .Add("short_circuits", incr.short_circuits)
+      .Add("batch_flushes", incr.batch_flushes)
+      .Add("work", incr_work)
+      .Add("transient_links", incr.links);
+  JsonObject out;
+  out.Add("workload", "bulk_ingest_plus_link_edits")
+      .Add("eager", eager_json)
+      .Add("incremental", incr_json)
+      .Add("reduction", reduction)
+      .AddBool("links_match", eager.links == incr.links);
+  out.Print();
   if (eager.links != incr.links) {
     std::fprintf(stderr, "FAIL: engines disagree on transient link sets\n");
     return 2;

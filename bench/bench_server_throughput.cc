@@ -1,0 +1,221 @@
+// Service-layer throughput: closed-loop clients against one HacService.
+//
+// For each client-thread count (1, 2, 4, 8) and each request mix (read-heavy 95/5,
+// mixed 70/30), N threads each run a ServiceClient issuing requests back-to-back over
+// a pre-built semantic corpus. Reported per row: aggregate ops/sec, request-latency
+// p50/p95/p99, and the writer's observed mean batch size (the write-batching payoff:
+// concurrent mutations share one propagation pass, so mean batch size grows with
+// contention even when cores do not).
+//
+// --hac_json prints the same rows as a JSON document (see EXPERIMENTS.md), including
+// the read-heavy 1->8 thread scaling factor. Scaling on a single-core host measures
+// only lock/queue overhead; see the EXPERIMENTS.md discussion before comparing.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/server/client.h"
+#include "src/server/hac_service.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+struct MixSpec {
+  const char* name;
+  int write_percent;  // of requests
+};
+
+struct RunResult {
+  int threads = 0;
+  uint64_t total_ops = 0;
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  uint64_t executed_writes = 0;
+  uint64_t write_batches = 0;
+  double mean_batch = 0;
+};
+
+std::unique_ptr<HacFileSystem> BuildCorpusFs() {
+  auto fs = std::make_unique<HacFileSystem>();
+  CorpusOptions opts;
+  opts.num_files = PaperScale() ? 2000 : 200;
+  opts.dirs = 8;
+  opts.words_per_file = PaperScale() ? 200 : 60;
+  if (!GenerateCorpus(*fs, opts).ok() || !fs->Reindex().ok()) {
+    std::abort();
+  }
+  const auto& topics = CorpusTopics();
+  for (size_t t = 0; t < 4 && t < topics.size(); ++t) {
+    if (!fs->SMkdir("/topic" + std::to_string(t), topics[t]).ok()) {
+      std::abort();
+    }
+  }
+  return fs;
+}
+
+double Percentile(std::vector<double>& sorted_us, double p) {
+  if (sorted_us.empty()) {
+    return 0;
+  }
+  size_t idx = static_cast<size_t>(p * static_cast<double>(sorted_us.size() - 1));
+  return sorted_us[idx];
+}
+
+RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread) {
+  auto fs = BuildCorpusFs();
+  auto d0 = fs->ReadDir("/corpus/d0");
+  if (!d0.ok() || d0.value().empty()) {
+    std::abort();
+  }
+  const std::string stat_target = "/corpus/d0/" + d0.value().front().name;
+  ServiceOptions sopts;
+  sopts.read_workers = static_cast<size_t>(threads);
+  HacService service(*fs, sopts);
+  const auto& topics = CorpusTopics();
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(threads));
+  std::vector<std::thread> workers;
+  BenchTimer wall;
+  wall.Start();
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      ServiceClient client(service);
+      auto& lat = latencies[static_cast<size_t>(t)];
+      lat.reserve(static_cast<size_t>(ops_per_thread));
+      uint64_t rng = 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(t);
+      for (int i = 0; i < ops_per_thread; ++i) {
+        rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+        const int pick = static_cast<int>((rng >> 33) % 100);
+        auto start = std::chrono::steady_clock::now();
+        if (pick < mix.write_percent) {
+          // Write: refresh this thread's private scratch file (distinct paths keep
+          // concurrent mutations commuting, as the stress test requires).
+          std::string path = "/corpus/d" + std::to_string(t % 8) + "/bench_t" +
+                             std::to_string(t) + ".txt";
+          if (!client.WriteFile(path, "corpus " + topics[static_cast<size_t>(i) %
+                                                         topics.size()])
+                   .ok()) {
+            std::abort();
+          }
+        } else if (pick % 3 == 0) {
+          if (!client.Search(topics[(rng >> 20) % topics.size()]).ok()) {
+            std::abort();
+          }
+        } else if (pick % 3 == 1) {
+          if (!client.ReadDir("/topic" + std::to_string((rng >> 20) % 4)).ok()) {
+            std::abort();
+          }
+        } else {
+          if (!client.StatPath(stat_target).ok()) {
+            std::abort();
+          }
+        }
+        lat.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+      }
+    });
+  }
+  for (auto& w : workers) {
+    w.join();
+  }
+  RunResult r;
+  r.wall_ms = wall.StopMs();
+  r.threads = threads;
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.total_ops = all.size();
+  r.ops_per_sec = r.wall_ms <= 0 ? 0 : static_cast<double>(r.total_ops) * 1000.0 / r.wall_ms;
+  r.p50_us = Percentile(all, 0.50);
+  r.p95_us = Percentile(all, 0.95);
+  r.p99_us = Percentile(all, 0.99);
+  auto stats = service.Stats();
+  r.executed_writes = stats.executed_writes;
+  r.write_batches = stats.write_batches;
+  r.mean_batch = stats.write_batches == 0
+                     ? 0
+                     : static_cast<double>(stats.executed_writes) /
+                           static_cast<double>(stats.write_batches);
+  return r;
+}
+
+int RunAll(bool json) {
+  const int ops_per_thread = PaperScale() ? 2000 : 250;
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  const std::vector<MixSpec> mixes = {{"read_heavy", 5}, {"mixed", 30}};
+
+  std::vector<JsonObject> rows;
+  TablePrinter table({"mix", "threads", "ops/sec", "p50us", "p95us", "p99us",
+                      "mean_write_batch"});
+  double read_heavy_1 = 0, read_heavy_8 = 0;
+  for (const auto& mix : mixes) {
+    for (int threads : thread_counts) {
+      RunResult r = RunClosedLoop(threads, mix, ops_per_thread);
+      if (std::strcmp(mix.name, "read_heavy") == 0) {
+        if (threads == 1) {
+          read_heavy_1 = r.ops_per_sec;
+        }
+        if (threads == 8) {
+          read_heavy_8 = r.ops_per_sec;
+        }
+      }
+      table.AddRow({mix.name, std::to_string(threads), Fmt(r.ops_per_sec, 0),
+                    Fmt(r.p50_us, 1), Fmt(r.p95_us, 1), Fmt(r.p99_us, 1),
+                    Fmt(r.mean_batch, 2)});
+      JsonObject row;
+      row.Add("mix", mix.name)
+          .Add("threads", r.threads)
+          .Add("total_ops", r.total_ops)
+          .Add("ops_per_sec", r.ops_per_sec)
+          .Add("p50_us", r.p50_us)
+          .Add("p95_us", r.p95_us)
+          .Add("p99_us", r.p99_us)
+          .Add("executed_writes", r.executed_writes)
+          .Add("write_batches", r.write_batches)
+          .Add("mean_write_batch", r.mean_batch);
+      rows.push_back(row);
+    }
+  }
+  double scaling = read_heavy_1 <= 0 ? 0 : read_heavy_8 / read_heavy_1;
+  if (json) {
+    JsonObject out;
+    out.Add("bench", "server_throughput")
+        .Add("ops_per_thread", static_cast<uint64_t>(ops_per_thread))
+        .Add("hardware_threads",
+             static_cast<uint64_t>(std::thread::hardware_concurrency()))
+        .Add("rows", rows)
+        .Add("read_heavy_scaling_1_to_8", scaling);
+    out.Print();
+  } else {
+    table.Print();
+    std::printf("\nread-heavy scaling 1->8 threads: %.2fx (on %u hardware threads)\n",
+                scaling, std::thread::hardware_concurrency());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hac
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hac_json") == 0) {
+      json = true;
+    }
+  }
+  return hac::RunAll(json);
+}

@@ -1,10 +1,15 @@
 // Attribute cache: HAC's stand-in for the paper's shared-memory attribute cache that
 // "helps to speed up Scan and Read operations". Caches Stat results by inode; mutations
 // invalidate. Shared across all HAC processes (the paper stores it in UNIX shared
-// memory for the same reason).
+// memory for the same reason) — and, under the hacd service layer, across concurrent
+// reader threads, so the map is guarded by a mutex and the hit/miss counters are
+// atomic. The critical sections are a hash probe or a hash insert; Stat itself is
+// computed outside the lock.
 #ifndef HAC_CORE_ATTRIBUTE_CACHE_H_
 #define HAC_CORE_ATTRIBUTE_CACHE_H_
 
+#include <atomic>
+#include <mutex>
 #include <optional>
 #include <unordered_map>
 
@@ -15,29 +20,48 @@ namespace hac {
 class AttributeCache {
  public:
   std::optional<Stat> Get(InodeId inode) {
-    auto it = cache_.find(inode);
-    if (it == cache_.end()) {
-      ++misses_;
-      return std::nullopt;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(inode);
+      if (it != cache_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
     }
-    ++hits_;
-    return it->second;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
   }
 
-  void Put(InodeId inode, const Stat& st) { cache_[inode] = st; }
+  void Put(InodeId inode, const Stat& st) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_[inode] = st;
+  }
 
-  void Invalidate(InodeId inode) { cache_.erase(inode); }
-  void Clear() { cache_.clear(); }
+  void Invalidate(InodeId inode) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.erase(inode);
+  }
+  void Clear() {
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.clear();
+  }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  size_t EntryCount() const { return cache_.size(); }
-  size_t SizeBytes() const { return cache_.size() * (sizeof(InodeId) + sizeof(Stat) + 48); }
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  size_t EntryCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size();
+  }
+  size_t SizeBytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return cache_.size() * (sizeof(InodeId) + sizeof(Stat) + 48);
+  }
 
  private:
+  mutable std::mutex mu_;
   std::unordered_map<InodeId, Stat> cache_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
+  std::atomic<uint64_t> hits_ = 0;
+  std::atomic<uint64_t> misses_ = 0;
 };
 
 }  // namespace hac

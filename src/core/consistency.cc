@@ -14,17 +14,17 @@
 
 namespace hac {
 
-Result<Bitmap> HacFileSystem::DirContentsOfUid(DirUid uid) {
+Result<Bitmap> HacFileSystem::DirContentsOfUid(DirUid uid) const {
   // What a dir(X) reference denotes: X's current (edited) link set plus the files
   // physically inside X's subtree — nothing inherited.
   HAC_ASSIGN_OR_RETURN(std::string path, uid_map_.PathOf(uid));
-  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
+  HAC_ASSIGN_OR_RETURN(const DirMetadata* meta, MetaOfUid(uid));
   Bitmap contents = meta->links.LinkSet();
   contents |= registry_.FilesWithin(path);
   return contents;
 }
 
-Result<Bitmap> HacFileSystem::ScopeOfUid(DirUid uid) {
+Result<Bitmap> HacFileSystem::ScopeOfUid(DirUid uid) const {
   // What a directory PROVIDES to semantic children. Semantic directories provide
   // exactly their contents (the paper's refinement rule); the root provides everything.
   // Plain syntactic directories are scope-transparent: they pass their parent's scope
@@ -33,7 +33,7 @@ Result<Bitmap> HacFileSystem::ScopeOfUid(DirUid uid) {
   // paper pins down only the root and semantic parents; this completes the rule for
   // the case in between).
   HAC_ASSIGN_OR_RETURN(Bitmap scope, DirContentsOfUid(uid));
-  HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfUid(uid));
+  HAC_ASSIGN_OR_RETURN(const DirMetadata* meta, MetaOfUid(uid));
   HAC_ASSIGN_OR_RETURN(std::string path, uid_map_.PathOf(uid));
   // Semantic mount points provide only what lives under them (local files plus cached
   // imports) — inheriting the whole local hierarchy would leak it into remote views.

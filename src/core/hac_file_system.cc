@@ -61,6 +61,14 @@ Result<DirMetadata*> HacFileSystem::MetaOfUid(DirUid uid) {
   return &it->second;
 }
 
+Result<const DirMetadata*> HacFileSystem::MetaOfUid(DirUid uid) const {
+  auto it = metadata_.find(uid);
+  if (it == metadata_.end()) {
+    return Error(ErrorCode::kNotFound, "no metadata for uid " + std::to_string(uid));
+  }
+  return &it->second;
+}
+
 void HacFileSystem::NoteContentMutation() {
   ++content_mutations_since_reindex_;
   if (engine_->InBatch()) {

@@ -207,11 +207,13 @@ class HacFileSystem final : public FsInterface {
 
   Result<DirMetadata*> MetaOfPath(const std::string& norm_path);
   Result<DirMetadata*> MetaOfUid(DirUid uid);
+  Result<const DirMetadata*> MetaOfUid(DirUid uid) const;
 
-  // Scope bitmap provided by a directory identified by uid (see ScopeOf).
-  Result<Bitmap> ScopeOfUid(DirUid uid);
+  // Scope bitmap provided by a directory identified by uid (see ScopeOf). Const —
+  // service readers derive scopes concurrently under the shared lock.
+  Result<Bitmap> ScopeOfUid(DirUid uid) const;
   // Contents bitmap of a directory (see DirectoryResultOf).
-  Result<Bitmap> DirContentsOfUid(DirUid uid);
+  Result<Bitmap> DirContentsOfUid(DirUid uid) const;
 
   // Dependency set for a directory: its parent plus all dirs referenced by its query.
   Result<std::vector<DirUid>> ComputeDeps(DirUid uid, const std::string& norm_path,

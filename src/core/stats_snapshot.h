@@ -2,11 +2,19 @@
 // StatsSnapshot that flattens the facade's own counters and embeds the component views
 // (the index's CbaStats, the VFS's FsStats) that used to require three separate calls.
 //
+// The facade counters are std::atomic so the live instance inside HacFileSystem can be
+// bumped from concurrent service workers and snapshotted from a monitoring thread
+// without a data race (the hacd service layer calls Stats() under its shared lock).
+// Field names are unchanged; ++ maps onto an atomic RMW, plain reads onto loads, and
+// copying takes a relaxed field-by-field snapshot — so a StatsSnapshot returned by
+// Stats() still behaves like the plain value type it always was.
+//
 // `HacStats` remains as a deprecated alias for one release so existing callers keep
 // compiling; new code should say StatsSnapshot.
 #ifndef HAC_CORE_STATS_SNAPSHOT_H_
 #define HAC_CORE_STATS_SNAPSHOT_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "src/index/cba.h"
@@ -16,31 +24,61 @@ namespace hac {
 
 struct StatsSnapshot {
   // --- scope-consistency engine ---
-  uint64_t query_evaluations = 0;   // full query evaluations (cold cache, eager mode)
-  uint64_t delta_evaluations = 0;   // incremental re-evaluations over a delta bitmap
-  uint64_t scope_propagations = 0;  // directories actually recomputed by passes
-  uint64_t short_circuit_propagations = 0;  // visits skipped: nothing upstream changed
-  uint64_t batch_flushes = 0;       // batched passes run (EndBatch or a forced flush)
-  uint64_t batched_mutations = 0;   // mutations coalesced inside Begin/EndBatch
-  uint64_t transient_links_added = 0;
-  uint64_t transient_links_removed = 0;
+  std::atomic<uint64_t> query_evaluations = 0;   // full query evaluations (cold cache, eager mode)
+  std::atomic<uint64_t> delta_evaluations = 0;   // incremental re-evaluations over a delta bitmap
+  std::atomic<uint64_t> scope_propagations = 0;  // directories actually recomputed by passes
+  std::atomic<uint64_t> short_circuit_propagations = 0;  // visits skipped: nothing upstream changed
+  std::atomic<uint64_t> batch_flushes = 0;       // batched passes run (EndBatch or a forced flush)
+  std::atomic<uint64_t> batched_mutations = 0;   // mutations coalesced inside Begin/EndBatch
+  std::atomic<uint64_t> transient_links_added = 0;
+  std::atomic<uint64_t> transient_links_removed = 0;
 
   // --- deferred data consistency ---
-  uint64_t docs_indexed = 0;
-  uint64_t docs_purged = 0;
-  uint64_t auto_reindexes = 0;
+  std::atomic<uint64_t> docs_indexed = 0;
+  std::atomic<uint64_t> docs_purged = 0;
+  std::atomic<uint64_t> auto_reindexes = 0;
 
   // --- remote semantic mounts ---
-  uint64_t remote_searches = 0;
-  uint64_t remote_imports = 0;
+  std::atomic<uint64_t> remote_searches = 0;
+  std::atomic<uint64_t> remote_imports = 0;
 
   // --- shared attribute cache ---
-  uint64_t attr_cache_hits = 0;
-  uint64_t attr_cache_misses = 0;
+  std::atomic<uint64_t> attr_cache_hits = 0;
+  std::atomic<uint64_t> attr_cache_misses = 0;
 
   // --- component views ---
   CbaStats index;  // content-based access mechanism (documents, terms, postings)
   FsStats vfs;     // underlying VFS call counts
+
+  StatsSnapshot() = default;
+  StatsSnapshot(const StatsSnapshot& other) { CopyFrom(other); }
+  StatsSnapshot& operator=(const StatsSnapshot& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+ private:
+  void CopyFrom(const StatsSnapshot& other) {
+    query_evaluations = other.query_evaluations.load(std::memory_order_relaxed);
+    delta_evaluations = other.delta_evaluations.load(std::memory_order_relaxed);
+    scope_propagations = other.scope_propagations.load(std::memory_order_relaxed);
+    short_circuit_propagations =
+        other.short_circuit_propagations.load(std::memory_order_relaxed);
+    batch_flushes = other.batch_flushes.load(std::memory_order_relaxed);
+    batched_mutations = other.batched_mutations.load(std::memory_order_relaxed);
+    transient_links_added = other.transient_links_added.load(std::memory_order_relaxed);
+    transient_links_removed =
+        other.transient_links_removed.load(std::memory_order_relaxed);
+    docs_indexed = other.docs_indexed.load(std::memory_order_relaxed);
+    docs_purged = other.docs_purged.load(std::memory_order_relaxed);
+    auto_reindexes = other.auto_reindexes.load(std::memory_order_relaxed);
+    remote_searches = other.remote_searches.load(std::memory_order_relaxed);
+    remote_imports = other.remote_imports.load(std::memory_order_relaxed);
+    attr_cache_hits = other.attr_cache_hits.load(std::memory_order_relaxed);
+    attr_cache_misses = other.attr_cache_misses.load(std::memory_order_relaxed);
+    index = other.index;
+    vfs = other.vfs;
+  }
 };
 
 // Deprecated: kept for one release; use StatsSnapshot.

@@ -6,6 +6,7 @@
 #ifndef HAC_INDEX_INVERTED_INDEX_H_
 #define HAC_INDEX_INVERTED_INDEX_H_
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <unordered_map>
@@ -74,7 +75,8 @@ class InvertedIndex final : public CbaMechanism {
   std::vector<const std::string*> term_names_;   // TermId -> dictionary key
   std::unordered_map<DocId, std::vector<TermId>> doc_terms_;
   ContentFetcher fetch_content_;
-  mutable uint64_t queries_evaluated_ = 0;
+  // Atomic: concurrent service readers evaluate queries under a shared lock.
+  mutable std::atomic<uint64_t> queries_evaluated_ = 0;
 };
 
 }  // namespace hac

@@ -4,14 +4,31 @@
 
 namespace hac {
 
+Result<void> RemoteHacNameSpace::CheckExportRoot() const {
+  if (fs_ == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "no backing file system");
+  }
+  // The export root is captured at construction; the remote side can delete or move
+  // it afterwards. Surface that as a typed kStaleExport so mounts can distinguish
+  // "the share is gone" from an ordinary bad query/handle.
+  auto st = fs_->StatPath(export_root_);
+  if (!st.ok()) {
+    return Error(ErrorCode::kStaleExport,
+                 "export root " + export_root_ + " no longer exists");
+  }
+  if (st.value().type != NodeType::kDirectory) {
+    return Error(ErrorCode::kStaleExport,
+                 "export root " + export_root_ + " is no longer a directory");
+  }
+  return OkResult();
+}
+
 RemoteHacNameSpace::RemoteHacNameSpace(std::string name, HacFileSystem* fs,
                                        std::string export_root)
     : name_(std::move(name)), fs_(fs), export_root_(NormalizePath(export_root)) {}
 
 Result<std::vector<RemoteDoc>> RemoteHacNameSpace::Search(const QueryExpr& query) {
-  if (fs_ == nullptr) {
-    return Error(ErrorCode::kInvalidArgument, "no backing file system");
-  }
+  HAC_RETURN_IF_ERROR(CheckExportRoot());
   // Scope: everything exported. Handles are the remote paths themselves.
   HAC_ASSIGN_OR_RETURN(Bitmap scope, fs_->DirectoryResultOf(export_root_));
   DirResolver resolver = [this](DirUid uid) -> Result<Bitmap> {
@@ -36,10 +53,15 @@ Result<std::vector<RemoteDoc>> RemoteHacNameSpace::Search(const QueryExpr& query
 }
 
 Result<std::string> RemoteHacNameSpace::Fetch(const std::string& handle) {
-  if (fs_ == nullptr) {
-    return Error(ErrorCode::kInvalidArgument, "no backing file system");
+  HAC_RETURN_IF_ERROR(CheckExportRoot());
+  // Handles are remote paths; confine them to the exported subtree so a mount cannot
+  // read files its share never covered.
+  std::string norm = NormalizePath(handle);
+  if (norm.empty() || !PathIsWithin(norm, export_root_)) {
+    return Error(ErrorCode::kPermission,
+                 "handle " + handle + " is outside export root " + export_root_);
   }
-  return fs_->ReadFileToString(handle);
+  return fs_->ReadFileToString(norm);
 }
 
 }  // namespace hac

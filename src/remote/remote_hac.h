@@ -19,10 +19,14 @@ class RemoteHacNameSpace final : public NameSpace {
 
   std::string Name() const override { return name_; }
   std::string QueryLanguage() const override { return "hac-bool"; }
+  // Both fail with kStaleExport when `export_root` has since been deleted (or is no
+  // longer a directory); Fetch additionally confines handles to the exported subtree.
   Result<std::vector<RemoteDoc>> Search(const QueryExpr& query) override;
   Result<std::string> Fetch(const std::string& handle) override;
 
  private:
+  Result<void> CheckExportRoot() const;
+
   std::string name_;
   HacFileSystem* fs_;  // not owned
   std::string export_root_;

@@ -1,0 +1,75 @@
+// ServiceClient: a thin synchronous client of HacService — what a library consumer
+// (or an RPC shim) would use per connection. It owns one Session, translates typed
+// calls into ServerRequests, and blocks on the service's future for each call, so a
+// client observes its own writes in program order (the service completes a write's
+// future only after its batch has committed).
+//
+// A ServiceClient must be driven from one thread at a time (matching the session's
+// single-client contract); create one client per concurrent caller.
+#ifndef HAC_SERVER_CLIENT_H_
+#define HAC_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/server/hac_service.h"
+
+namespace hac {
+
+class ServiceClient {
+ public:
+  explicit ServiceClient(HacService& service);
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  uint64_t session_id() const { return session_->id(); }
+  const std::string& cwd() const { return session_->cwd(); }
+
+  // --- ordinary operations ---
+  Result<std::vector<DirEntry>> ReadDir(const std::string& path);
+  Result<Stat> StatPath(const std::string& path);
+  Result<Stat> LstatPath(const std::string& path);
+  Result<Fd> Open(const std::string& path, uint32_t flags);
+  Result<void> Close(Fd fd);
+  Result<std::string> Read(Fd fd, size_t max_bytes);
+  Result<uint64_t> Seek(Fd fd, uint64_t offset);
+  Result<size_t> Write(Fd fd, const std::string& bytes);
+  Result<void> WriteFile(const std::string& path, const std::string& content);
+  Result<void> Mkdir(const std::string& path);
+  Result<void> Unlink(const std::string& path);
+  Result<void> Rmdir(const std::string& path);
+  Result<void> Rename(const std::string& from, const std::string& to);
+  Result<void> Symlink(const std::string& target, const std::string& link_path);
+  Result<std::string> ReadLink(const std::string& path);
+  Result<std::string> Chdir(const std::string& path);  // returns the new cwd
+
+  // --- semantic operations ---
+  Result<void> SMkdir(const std::string& path, const std::string& query);
+  Result<void> SetQuery(const std::string& path, const std::string& query);
+  Result<std::string> GetQuery(const std::string& path);
+  Result<std::vector<std::string>> Search(const std::string& query,
+                                          const std::string& scope_dir = "/");
+  Result<LinkClassView> GetLinkClasses(const std::string& dir_path);
+  Result<void> PromoteLink(const std::string& link_path);
+  Result<void> DemoteLink(const std::string& link_path);
+  Result<void> Prohibit(const std::string& dir_path, const std::string& file_path);
+  Result<void> Unprohibit(const std::string& dir_path, const std::string& file_path);
+  Result<void> Reindex();
+  Result<void> SSync(const std::string& path);
+  Result<std::vector<std::string>> SAct(const std::string& link_path);
+
+  StatsSnapshot Stats();
+
+ private:
+  ServerResponse Call(ServerRequest req);
+  Result<void> VoidCall(ServerRequest req);
+
+  HacService& service_;
+  Session* session_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SERVER_CLIENT_H_

@@ -1,0 +1,558 @@
+#include "src/server/hac_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/vfs/path.h"
+
+namespace hac {
+
+namespace {
+
+ServerResponse ErrorResponse(Error e) {
+  ServerResponse r;
+  r.error = std::move(e);
+  return r;
+}
+
+}  // namespace
+
+HacService::HacService(HacFileSystem& fs, ServiceOptions options)
+    : fs_(fs),
+      options_(options),
+      readers_(std::max<size_t>(1, options.read_workers)),
+      write_queue_(std::max<size_t>(1, options.max_write_queue)) {
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+HacService::~HacService() { Stop(); }
+
+ServerResponse HacService::Overloaded(const std::string& why) {
+  return ErrorResponse(Error(ErrorCode::kOverloaded, why));
+}
+
+std::string HacService::Absolutize(const Session& session, const std::string& path) {
+  if (path.empty()) {
+    return session.cwd();
+  }
+  if (path.front() == '/') {
+    return NormalizePath(path);
+  }
+  return NormalizePath(JoinPath(session.cwd() == "/" ? "" : session.cwd(), path));
+}
+
+Session* HacService::OpenSession() {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  sessions_.emplace_back(std::unique_ptr<Session>(new Session(next_session_id_++)));
+  ++sessions_opened_;
+  return sessions_.back().get();
+}
+
+Result<void> HacService::CloseSession(Session* session) {
+  if (session == nullptr) {
+    return Error(ErrorCode::kInvalidArgument, "null session");
+  }
+  ServerRequest req;
+  req.op = ServerOp::kCloseSession;
+  ServerResponse resp = Call(session, std::move(req));
+  if (!resp.ok() && resp.error.code == ErrorCode::kOverloaded) {
+    // The writer has already stopped; reclaim the descriptors inline under the
+    // exclusive lock instead of losing them.
+    std::unique_lock<std::shared_mutex> lk(fs_lock_);
+    CloseSessionDescriptors(session);
+    resp.error = Error();
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                           [&](const auto& s) { return s.get() == session; });
+    if (it == sessions_.end()) {
+      return Error(ErrorCode::kInvalidArgument, "unknown session");
+    }
+    sessions_.erase(it);
+    ++sessions_closed_;
+  }
+  if (!resp.ok()) {
+    return resp.error;
+  }
+  return OkResult();
+}
+
+std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest req) {
+  auto p = std::make_shared<Pending>();
+  p->req = std::move(req);
+  p->session = session;
+  p->enqueued = std::chrono::steady_clock::now();
+  std::future<ServerResponse> fut = p->done.get_future();
+
+  if (session == nullptr) {
+    p->done.set_value(ErrorResponse(Error(ErrorCode::kInvalidArgument, "null session")));
+    return fut;
+  }
+  if (stopping_.load(std::memory_order_acquire)) {
+    p->done.set_value(Overloaded("service is stopping"));
+    return fut;
+  }
+
+  if (IsReadOp(p->req.op)) {
+    // Admission control: reject when the read backlog is at capacity.
+    size_t queued = queued_reads_.load(std::memory_order_relaxed);
+    do {
+      if (queued >= options_.max_read_queue) {
+        ++rejected_queue_full_;
+        p->done.set_value(Overloaded("read queue full"));
+        return fut;
+      }
+    } while (!queued_reads_.compare_exchange_weak(queued, queued + 1,
+                                                  std::memory_order_relaxed));
+    ++admitted_reads_;
+    if (!readers_.Submit([this, p] { RunRead(p); })) {
+      queued_reads_.fetch_sub(1, std::memory_order_relaxed);
+      p->done.set_value(Overloaded("reader pool stopped"));
+    }
+    return fut;
+  }
+
+  if (!write_queue_.TryPush(p)) {
+    ++rejected_queue_full_;
+    p->done.set_value(Overloaded(write_queue_.closed() ? "service is stopping"
+                                                       : "write queue full"));
+    return fut;
+  }
+  ++admitted_writes_;
+  return fut;
+}
+
+ServerResponse HacService::Call(Session* session, ServerRequest req) {
+  return Submit(session, std::move(req)).get();
+}
+
+bool HacService::ShedIfExpired(Pending& p, std::chrono::milliseconds timeout) {
+  if (timeout.count() <= 0) {
+    return false;
+  }
+  if (std::chrono::steady_clock::now() - p.enqueued <= timeout) {
+    return false;
+  }
+  ++shed_deadline_;
+  p.done.set_value(Overloaded("request exceeded its queue deadline"));
+  return true;
+}
+
+void HacService::ReaderLockShared() {
+  {
+    std::unique_lock<std::mutex> gate(gate_mu_);
+    gate_cv_.wait(gate, [this] { return !writer_pending_; });
+  }
+  fs_lock_.lock_shared();
+}
+
+void HacService::RunRead(std::shared_ptr<Pending> p) {
+  queued_reads_.fetch_sub(1, std::memory_order_relaxed);
+  if (ShedIfExpired(*p, options_.read_queue_timeout)) {
+    return;
+  }
+  ReaderLockShared();
+  if (options_.read_hook) {
+    options_.read_hook();
+  }
+  ServerResponse resp = ExecuteRead(p->session, p->req);
+  fs_lock_.unlock_shared();
+  ++executed_reads_;
+  p->done.set_value(std::move(resp));
+}
+
+void HacService::WriterLoop() {
+  std::vector<std::shared_ptr<Pending>> batch;
+  for (;;) {
+    batch.clear();
+    auto first = write_queue_.PopFor(std::chrono::milliseconds(50));
+    if (!first.has_value()) {
+      if (write_queue_.closed()) {
+        return;
+      }
+      continue;
+    }
+    batch.push_back(std::move(*first));
+    // Drain whatever else is already queued, up to the batch cap: these mutations
+    // were issued concurrently, so one BatchScope (one propagation pass) covers them.
+    while (batch.size() < std::max<size_t>(1, options_.max_write_batch)) {
+      auto next = write_queue_.TryPop();
+      if (!next.has_value()) {
+        break;
+      }
+      batch.push_back(std::move(*next));
+    }
+
+    // Shed requests that waited past the write deadline before taking the lock.
+    std::vector<std::shared_ptr<Pending>> live;
+    live.reserve(batch.size());
+    for (auto& p : batch) {
+      if (!ShedIfExpired(*p, options_.write_queue_timeout)) {
+        live.push_back(std::move(p));
+      }
+    }
+    if (live.empty()) {
+      continue;
+    }
+
+    {
+      std::lock_guard<std::mutex> gate(gate_mu_);
+      writer_pending_ = true;
+    }
+    std::vector<ServerResponse> responses(live.size());
+    {
+      std::unique_lock<std::shared_mutex> lk(fs_lock_);
+      Result<void> commit = OkResult();
+      {
+        BatchScope scope(fs_);
+        for (size_t i = 0; i < live.size(); ++i) {
+          responses[i] = ExecuteWrite(live[i]->session, live[i]->req);
+        }
+        commit = scope.Commit();
+      }
+      if (!commit.ok()) {
+        // The group flush failed: every op that thought it succeeded did not settle.
+        for (auto& r : responses) {
+          if (r.ok()) {
+            r.error = commit.error();
+          }
+        }
+      }
+    }
+    {
+      std::lock_guard<std::mutex> gate(gate_mu_);
+      writer_pending_ = false;
+    }
+    gate_cv_.notify_all();
+
+    ++write_batches_;
+    uint64_t largest = largest_write_batch_.load(std::memory_order_relaxed);
+    while (live.size() > largest &&
+           !largest_write_batch_.compare_exchange_weak(largest, live.size(),
+                                                       std::memory_order_relaxed)) {
+    }
+    // Group commit: futures complete only after the batch flush, so a client's next
+    // read observes its own settled write.
+    for (size_t i = 0; i < live.size(); ++i) {
+      ++executed_writes_;
+      live[i]->done.set_value(std::move(responses[i]));
+    }
+  }
+}
+
+ServerResponse HacService::ExecuteRead(Session* session, const ServerRequest& req) {
+  ServerResponse resp;
+  const std::string abs = Absolutize(*session, req.path);
+  switch (req.op) {
+    case ServerOp::kPing:
+      resp.text = "pong";
+      break;
+    case ServerOp::kReadDir: {
+      auto r = fs_.ReadDir(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.entries = std::move(r).value();
+      }
+      break;
+    }
+    case ServerOp::kSearch: {
+      auto r = fs_.Search(req.aux, abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.paths = std::move(r).value();
+      }
+      break;
+    }
+    case ServerOp::kStat:
+    case ServerOp::kLstat: {
+      auto r = req.op == ServerOp::kStat ? fs_.StatPath(abs) : fs_.LstatPath(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.st = r.value();
+      }
+      break;
+    }
+    case ServerOp::kReadFd: {
+      auto sf = session->fds_.Get(req.fd);
+      if (!sf.ok()) {
+        resp.error = sf.error();
+        break;
+      }
+      resp.text.resize(req.size);
+      auto r = fs_.Read(sf.value()->hac_fd, resp.text.data(), req.size);
+      if (!r.ok()) {
+        resp.error = r.error();
+        resp.text.clear();
+      } else {
+        resp.text.resize(r.value());
+        resp.size = r.value();
+      }
+      break;
+    }
+    case ServerOp::kSeek: {
+      auto sf = session->fds_.Get(req.fd);
+      if (!sf.ok()) {
+        resp.error = sf.error();
+        break;
+      }
+      auto r = fs_.Seek(sf.value()->hac_fd, req.size);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.size = r.value();
+      }
+      break;
+    }
+    case ServerOp::kGetQuery: {
+      auto r = fs_.GetQuery(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.text = std::move(r).value();
+      }
+      break;
+    }
+    case ServerOp::kGetLinkClasses: {
+      auto r = fs_.GetLinkClasses(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.links = std::move(r).value();
+      }
+      break;
+    }
+    case ServerOp::kReadLink: {
+      auto r = fs_.ReadLink(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.text = std::move(r).value();
+      }
+      break;
+    }
+    case ServerOp::kStats:
+      resp.stats = fs_.Stats();
+      break;
+    case ServerOp::kChdir: {
+      auto st = fs_.StatPath(abs);
+      if (!st.ok()) {
+        resp.error = st.error();
+        break;
+      }
+      if (st.value().type != NodeType::kDirectory) {
+        resp.error = Error(ErrorCode::kNotADirectory, abs + " is not a directory");
+        break;
+      }
+      // Session-local state; safe under the shared lock because one client drives
+      // each session.
+      session->cwd_ = abs;
+      resp.text = abs;
+      break;
+    }
+    default:
+      resp.error = Error(ErrorCode::kInvalidArgument, "write op routed to read path");
+      break;
+  }
+  return resp;
+}
+
+ServerResponse HacService::ExecuteWrite(Session* session, const ServerRequest& req) {
+  ServerResponse resp;
+  const std::string abs = Absolutize(*session, req.path);
+  switch (req.op) {
+    case ServerOp::kOpen: {
+      auto r = fs_.Open(abs, req.flags);
+      if (!r.ok()) {
+        resp.error = r.error();
+        break;
+      }
+      resp.fd = session->fds_.Allocate(SessionFile{r.value(), abs});
+      break;
+    }
+    case ServerOp::kClose: {
+      auto sf = session->fds_.Get(req.fd);
+      if (!sf.ok()) {
+        resp.error = sf.error();
+        break;
+      }
+      Fd hac_fd = sf.value()->hac_fd;
+      (void)session->fds_.Release(req.fd);
+      auto r = fs_.Close(hac_fd);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kWriteFd: {
+      auto sf = session->fds_.Get(req.fd);
+      if (!sf.ok()) {
+        resp.error = sf.error();
+        break;
+      }
+      auto r = fs_.Write(sf.value()->hac_fd, req.aux.data(), req.aux.size());
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.size = r.value();
+      }
+      break;
+    }
+    case ServerOp::kWriteFile: {
+      auto r = fs_.WriteFile(abs, req.aux);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kMkdir: {
+      auto r = fs_.Mkdir(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kSMkdir: {
+      auto r = fs_.SMkdir(abs, req.aux);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kSetQuery: {
+      auto r = fs_.SetQuery(abs, req.aux);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kUnlink: {
+      auto r = fs_.Unlink(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kRmdir: {
+      auto r = fs_.Rmdir(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kRename: {
+      auto r = fs_.Rename(abs, Absolutize(*session, req.aux));
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kSymlink: {
+      // The target is kept verbatim (it may legitimately be relative).
+      auto r = fs_.Symlink(req.aux, abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kPromoteLink: {
+      auto r = fs_.PromoteLink(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kDemoteLink: {
+      auto r = fs_.DemoteLink(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kProhibit: {
+      auto r = fs_.Prohibit(abs, Absolutize(*session, req.aux));
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kUnprohibit: {
+      auto r = fs_.Unprohibit(abs, Absolutize(*session, req.aux));
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kReindex: {
+      auto r = req.path.empty() ? fs_.Reindex() : fs_.ReindexSubtree(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kSSync: {
+      auto r = fs_.SSync(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      }
+      break;
+    }
+    case ServerOp::kSAct: {
+      auto r = fs_.SAct(abs);
+      if (!r.ok()) {
+        resp.error = r.error();
+      } else {
+        resp.paths = std::move(r).value();
+      }
+      break;
+    }
+    case ServerOp::kCloseSession:
+      CloseSessionDescriptors(session);
+      break;
+    default:
+      resp.error = Error(ErrorCode::kInvalidArgument, "read op routed to write path");
+      break;
+  }
+  return resp;
+}
+
+void HacService::CloseSessionDescriptors(Session* session) {
+  std::vector<std::pair<Fd, Fd>> open;  // session fd -> hac fd
+  session->fds_.ForEachOpen(
+      [&](Fd fd, const SessionFile& sf) { open.emplace_back(fd, sf.hac_fd); });
+  for (const auto& [fd, hac_fd] : open) {
+    (void)fs_.Close(hac_fd);
+    (void)session->fds_.Release(fd);
+  }
+}
+
+void HacService::Stop() {
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    write_queue_.Close();
+    if (writer_.joinable()) {
+      writer_.join();
+    }
+    readers_.Stop();
+  });
+}
+
+ServiceStats HacService::Stats() const {
+  ServiceStats s;
+  s.admitted_reads = admitted_reads_.load(std::memory_order_relaxed);
+  s.admitted_writes = admitted_writes_.load(std::memory_order_relaxed);
+  s.rejected_queue_full = rejected_queue_full_.load(std::memory_order_relaxed);
+  s.shed_deadline = shed_deadline_.load(std::memory_order_relaxed);
+  s.executed_reads = executed_reads_.load(std::memory_order_relaxed);
+  s.executed_writes = executed_writes_.load(std::memory_order_relaxed);
+  s.write_batches = write_batches_.load(std::memory_order_relaxed);
+  s.largest_write_batch = largest_write_batch_.load(std::memory_order_relaxed);
+  s.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  s.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hac

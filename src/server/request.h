@@ -1,0 +1,98 @@
+// Wire-less request/response model of the hacd service layer.
+//
+// Every client call is one ServerRequest. The service classifies each op as read or
+// write (IsReadOp): read-class ops execute concurrently on the reader pool under a
+// shared lock and are guaranteed not to mutate shared HAC state (per-session
+// descriptor state only); write-class ops are funnelled through the single-writer
+// batching scheduler, which wraps each drained group in one ConsistencyEngine
+// BatchScope so N concurrent writers pay one topological pass.
+//
+// Classification table (see DESIGN.md "Service layer & threading model"):
+//   read  — Ping, ReadDir, Search, Stat, Lstat, ReadFd, Seek, GetQuery,
+//           GetLinkClasses, ReadLink, Stats, Chdir (session-local cwd)
+//   write — Open, Close, WriteFd, WriteFile, Mkdir, SMkdir, SetQuery, Unlink, Rmdir,
+//           Rename, Symlink, PromoteLink, DemoteLink, Prohibit, Unprohibit, Reindex,
+//           SSync, SAct, CloseSession
+// Notes: Open allocates in the shared descriptor tables (and may create the file), so
+// it is a write even when opening read-only. SAct reads file content through the
+// kernel descriptor table, which allocates a transient fd — write class for that
+// reason alone. Seek and ReadFd only touch the session's own descriptor (its offset),
+// which is safe under the shared lock because a session is driven by one client.
+#ifndef HAC_SERVER_REQUEST_H_
+#define HAC_SERVER_REQUEST_H_
+
+#include <string>
+#include <vector>
+
+#include "src/core/hac_file_system.h"
+#include "src/support/error.h"
+#include "src/vfs/types.h"
+
+namespace hac {
+
+enum class ServerOp : uint8_t {
+  // --- read class ---
+  kPing = 0,
+  kReadDir,
+  kSearch,          // path = scope dir, aux = query text
+  kStat,
+  kLstat,
+  kReadFd,          // fd = session fd, size = max bytes
+  kSeek,            // fd = session fd, size = offset
+  kGetQuery,
+  kGetLinkClasses,
+  kReadLink,
+  kStats,
+  kChdir,
+  // --- write class ---
+  kOpen,            // flags = OpenFlags; returns a session fd
+  kClose,           // fd = session fd
+  kWriteFd,         // fd = session fd, aux = bytes
+  kWriteFile,       // aux = content (create/overwrite convenience)
+  kMkdir,
+  kSMkdir,          // aux = query
+  kSetQuery,        // aux = query ("" reverts to syntactic)
+  kUnlink,
+  kRmdir,
+  kRename,          // path = from, aux = to
+  kSymlink,         // path = link path, aux = target (kept verbatim, may be relative)
+  kPromoteLink,
+  kDemoteLink,
+  kProhibit,        // path = dir, aux = file
+  kUnprohibit,      // path = dir, aux = file
+  kReindex,
+  kSSync,
+  kSAct,            // path = link path
+  kCloseSession,    // internal: emitted by HacService::CloseSession
+};
+
+inline bool IsReadOp(ServerOp op) { return op < ServerOp::kOpen; }
+
+struct ServerRequest {
+  ServerOp op = ServerOp::kPing;
+  std::string path;   // primary path operand (resolved against the session cwd)
+  std::string aux;    // secondary operand: query / target / content (see ServerOp)
+  Fd fd = -1;         // session-scoped descriptor operand
+  uint64_t size = 0;  // byte count (kReadFd) or offset (kSeek)
+  uint32_t flags = 0; // OpenFlags (kOpen)
+};
+
+// One response struct for every op; only the fields the op produces are filled.
+struct ServerResponse {
+  Error error;  // code == kOk on success
+
+  std::vector<DirEntry> entries;   // kReadDir
+  std::vector<std::string> paths;  // kSearch, kSAct
+  std::string text;                // kReadFd / kGetQuery / kReadLink / kChdir (new cwd)
+  Stat st;                         // kStat, kLstat
+  Fd fd = -1;                      // kOpen (session fd)
+  uint64_t size = 0;               // kWriteFd bytes written, kSeek resulting offset
+  LinkClassView links;             // kGetLinkClasses
+  StatsSnapshot stats;             // kStats
+
+  bool ok() const { return error.code == ErrorCode::kOk; }
+};
+
+}  // namespace hac
+
+#endif  // HAC_SERVER_REQUEST_H_

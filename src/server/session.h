@@ -1,0 +1,44 @@
+// Session: one connected client of the hacd service.
+//
+// A session owns a descriptor namespace (a BasicFdTable over the facade's HAC
+// descriptors, so clients can never touch each other's open files) and a current
+// working directory that relative request paths resolve against. A session is driven
+// by one synchronous client at a time — the service relies on that for the session's
+// own mutable state (cwd, per-descriptor offsets), which is why Chdir/ReadFd/Seek can
+// run on the concurrent read path.
+#ifndef HAC_SERVER_SESSION_H_
+#define HAC_SERVER_SESSION_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/vfs/fd_table.h"
+
+namespace hac {
+
+// A session descriptor: the backing HAC descriptor plus the path it was opened with
+// (kept for introspection/debugging; the facade tracks the authoritative state).
+struct SessionFile {
+  Fd hac_fd = -1;
+  std::string path;
+};
+
+class Session {
+ public:
+  uint64_t id() const { return id_; }
+  const std::string& cwd() const { return cwd_; }
+  size_t OpenDescriptors() const { return fds_.OpenCount(); }
+
+ private:
+  friend class HacService;
+
+  explicit Session(uint64_t id) : id_(id) {}
+
+  uint64_t id_;
+  std::string cwd_ = "/";
+  BasicFdTable<SessionFile> fds_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SERVER_SESSION_H_

@@ -42,6 +42,10 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "language_mismatch";
     case ErrorCode::kOutOfRange:
       return "out_of_range";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kStaleExport:
+      return "stale_export";
   }
   return "unknown";
 }

@@ -33,6 +33,8 @@ enum class ErrorCode : int {
   kCrossDevice = 16,      // rename across a mount boundary
   kLanguageMismatch = 17, // name space query language differs from the mount's
   kOutOfRange = 18,       // seek/read beyond representable range
+  kOverloaded = 19,       // service admission control rejected or timed out the request
+  kStaleExport = 20,      // remote export root no longer exists (or moved out of scope)
 };
 
 // Returns a stable, lowercase identifier for the code ("not_found", ...).

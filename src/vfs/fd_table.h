@@ -1,10 +1,16 @@
-// Open-file descriptor table. The VFS owns one ("kernel" descriptors); the HAC layer
-// keeps its own per-process table on top (see core/process_state.h), mirroring the
-// paper's user-level descriptor bookkeeping.
+// Open-descriptor tables.
+//
+// BasicFdTable<T> is the generic slot allocator: lowest-free-descriptor allocation
+// over a vector of optional slots. The VFS instantiates it with OpenFile ("kernel"
+// descriptors), the HAC layer keeps its own per-process table on top (see
+// core/process_state.h), and the hacd service layer instantiates it per Session
+// (src/server/session.h) so every client gets an isolated descriptor namespace.
 #ifndef HAC_VFS_FD_TABLE_H_
 #define HAC_VFS_FD_TABLE_H_
 
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "src/support/result.h"
@@ -18,27 +24,77 @@ struct OpenFile {
   uint32_t flags = 0;
 };
 
-class FdTable {
+template <typename T>
+class BasicFdTable {
  public:
   // Allocates the lowest free descriptor.
-  Fd Allocate(OpenFile file);
+  Fd Allocate(T file) {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (!slots_[i].has_value()) {
+        slots_[i] = std::move(file);
+        ++open_count_;
+        return static_cast<Fd>(i);
+      }
+    }
+    slots_.push_back(std::move(file));
+    ++open_count_;
+    return static_cast<Fd>(slots_.size() - 1);
+  }
 
-  Result<OpenFile*> Get(Fd fd);
+  Result<T*> Get(Fd fd) {
+    if (!Valid(fd)) {
+      return Error(ErrorCode::kBadDescriptor, "fd " + std::to_string(fd));
+    }
+    return &*slots_[static_cast<size_t>(fd)];
+  }
 
-  Result<void> Release(Fd fd);
+  Result<void> Release(Fd fd) {
+    if (!Valid(fd)) {
+      return Error(ErrorCode::kBadDescriptor, "fd " + std::to_string(fd));
+    }
+    slots_[static_cast<size_t>(fd)].reset();
+    --open_count_;
+    return OkResult();
+  }
 
   // Number of currently open descriptors.
   size_t OpenCount() const { return open_count_; }
 
-  // True if any open descriptor refers to `inode`.
-  bool HasOpen(InodeId inode) const;
+  // Visits every open descriptor (used for close-all on session teardown).
+  template <typename Fn>
+  void ForEachOpen(Fn fn) const {
+    for (size_t i = 0; i < slots_.size(); ++i) {
+      if (slots_[i].has_value()) {
+        fn(static_cast<Fd>(i), *slots_[i]);
+      }
+    }
+  }
 
   // Approximate memory footprint (for the space-overhead bench).
   size_t SizeBytes() const { return slots_.capacity() * sizeof(slots_[0]); }
 
- private:
-  std::vector<std::optional<OpenFile>> slots_;
+ protected:
+  bool Valid(Fd fd) const {
+    return fd >= 0 && static_cast<size_t>(fd) < slots_.size() &&
+           slots_[static_cast<size_t>(fd)].has_value();
+  }
+
+  std::vector<std::optional<T>> slots_;
   size_t open_count_ = 0;
+};
+
+// The VFS's "kernel" descriptor table.
+class FdTable : public BasicFdTable<OpenFile> {
+ public:
+  // True if any open descriptor refers to `inode`.
+  bool HasOpen(InodeId inode) const {
+    for (const auto& slot : slots_) {
+      if (slot && slot->inode == inode) {
+        return true;
+      }
+    }
+    return false;
+  }
 };
 
 }  // namespace hac

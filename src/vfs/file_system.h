@@ -61,6 +61,9 @@ class FileSystem final : public FsInterface {
   uint64_t InodeCount() const { return inodes_.size(); }
   InodeId root_id() const { return root_; }
 
+  // Currently open "kernel" descriptors (used by tests to assert close-all behavior).
+  size_t OpenFdCount() const { return fds_.OpenCount(); }
+
   FsStats& stats() { return stats_; }
   const FsStats& stats() const { return stats_; }
   VirtualClock& clock() { return clock_; }

@@ -1,30 +1,63 @@
 // Operation counters kept by the VFS; used by tests (to assert an operation went through
 // a given layer) and by the benches (to report work done per phase).
+//
+// The counters are std::atomic so the hacd service layer (src/server) can bump them
+// from concurrent readers holding the shared lock and snapshot them from a monitoring
+// thread without a data race. Field names and call sites are unchanged: ++/+= map onto
+// atomic RMW, plain reads onto atomic loads, and copying a FsStats (e.g. embedding it
+// in a StatsSnapshot) takes a relaxed, field-by-field snapshot.
 #ifndef HAC_VFS_FS_STATS_H_
 #define HAC_VFS_FS_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace hac {
 
 struct FsStats {
-  uint64_t lookups = 0;       // path resolutions
-  uint64_t mkdirs = 0;
-  uint64_t creates = 0;       // new regular files
-  uint64_t opens = 0;
-  uint64_t closes = 0;
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t read_bytes = 0;
-  uint64_t written_bytes = 0;
-  uint64_t stats = 0;
-  uint64_t readdirs = 0;
-  uint64_t unlinks = 0;
-  uint64_t rmdirs = 0;
-  uint64_t renames = 0;
-  uint64_t symlinks = 0;
+  std::atomic<uint64_t> lookups = 0;       // path resolutions
+  std::atomic<uint64_t> mkdirs = 0;
+  std::atomic<uint64_t> creates = 0;       // new regular files
+  std::atomic<uint64_t> opens = 0;
+  std::atomic<uint64_t> closes = 0;
+  std::atomic<uint64_t> reads = 0;
+  std::atomic<uint64_t> writes = 0;
+  std::atomic<uint64_t> read_bytes = 0;
+  std::atomic<uint64_t> written_bytes = 0;
+  std::atomic<uint64_t> stats = 0;
+  std::atomic<uint64_t> readdirs = 0;
+  std::atomic<uint64_t> unlinks = 0;
+  std::atomic<uint64_t> rmdirs = 0;
+  std::atomic<uint64_t> renames = 0;
+  std::atomic<uint64_t> symlinks = 0;
 
-  void Reset() { *this = FsStats{}; }
+  FsStats() = default;
+  FsStats(const FsStats& other) { CopyFrom(other); }
+  FsStats& operator=(const FsStats& other) {
+    CopyFrom(other);
+    return *this;
+  }
+
+  void Reset() { CopyFrom(FsStats{}); }
+
+ private:
+  void CopyFrom(const FsStats& other) {
+    lookups = other.lookups.load(std::memory_order_relaxed);
+    mkdirs = other.mkdirs.load(std::memory_order_relaxed);
+    creates = other.creates.load(std::memory_order_relaxed);
+    opens = other.opens.load(std::memory_order_relaxed);
+    closes = other.closes.load(std::memory_order_relaxed);
+    reads = other.reads.load(std::memory_order_relaxed);
+    writes = other.writes.load(std::memory_order_relaxed);
+    read_bytes = other.read_bytes.load(std::memory_order_relaxed);
+    written_bytes = other.written_bytes.load(std::memory_order_relaxed);
+    stats = other.stats.load(std::memory_order_relaxed);
+    readdirs = other.readdirs.load(std::memory_order_relaxed);
+    unlinks = other.unlinks.load(std::memory_order_relaxed);
+    rmdirs = other.rmdirs.load(std::memory_order_relaxed);
+    renames = other.renames.load(std::memory_order_relaxed);
+    symlinks = other.symlinks.load(std::memory_order_relaxed);
+  }
 };
 
 }  // namespace hac

@@ -55,6 +55,50 @@ TEST_F(RemoteHacTest, MountedIntoAnotherHac) {
   EXPECT_EQ(body.value(), "fingerprint ridge data");
 }
 
+TEST_F(RemoteHacTest, DeletedExportRootReportsStaleExport) {
+  RemoteHacNameSpace ns("peer", &remote_fs_, "/pub");
+  ASSERT_TRUE(ns.Search(*ParseQuery("fingerprint").value()).ok());
+
+  // The remote side tears down the shared subtree after the mount was created.
+  ASSERT_TRUE(remote_fs_.Unlink("/pub/fp.txt").ok());
+  ASSERT_TRUE(remote_fs_.Unlink("/pub/cook.txt").ok());
+  ASSERT_TRUE(remote_fs_.Rmdir("/pub").ok());
+
+  auto search = ns.Search(*ParseQuery("fingerprint").value());
+  ASSERT_FALSE(search.ok());
+  EXPECT_EQ(search.error().code, ErrorCode::kStaleExport);
+
+  auto fetch = ns.Fetch("/pub/fp.txt");
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.error().code, ErrorCode::kStaleExport);
+
+  // Recreating the directory revives the share (the export is by path, not inode).
+  ASSERT_TRUE(remote_fs_.Mkdir("/pub").ok());
+  EXPECT_TRUE(ns.Search(*ParseQuery("fingerprint").value()).ok());
+}
+
+TEST_F(RemoteHacTest, ExportRootReplacedByFileReportsStaleExport) {
+  RemoteHacNameSpace ns("peer", &remote_fs_, "/pub");
+  ASSERT_TRUE(remote_fs_.Unlink("/pub/fp.txt").ok());
+  ASSERT_TRUE(remote_fs_.Unlink("/pub/cook.txt").ok());
+  ASSERT_TRUE(remote_fs_.Rmdir("/pub").ok());
+  ASSERT_TRUE(remote_fs_.WriteFile("/pub", "now a file").ok());
+  auto search = ns.Search(*ParseQuery("fingerprint").value());
+  ASSERT_FALSE(search.ok());
+  EXPECT_EQ(search.error().code, ErrorCode::kStaleExport);
+}
+
+TEST_F(RemoteHacTest, FetchConfinesHandlesToExportRoot) {
+  RemoteHacNameSpace ns("peer", &remote_fs_, "/pub");
+  auto fetch = ns.Fetch("/private/secret.txt");
+  ASSERT_FALSE(fetch.ok());
+  EXPECT_EQ(fetch.error().code, ErrorCode::kPermission);
+  // Lexical escapes are normalized away before the containment check.
+  auto sneaky = ns.Fetch("/pub/../private/secret.txt");
+  ASSERT_FALSE(sneaky.ok());
+  EXPECT_EQ(sneaky.error().code, ErrorCode::kPermission);
+}
+
 TEST_F(RemoteHacTest, RemoteQueryCannotUseDirRefs) {
   RemoteHacNameSpace ns("peer", &remote_fs_);
   auto q = QueryExpr::And(QueryExpr::Term("fingerprint"), QueryExpr::BoundDirRef(3));

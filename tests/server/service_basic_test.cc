@@ -1,0 +1,338 @@
+// HacService behaviour tests: op parity with the direct facade, session isolation,
+// relative-path resolution, write batching, and admission control (queue-full
+// rejection and queue-deadline shedding), all made deterministic with the service's
+// read_hook test hook.
+#include "src/server/hac_service.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/server/client.h"
+
+namespace hac {
+namespace {
+
+using std::chrono::milliseconds;
+
+ServerRequest MakeReq(ServerOp op, std::string path = "", std::string aux = "") {
+  ServerRequest req;
+  req.op = op;
+  req.path = std::move(path);
+  req.aux = std::move(aux);
+  return req;
+}
+
+// Blocks the reader pool inside a read request (while it holds the shared lock) until
+// Release() is called; Await() returns once a reader is parked inside the hook.
+class ReadGate {
+ public:
+  std::function<void()> Hook() {
+    return [this] {
+      std::unique_lock<std::mutex> lk(mu_);
+      ++entered_;
+      cv_.notify_all();
+      cv_.wait(lk, [this] { return released_; });
+    };
+  }
+
+  void AwaitEntered(int n) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_.wait(lk, [this, n] { return entered_ >= n; });
+  }
+
+  void Release() {
+    std::lock_guard<std::mutex> lk(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entered_ = 0;
+  bool released_ = false;
+};
+
+class ServiceBasicTest : public ::testing::Test {
+ protected:
+  HacFileSystem fs_;
+};
+
+TEST_F(ServiceBasicTest, OrdinaryOpsMatchDirectFacade) {
+  HacService service(fs_);
+  ServiceClient client(service);
+
+  ASSERT_TRUE(client.Mkdir("/docs").ok());
+  ASSERT_TRUE(client.WriteFile("/docs/fp.txt", "fingerprint minutiae analysis").ok());
+  ASSERT_TRUE(client.WriteFile("/docs/cook.txt", "butter flour oven").ok());
+  ASSERT_TRUE(client.Reindex().ok());
+  ASSERT_TRUE(client.SMkdir("/fp", "fingerprint").ok());
+
+  // The service-visible state is the facade's state.
+  auto via_service = client.ReadDir("/fp");
+  auto direct = fs_.ReadDir("/fp");
+  ASSERT_TRUE(via_service.ok());
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(via_service.value(), direct.value());
+  ASSERT_EQ(via_service.value().size(), 1u);
+  EXPECT_EQ(via_service.value()[0].name, "fp.txt");
+
+  auto found = client.Search("fingerprint");
+  ASSERT_TRUE(found.ok());
+  EXPECT_EQ(found.value(), fs_.Search("fingerprint").value());
+
+  auto q = client.GetQuery("/fp");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q.value(), fs_.GetQuery("/fp").value());
+
+  auto st = client.StatPath("/docs/fp.txt");
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(st.value().size, fs_.StatPath("/docs/fp.txt").value().size);
+
+  auto links = client.GetLinkClasses("/fp");
+  ASSERT_TRUE(links.ok());
+  ASSERT_EQ(links.value().transient.size(), 1u);
+  EXPECT_EQ(links.value().transient[0].first, "fp.txt");
+
+  ASSERT_TRUE(client.PromoteLink("/fp/fp.txt").ok());
+  EXPECT_EQ(client.GetLinkClasses("/fp").value().permanent.size(), 1u);
+
+  auto missing = client.StatPath("/nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
+}
+
+TEST_F(ServiceBasicTest, DescriptorsAndRelativePathsArePerSession) {
+  HacService service(fs_);
+  ServiceClient a(service);
+  ServiceClient b(service);
+
+  ASSERT_TRUE(a.Mkdir("/shared").ok());
+  ASSERT_TRUE(a.WriteFile("/shared/f.txt", "abcdefgh").ok());
+
+  auto fd_a = a.Open("/shared/f.txt", kOpenRead);
+  auto fd_b = b.Open("/shared/f.txt", kOpenRead);
+  ASSERT_TRUE(fd_a.ok());
+  ASSERT_TRUE(fd_b.ok());
+  // Lowest-free allocation per session: both clients get descriptor 0, isolated.
+  EXPECT_EQ(fd_a.value(), 0);
+  EXPECT_EQ(fd_b.value(), 0);
+
+  // Offsets are independent.
+  EXPECT_EQ(a.Read(fd_a.value(), 4).value(), "abcd");
+  EXPECT_EQ(b.Read(fd_b.value(), 2).value(), "ab");
+  EXPECT_EQ(a.Read(fd_a.value(), 4).value(), "efgh");
+  EXPECT_EQ(b.Read(fd_b.value(), 2).value(), "cd");
+
+  // One session's Close cannot touch the other's descriptor.
+  ASSERT_TRUE(a.Close(fd_a.value()).ok());
+  EXPECT_FALSE(a.Read(fd_a.value(), 1).ok());
+  EXPECT_EQ(b.Read(fd_b.value(), 2).value(), "ef");
+
+  // Relative paths resolve against each session's own cwd.
+  ASSERT_TRUE(a.Mkdir("/dir_a").ok());
+  ASSERT_TRUE(b.Mkdir("/dir_b").ok());
+  EXPECT_EQ(a.Chdir("/dir_a").value(), "/dir_a");
+  EXPECT_EQ(b.Chdir("/dir_b").value(), "/dir_b");
+  ASSERT_TRUE(a.WriteFile("mine.txt", "from a").ok());
+  ASSERT_TRUE(b.WriteFile("mine.txt", "from b").ok());
+  EXPECT_TRUE(fs_.StatPath("/dir_a/mine.txt").ok());
+  EXPECT_TRUE(fs_.StatPath("/dir_b/mine.txt").ok());
+  EXPECT_EQ(a.StatPath("mine.txt").value().inode,
+            fs_.StatPath("/dir_a/mine.txt").value().inode);
+}
+
+TEST_F(ServiceBasicTest, CloseSessionReleasesItsDescriptors) {
+  HacService service(fs_);
+  ASSERT_TRUE(fs_.WriteFile("/f.txt", "data").ok());
+  {
+    ServiceClient client(service);
+    ASSERT_TRUE(client.Open("/f.txt", kOpenRead).ok());
+    ASSERT_TRUE(client.Open("/f.txt", kOpenRead).ok());
+    EXPECT_EQ(fs_.vfs().OpenFdCount(), 2u);
+  }
+  // ~ServiceClient closed the session, which closed both backing descriptors.
+  EXPECT_EQ(fs_.vfs().OpenFdCount(), 0u);
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.sessions_opened, 1u);
+  EXPECT_EQ(stats.sessions_closed, 1u);
+}
+
+TEST_F(ServiceBasicTest, ConcurrentWritesCoalesceIntoBatches) {
+  ReadGate gate;
+  ServiceOptions opts;
+  opts.read_workers = 1;
+  opts.read_hook = gate.Hook();
+  HacService service(fs_, opts);
+  Session* reader = service.OpenSession();
+  Session* writer = service.OpenSession();
+
+  // Park a read inside the shared lock so the writer thread cannot commit.
+  auto blocked_read = service.Submit(reader, MakeReq(ServerOp::kPing));
+  gate.AwaitEntered(1);
+
+  std::vector<std::future<ServerResponse>> writes;
+  for (int i = 0; i < 10; ++i) {
+    writes.push_back(
+        service.Submit(writer, MakeReq(ServerOp::kMkdir, "/d" + std::to_string(i))));
+  }
+  gate.Release();
+  ASSERT_TRUE(blocked_read.get().ok());
+  for (auto& w : writes) {
+    ASSERT_TRUE(w.get().ok());
+  }
+
+  // All ten mutations were queued while the lock was held, so the writer drained
+  // them in at most two BatchScope groups (however the dequeue interleaved with the
+  // submission loop, one of the two groups holds at least half of them).
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.executed_writes, 10u);
+  EXPECT_LE(stats.write_batches, 2u);
+  EXPECT_GE(stats.largest_write_batch, 5u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(fs_.StatPath("/d" + std::to_string(i)).ok());
+  }
+
+  ASSERT_TRUE(service.CloseSession(reader).ok());
+  ASSERT_TRUE(service.CloseSession(writer).ok());
+}
+
+TEST_F(ServiceBasicTest, ReadQueueFullRejectsWithOverloaded) {
+  ReadGate gate;
+  ServiceOptions opts;
+  opts.read_workers = 1;
+  opts.max_read_queue = 2;
+  opts.read_hook = gate.Hook();
+  HacService service(fs_, opts);
+  Session* s = service.OpenSession();
+
+  // First read occupies the single worker inside the hook...
+  auto r1 = service.Submit(s, MakeReq(ServerOp::kPing));
+  gate.AwaitEntered(1);
+  // ...so these two fill the admission window...
+  auto r2 = service.Submit(s, MakeReq(ServerOp::kPing));
+  auto r3 = service.Submit(s, MakeReq(ServerOp::kPing));
+  // ...and the next is rejected, not queued.
+  auto r4 = service.Submit(s, MakeReq(ServerOp::kPing));
+  ServerResponse rejected = r4.get();
+  EXPECT_EQ(rejected.error.code, ErrorCode::kOverloaded);
+
+  gate.Release();
+  EXPECT_TRUE(r1.get().ok());
+  EXPECT_TRUE(r2.get().ok());
+  EXPECT_TRUE(r3.get().ok());
+
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.executed_reads, 3u);
+  ASSERT_TRUE(service.CloseSession(s).ok());
+}
+
+TEST_F(ServiceBasicTest, ReadPastQueueDeadlineIsShed) {
+  ReadGate gate;
+  ServiceOptions opts;
+  opts.read_workers = 1;
+  opts.read_queue_timeout = milliseconds(50);
+  opts.read_hook = gate.Hook();
+  HacService service(fs_, opts);
+  Session* s = service.OpenSession();
+
+  auto r1 = service.Submit(s, MakeReq(ServerOp::kPing));
+  gate.AwaitEntered(1);
+  auto r2 = service.Submit(s, MakeReq(ServerOp::kPing));
+  // r2 waits in the pool behind the parked worker until well past its deadline.
+  std::this_thread::sleep_for(milliseconds(120));
+  gate.Release();
+
+  EXPECT_TRUE(r1.get().ok());
+  ServerResponse shed = r2.get();
+  EXPECT_EQ(shed.error.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(service.Stats().shed_deadline, 1u);
+  ASSERT_TRUE(service.CloseSession(s).ok());
+}
+
+TEST_F(ServiceBasicTest, WriteAdmissionAndDeadlineShedding) {
+  ReadGate gate;
+  ServiceOptions opts;
+  opts.read_workers = 1;
+  opts.max_write_queue = 2;
+  opts.write_queue_timeout = milliseconds(50);
+  opts.read_hook = gate.Hook();
+  HacService service(fs_, opts);
+  Session* s = service.OpenSession();
+
+  // Park a read on the shared lock, then let the writer thread dequeue one write and
+  // block on the exclusive lock.
+  auto blocked_read = service.Submit(s, MakeReq(ServerOp::kPing));
+  gate.AwaitEntered(1);
+  auto w1 = service.Submit(s, MakeReq(ServerOp::kMkdir, "/w1"));
+  std::this_thread::sleep_for(milliseconds(100));
+
+  // The writer holds w1; the queue (capacity 2) takes w2+w3 and rejects w4 outright.
+  auto w2 = service.Submit(s, MakeReq(ServerOp::kMkdir, "/w2"));
+  auto w3 = service.Submit(s, MakeReq(ServerOp::kMkdir, "/w3"));
+  auto w4 = service.Submit(s, MakeReq(ServerOp::kMkdir, "/w4"));
+  EXPECT_EQ(w4.get().error.code, ErrorCode::kOverloaded);
+
+  // Hold the lock past the write deadline: w1 passed its age check before blocking,
+  // so it commits; w2+w3 are shed at dequeue time.
+  std::this_thread::sleep_for(milliseconds(100));
+  gate.Release();
+  EXPECT_TRUE(blocked_read.get().ok());
+  EXPECT_TRUE(w1.get().ok());
+  EXPECT_EQ(w2.get().error.code, ErrorCode::kOverloaded);
+  EXPECT_EQ(w3.get().error.code, ErrorCode::kOverloaded);
+
+  EXPECT_TRUE(fs_.StatPath("/w1").ok());
+  EXPECT_FALSE(fs_.StatPath("/w2").ok());
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.rejected_queue_full, 1u);
+  EXPECT_EQ(stats.shed_deadline, 2u);
+  ASSERT_TRUE(service.CloseSession(s).ok());
+}
+
+TEST_F(ServiceBasicTest, StopCompletesAdmittedWorkThenRejects) {
+  HacService service(fs_);
+  Session* s = service.OpenSession();
+  auto w = service.Submit(s, MakeReq(ServerOp::kMkdir, "/before_stop"));
+  EXPECT_TRUE(w.get().ok());
+  service.Stop();
+  auto after = service.Call(s, MakeReq(ServerOp::kMkdir, "/after_stop"));
+  EXPECT_EQ(after.error.code, ErrorCode::kOverloaded);
+  EXPECT_FALSE(fs_.StatPath("/after_stop").ok());
+  // CloseSession still reclaims the session after Stop.
+  ASSERT_TRUE(service.CloseSession(s).ok());
+}
+
+TEST_F(ServiceBasicTest, SemanticWritesThroughServiceKeepScopeConsistency) {
+  HacService service(fs_);
+  ServiceClient client(service);
+  ASSERT_TRUE(client.Mkdir("/docs").ok());
+  ASSERT_TRUE(client.WriteFile("/docs/a.txt", "fingerprint ridge").ok());
+  ASSERT_TRUE(client.WriteFile("/docs/b.txt", "sailing regatta").ok());
+  ASSERT_TRUE(client.Reindex().ok());
+  ASSERT_TRUE(client.SMkdir("/fp", "fingerprint").ok());
+  ASSERT_EQ(client.ReadDir("/fp").value().size(), 1u);
+
+  // Retargeting the query through the service re-evaluates the directory.
+  ASSERT_TRUE(client.SetQuery("/fp", "sailing").ok());
+  auto entries = client.ReadDir("/fp");
+  ASSERT_TRUE(entries.ok());
+  ASSERT_EQ(entries.value().size(), 1u);
+  EXPECT_EQ(entries.value()[0].name, "b.txt");
+
+  // Unlink of a transient link prohibits re-adding it (section 2.3 semantics).
+  ASSERT_TRUE(client.Unlink("/fp/b.txt").ok());
+  ASSERT_TRUE(client.SSync("/fp").ok());
+  EXPECT_TRUE(client.ReadDir("/fp").value().empty());
+  EXPECT_EQ(client.GetLinkClasses("/fp").value().prohibited.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hac
