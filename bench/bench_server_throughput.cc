@@ -19,6 +19,8 @@
 #include <thread>
 #include <vector>
 
+#include "src/support/metrics.h"
+
 #include "bench/bench_util.h"
 #include "src/server/client.h"
 #include "src/server/hac_service.h"
@@ -196,6 +198,7 @@ int RunAll(bool json) {
         .Add("ops_per_thread", static_cast<uint64_t>(ops_per_thread))
         .Add("hardware_threads",
              static_cast<uint64_t>(std::thread::hardware_concurrency()))
+        .AddBool("metrics_enabled", kMetricsCompiledIn)
         .Add("rows", rows)
         .Add("read_heavy_scaling_1_to_8", scaling);
     out.Print();

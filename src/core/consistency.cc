@@ -10,9 +10,29 @@
 
 #include "src/core/hac_file_system.h"
 #include "src/index/query_optimizer.h"
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
 #include "src/vfs/path.h"
 
 namespace hac {
+
+namespace {
+
+struct ReindexMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& docs_indexed = reg.GetCounter(metric_names::kReindexDocsIndexed);
+  Counter& docs_purged = reg.GetCounter(metric_names::kReindexDocsPurged);
+  Counter& auto_reindexes = reg.GetCounter(metric_names::kReindexAuto);
+  Counter& remote_searches = reg.GetCounter(metric_names::kRemoteSearches);
+  Counter& remote_imports = reg.GetCounter(metric_names::kRemoteImports);
+};
+
+ReindexMetrics& GM() {
+  static ReindexMetrics* m = new ReindexMetrics();
+  return *m;
+}
+
+}  // namespace
 
 Result<Bitmap> HacFileSystem::DirContentsOfUid(DirUid uid) const {
   // What a dir(X) reference denotes: X's current (edited) link set plus the files
@@ -82,6 +102,7 @@ Result<void> HacFileSystem::ImportRemoteResults(const SemanticMount& mount,
   QueryExprPtr content = ContentOnly(query);
   for (NameSpace* space : mount.spaces) {
     ++stats_.remote_searches;
+    GM().remote_searches.Inc();
     HAC_ASSIGN_OR_RETURN(std::vector<RemoteDoc> docs, space->Search(*content));
     if (docs.empty()) {
       continue;
@@ -122,6 +143,8 @@ Result<void> HacFileSystem::ImportRemoteResults(const SemanticMount& mount,
       engine_->NoteDocChanged(id);
       ++stats_.remote_imports;
       ++stats_.docs_indexed;
+      GM().remote_imports.Inc();
+      GM().docs_indexed.Inc();
     }
   }
   return OkResult();
@@ -139,6 +162,7 @@ Result<void> HacFileSystem::FlushDirtyDocs(const std::string& subtree_root) {
     if (!rec->alive) {
       if (index_->RemoveDocument(doc).ok()) {
         ++stats_.docs_purged;
+        GM().docs_purged.Inc();
       }
       registry_.ClearDirty(doc);
       engine_->NoteDocChanged(doc);
@@ -152,6 +176,7 @@ Result<void> HacFileSystem::FlushDirtyDocs(const std::string& subtree_root) {
     }
     HAC_RETURN_IF_ERROR(index_->IndexDocument(doc, body.value()));
     ++stats_.docs_indexed;
+    GM().docs_indexed.Inc();
     registry_.ClearDirty(doc);
     engine_->NoteDocChanged(doc);
   }
@@ -194,6 +219,7 @@ void HacFileSystem::MaybeAutoReindex() {
   }
   if (due && !engine_->InPass() && !engine_->InBatch()) {
     ++stats_.auto_reindexes;
+    GM().auto_reindexes.Inc();
     (void)Reindex();
   }
 }

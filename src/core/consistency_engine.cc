@@ -15,9 +15,37 @@
 
 #include "src/core/hac_file_system.h"
 #include "src/index/query_optimizer.h"
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 #include "src/vfs/path.h"
 
 namespace hac {
+
+namespace {
+
+// Process-global twins of the per-instance StatsSnapshot counters (which tests and
+// ablations still read per HacFileSystem). References are resolved once.
+struct EngineMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& query_evaluations = reg.GetCounter(metric_names::kConsistencyQueryEvaluations);
+  Counter& delta_evaluations = reg.GetCounter(metric_names::kConsistencyDeltaEvaluations);
+  Counter& scope_propagations = reg.GetCounter(metric_names::kConsistencyScopePropagations);
+  Counter& short_circuits = reg.GetCounter(metric_names::kConsistencyShortCircuits);
+  Counter& batch_flushes = reg.GetCounter(metric_names::kConsistencyBatchFlushes);
+  Counter& batched_mutations = reg.GetCounter(metric_names::kConsistencyBatchedMutations);
+  Counter& passes = reg.GetCounter(metric_names::kConsistencyPasses);
+  Counter& transient_added = reg.GetCounter(metric_names::kLinksTransientAdded);
+  Counter& transient_removed = reg.GetCounter(metric_names::kLinksTransientRemoved);
+  Histogram& pass_us = reg.GetHistogram(metric_names::kConsistencyPassUs);
+};
+
+EngineMetrics& GM() {
+  static EngineMetrics* m = new EngineMetrics();
+  return *m;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Notifications
@@ -45,6 +73,7 @@ Result<void> ConsistencyEngine::NotifyScopeChanged(DirUid uid, const Bitmap* con
   }
   if (batch_depth_ > 0) {
     ++host_->stats_.batched_mutations;
+    GM().batched_mutations.Inc();
     batch_dirty_ = true;
     return OkResult();
   }
@@ -73,23 +102,36 @@ Result<void> ConsistencyEngine::SyncFrom(DirUid uid) {
     return OkResult();
   }
   if (mode_ == ConsistencyMode::kEager) {
+    TraceSpan span(metric_names::kSpanConsistencyPass);
+    const uint64_t t0 = kMetricsCompiledIn ? TraceRing::NowUs() : 0;
     in_pass_ = true;
+    uint64_t visited = 1;
     Result<void> status = VisitEager(uid);
     ++host_->stats_.scope_propagations;
+    GM().scope_propagations.Inc();
     if (status.ok()) {
       for (DirUid dep : host_->graph_.DependentsInTopoOrder(uid)) {
         status = VisitEager(dep);
         ++host_->stats_.scope_propagations;
+        GM().scope_propagations.Inc();
+        ++visited;
         if (!status.ok()) {
           break;
         }
       }
     }
     in_pass_ = false;
+    GM().passes.Inc();
+    if (kMetricsCompiledIn) {
+      GM().pass_us.Record(TraceRing::NowUs() - t0);
+    }
+    span.Arg("origins", 1);
+    span.Arg("visited", visited);
     return status;
   }
   if (batch_dirty_) {
     ++host_->stats_.batch_flushes;
+    GM().batch_flushes.Inc();
     batch_dirty_ = false;
   }
   std::map<DirUid, Bitmap> origins = std::move(pending_origins_);
@@ -103,20 +145,31 @@ Result<void> ConsistencyEngine::PropagateAll() {
     return OkResult();
   }
   if (mode_ == ConsistencyMode::kEager) {
+    TraceSpan span(metric_names::kSpanConsistencyPass);
+    const uint64_t t0 = kMetricsCompiledIn ? TraceRing::NowUs() : 0;
     in_pass_ = true;
+    uint64_t visited = 0;
     Result<void> status = OkResult();
     for (DirUid uid : host_->graph_.FullTopoOrder()) {
       status = VisitEager(uid);
       ++host_->stats_.scope_propagations;
+      GM().scope_propagations.Inc();
+      ++visited;
       if (!status.ok()) {
         break;
       }
     }
     in_pass_ = false;
+    GM().passes.Inc();
+    if (kMetricsCompiledIn) {
+      GM().pass_us.Record(TraceRing::NowUs() - t0);
+    }
+    span.Arg("visited", visited);
     return status;
   }
   if (batch_dirty_) {
     ++host_->stats_.batch_flushes;
+    GM().batch_flushes.Inc();
     batch_dirty_ = false;
   }
   std::map<DirUid, Bitmap> origins = std::move(pending_origins_);
@@ -143,6 +196,7 @@ Result<void> ConsistencyEngine::Flush() {
   }
   if (batch_dirty_) {
     ++host_->stats_.batch_flushes;
+    GM().batch_flushes.Inc();
     batch_dirty_ = false;
   }
   std::map<DirUid, Bitmap> origins = std::move(pending_origins_);
@@ -151,6 +205,11 @@ Result<void> ConsistencyEngine::Flush() {
 }
 
 Result<void> ConsistencyEngine::RunPass(std::map<DirUid, Bitmap> origins, bool full) {
+  TraceSpan span(metric_names::kSpanConsistencyPass);
+  const uint64_t t0 = kMetricsCompiledIn ? TraceRing::NowUs() : 0;
+  const uint64_t evals_before =
+      host_->stats_.query_evaluations + host_->stats_.delta_evaluations;
+  const uint64_t short_circuits_before = host_->stats_.short_circuit_propagations;
   in_pass_ = true;
   ++gen_;
   std::vector<DirUid> order;
@@ -180,6 +239,17 @@ Result<void> ConsistencyEngine::RunPass(std::map<DirUid, Bitmap> origins, bool f
     }
   }
   in_pass_ = false;
+  GM().passes.Inc();
+  if (kMetricsCompiledIn) {
+    GM().pass_us.Record(TraceRing::NowUs() - t0);
+  }
+  span.Arg("origins", origins.size());
+  span.Arg("visited", order.size());
+  span.Arg("docs_reevaluated",
+           host_->stats_.query_evaluations + host_->stats_.delta_evaluations -
+               evals_before);
+  span.Arg("cache_hits",
+           host_->stats_.short_circuit_propagations - short_circuits_before);
   if (!status.ok()) {
     // Hand the unconsumed deltas back so the next flush retries; dropping them would
     // let downstream caches go quietly stale.
@@ -223,6 +293,7 @@ Result<void> ConsistencyEngine::VisitEager(DirUid uid) {
     return host_->DirContentsOfUid(ref);
   };
   ++host_->stats_.query_evaluations;
+  GM().query_evaluations.Inc();
   // The stored query stays as written (GetQuery renders it back); evaluation runs the
   // optimized form, re-derived here so selectivity ordering uses current statistics.
   QueryExprPtr optimized = OptimizeQuery(meta->query->Clone(), host_->index_.get());
@@ -278,6 +349,7 @@ Result<void> ConsistencyEngine::VisitIncremental(
   if (meta->eval.valid && !is_origin && mount == nullptr &&
       cur_dep_sum == meta->eval.dep_epoch_sum && doc_delta.Empty() && !dep_changed) {
     ++host_->stats_.short_circuit_propagations;
+    GM().short_circuits.Inc();
     meta->eval.doc_gen_seen = gen_ - 1;
     return OkResult();
   }
@@ -300,6 +372,7 @@ Result<void> ConsistencyEngine::VisitIncremental(
   const Bitmap* refresh_filter = nullptr;
   if (!meta->eval.valid) {
     ++host_->stats_.query_evaluations;
+    GM().query_evaluations.Inc();
     HAC_ASSIGN_OR_RETURN(raw,
                          host_->index_->Evaluate(*optimized, parent_scope, &resolver));
   } else {
@@ -322,6 +395,7 @@ Result<void> ConsistencyEngine::VisitIncremental(
     eval_scope &= delta;
     if (!eval_scope.Empty()) {
       ++host_->stats_.delta_evaluations;
+      GM().delta_evaluations.Inc();
       HAC_ASSIGN_OR_RETURN(Bitmap part,
                            host_->index_->Evaluate(*optimized, eval_scope, &resolver));
       raw |= part;
@@ -330,6 +404,7 @@ Result<void> ConsistencyEngine::VisitIncremental(
   }
 
   ++host_->stats_.scope_propagations;
+  GM().scope_propagations.Inc();
   Bitmap transient_delta;
   HAC_RETURN_IF_ERROR(
       MaterializeTransients(uid, path, raw, refresh_filter, &transient_delta));
@@ -380,6 +455,7 @@ Result<void> ConsistencyEngine::MaterializeTransients(DirUid uid, const std::str
     (void)meta->links.RemoveLink(name.value());
     (void)host_->vfs_.Unlink(JoinPath(path == "/" ? "" : path, name.value()));
     ++host_->stats_.transient_links_removed;
+    GM().transient_removed.Inc();
   });
   HAC_RETURN_IF_ERROR(status);
 
@@ -407,6 +483,7 @@ Result<void> ConsistencyEngine::MaterializeTransients(DirUid uid, const std::str
       return;
     }
     ++host_->stats_.transient_links_added;
+    GM().transient_added.Inc();
   });
   HAC_RETURN_IF_ERROR(status);
 

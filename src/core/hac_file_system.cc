@@ -4,9 +4,27 @@
 
 #include <algorithm>
 
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
 #include "src/vfs/path.h"
 
 namespace hac {
+
+namespace {
+
+Counter& AttrCacheHitCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kAttrCacheHits);
+  return c;
+}
+
+Counter& AttrCacheMissCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kAttrCacheMisses);
+  return c;
+}
+
+}  // namespace
 
 HacFileSystem::HacFileSystem(HacOptions options)
     : options_(options),
@@ -458,9 +476,11 @@ Result<Stat> HacFileSystem::StatPath(const std::string& path) {
   HAC_ASSIGN_OR_RETURN(InodeId inode, vfs_.Lookup(r.path, /*follow_final=*/true));
   if (auto cached = attr_cache_.Get(inode); cached.has_value()) {
     ++stats_.attr_cache_hits;
+    AttrCacheHitCounter().Inc();
     return *cached;
   }
   ++stats_.attr_cache_misses;
+  AttrCacheMissCounter().Inc();
   HAC_ASSIGN_OR_RETURN(Stat st, vfs_.StatPath(r.path));
   attr_cache_.Put(inode, st);
   return st;

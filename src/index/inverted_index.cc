@@ -3,9 +3,31 @@
 #include <algorithm>
 
 #include "src/index/edit_distance.h"
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
 #include "src/support/string_util.h"
+#include "src/support/trace.h"
 
 namespace hac {
+
+namespace {
+
+struct IndexMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& queries = reg.GetCounter(metric_names::kIndexQueries);
+  Counter& docs_indexed = reg.GetCounter(metric_names::kIndexDocsIndexed);
+  Counter& docs_removed = reg.GetCounter(metric_names::kIndexDocsRemoved);
+  Histogram& query_us = reg.GetHistogram(metric_names::kIndexQueryUs);
+  Histogram& selectivity_pct =
+      reg.GetHistogram(metric_names::kIndexQuerySelectivityPct, "pct");
+};
+
+IndexMetrics& GM() {
+  static IndexMetrics* m = new IndexMetrics();
+  return *m;
+}
+
+}  // namespace
 
 InvertedIndex::InvertedIndex(TokenizerOptions tokenizer_options)
     : tokenizer_(tokenizer_options) {}
@@ -32,6 +54,7 @@ Result<void> InvertedIndex::IndexDocument(DocId doc, std::string_view text) {
     term_ids.push_back(id);
   }
   doc_terms_.emplace(doc, std::move(term_ids));
+  GM().docs_indexed.Inc();
   return OkResult();
 }
 
@@ -44,12 +67,16 @@ Result<void> InvertedIndex::RemoveDocument(DocId doc) {
     postings_[id].Remove(doc);
   }
   doc_terms_.erase(it);
+  GM().docs_removed.Inc();
   return OkResult();
 }
 
 Result<Bitmap> InvertedIndex::Evaluate(const QueryExpr& query, const Bitmap& scope,
                                        const DirResolver* resolve_dir) {
   ++queries_evaluated_;
+  GM().queries.Inc();
+  TraceSpan span(metric_names::kSpanIndexEvaluate);
+  const uint64_t t0 = kMetricsCompiledIn ? TraceRing::NowUs() : 0;
   HAC_ASSIGN_OR_RETURN(Bitmap result, EvaluateNode(query, scope, resolve_dir));
   if (fetch_content_) {
     // Two-level verification pass (see SetContentVerifier).
@@ -60,7 +87,18 @@ Result<Bitmap> InvertedIndex::Evaluate(const QueryExpr& query, const Bitmap& sco
         verified.Clear(doc);
       }
     });
-    return verified;
+    result = std::move(verified);
+  }
+  if (kMetricsCompiledIn) {
+    GM().query_us.Record(TraceRing::NowUs() - t0);
+    const uint64_t scope_count = scope.Count();
+    const uint64_t hits = result.Count();
+    if (scope_count > 0) {
+      // Scope-filter selectivity: fraction of the candidate scope the query kept.
+      GM().selectivity_pct.Record(hits * 100 / scope_count);
+    }
+    span.Arg("scope", scope_count);
+    span.Arg("hits", hits);
   }
   return result;
 }

@@ -295,4 +295,15 @@ StatsSnapshot ServiceClient::Stats() {
   return Call(std::move(req)).stats;
 }
 
+Result<std::string> ServiceClient::Introspect(const std::string& what) {
+  ServerRequest req;
+  req.op = ServerOp::kIntrospect;
+  req.aux = what;
+  ServerResponse resp = Call(std::move(req));
+  if (!resp.ok()) {
+    return resp.error;
+  }
+  return std::move(resp.text);
+}
+
 }  // namespace hac

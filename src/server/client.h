@@ -62,6 +62,11 @@ class ServiceClient {
 
   StatsSnapshot Stats();
 
+  // Process-global observability snapshot as JSON (docs/API.md "Introspection").
+  // `what` is "stats" (metrics registry) or "trace" (Chrome trace_event dump).
+  // Never rejected or shed by admission control.
+  Result<std::string> Introspect(const std::string& what = "stats");
+
  private:
   ServerResponse Call(ServerRequest req);
   Result<void> VoidCall(ServerRequest req);

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
+#include "src/support/trace.h"
 #include "src/vfs/path.h"
 
 namespace hac {
@@ -13,6 +16,40 @@ ServerResponse ErrorResponse(Error e) {
   ServerResponse r;
   r.error = std::move(e);
   return r;
+}
+
+struct ServiceMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& admitted_reads = reg.GetCounter(metric_names::kServiceAdmittedReads);
+  Counter& admitted_writes = reg.GetCounter(metric_names::kServiceAdmittedWrites);
+  Counter& rejected_queue_full = reg.GetCounter(metric_names::kServiceRejectedQueueFull);
+  Counter& shed_deadline = reg.GetCounter(metric_names::kServiceShedDeadline);
+  Counter& executed_reads = reg.GetCounter(metric_names::kServiceExecutedReads);
+  Counter& executed_writes = reg.GetCounter(metric_names::kServiceExecutedWrites);
+  Counter& write_batches = reg.GetCounter(metric_names::kServiceWriteBatches);
+  Counter& introspect_requests = reg.GetCounter(metric_names::kServiceIntrospectRequests);
+  Counter& sessions_opened = reg.GetCounter(metric_names::kServiceSessionsOpened);
+  Counter& sessions_closed = reg.GetCounter(metric_names::kServiceSessionsClosed);
+  Gauge& open_sessions = reg.GetGauge(metric_names::kServiceOpenSessions);
+  Gauge& read_queue_depth = reg.GetGauge(metric_names::kServiceReadQueueDepth);
+  Histogram& queue_wait_read_us = reg.GetHistogram(metric_names::kServiceQueueWaitReadUs);
+  Histogram& queue_wait_write_us =
+      reg.GetHistogram(metric_names::kServiceQueueWaitWriteUs);
+  Histogram& service_time_read_us = reg.GetHistogram(metric_names::kServiceTimeReadUs);
+  Histogram& service_time_write_us = reg.GetHistogram(metric_names::kServiceTimeWriteUs);
+  Histogram& write_batch_size =
+      reg.GetHistogram(metric_names::kServiceWriteBatchSize, "requests");
+};
+
+ServiceMetrics& GM() {
+  static ServiceMetrics* m = new ServiceMetrics();
+  return *m;
+}
+
+uint64_t WaitedUs(const std::chrono::steady_clock::time_point& enqueued) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - enqueued)
+                                   .count());
 }
 
 }  // namespace
@@ -45,6 +82,8 @@ Session* HacService::OpenSession() {
   std::lock_guard<std::mutex> lk(sessions_mu_);
   sessions_.emplace_back(std::unique_ptr<Session>(new Session(next_session_id_++)));
   ++sessions_opened_;
+  GM().sessions_opened.Inc();
+  GM().open_sessions.Add(1);
   return sessions_.back().get();
 }
 
@@ -71,6 +110,8 @@ Result<void> HacService::CloseSession(Session* session) {
     }
     sessions_.erase(it);
     ++sessions_closed_;
+    GM().sessions_closed.Inc();
+    GM().open_sessions.Add(-1);
   }
   if (!resp.ok()) {
     return resp.error;
@@ -89,6 +130,18 @@ std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest r
     p->done.set_value(ErrorResponse(Error(ErrorCode::kInvalidArgument, "null session")));
     return fut;
   }
+  if (p->req.op == ServerOp::kIntrospect) {
+    // Introspection bypasses both queues and both shedding mechanisms: it reads
+    // only the process-global metrics registry and trace ring (no fs lock, no
+    // worker), so it stays answerable precisely when the service is overloaded
+    // and the numbers matter most. Answered even while stopping.
+    GM().introspect_requests.Inc();
+    ServerResponse resp;
+    resp.text = p->req.aux == "trace" ? TraceRing::Global().ExportChromeJson()
+                                      : IntrospectStatsJson();
+    p->done.set_value(std::move(resp));
+    return fut;
+  }
   if (stopping_.load(std::memory_order_acquire)) {
     p->done.set_value(Overloaded("service is stopping"));
     return fut;
@@ -100,12 +153,15 @@ std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest r
     do {
       if (queued >= options_.max_read_queue) {
         ++rejected_queue_full_;
+        GM().rejected_queue_full.Inc();
         p->done.set_value(Overloaded("read queue full"));
         return fut;
       }
     } while (!queued_reads_.compare_exchange_weak(queued, queued + 1,
                                                   std::memory_order_relaxed));
     ++admitted_reads_;
+    GM().admitted_reads.Inc();
+    GM().read_queue_depth.Set(static_cast<int64_t>(queued + 1));
     if (!readers_.Submit([this, p] { RunRead(p); })) {
       queued_reads_.fetch_sub(1, std::memory_order_relaxed);
       p->done.set_value(Overloaded("reader pool stopped"));
@@ -115,11 +171,13 @@ std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest r
 
   if (!write_queue_.TryPush(p)) {
     ++rejected_queue_full_;
+    GM().rejected_queue_full.Inc();
     p->done.set_value(Overloaded(write_queue_.closed() ? "service is stopping"
                                                        : "write queue full"));
     return fut;
   }
   ++admitted_writes_;
+  GM().admitted_writes.Inc();
   return fut;
 }
 
@@ -135,6 +193,7 @@ bool HacService::ShedIfExpired(Pending& p, std::chrono::milliseconds timeout) {
     return false;
   }
   ++shed_deadline_;
+  GM().shed_deadline.Inc();
   p.done.set_value(Overloaded("request exceeded its queue deadline"));
   return true;
 }
@@ -148,17 +207,28 @@ void HacService::ReaderLockShared() {
 }
 
 void HacService::RunRead(std::shared_ptr<Pending> p) {
-  queued_reads_.fetch_sub(1, std::memory_order_relaxed);
+  const size_t queued = queued_reads_.fetch_sub(1, std::memory_order_relaxed);
+  GM().read_queue_depth.Set(queued > 0 ? static_cast<int64_t>(queued - 1) : 0);
   if (ShedIfExpired(*p, options_.read_queue_timeout)) {
     return;
   }
+  if (kMetricsCompiledIn) {
+    GM().queue_wait_read_us.Record(WaitedUs(p->enqueued));
+  }
+  TraceSpan span(metric_names::kSpanServiceRead);
+  span.Arg("op", static_cast<uint64_t>(p->req.op));
+  const uint64_t t0 = kMetricsCompiledIn ? TraceRing::NowUs() : 0;
   ReaderLockShared();
   if (options_.read_hook) {
     options_.read_hook();
   }
   ServerResponse resp = ExecuteRead(p->session, p->req);
   fs_lock_.unlock_shared();
+  if (kMetricsCompiledIn) {
+    GM().service_time_read_us.Record(TraceRing::NowUs() - t0);
+  }
   ++executed_reads_;
+  GM().executed_reads.Inc();
   p->done.set_value(std::move(resp));
 }
 
@@ -196,6 +266,15 @@ void HacService::WriterLoop() {
       continue;
     }
 
+    if (kMetricsCompiledIn) {
+      for (const auto& p : live) {
+        GM().queue_wait_write_us.Record(WaitedUs(p->enqueued));
+      }
+      GM().write_batch_size.Record(live.size());
+    }
+    TraceSpan span(metric_names::kSpanServiceWriteBatch);
+    span.Arg("batch_size", live.size());
+
     {
       std::lock_guard<std::mutex> gate(gate_mu_);
       writer_pending_ = true;
@@ -207,7 +286,11 @@ void HacService::WriterLoop() {
       {
         BatchScope scope(fs_);
         for (size_t i = 0; i < live.size(); ++i) {
+          const uint64_t w0 = kMetricsCompiledIn ? TraceRing::NowUs() : 0;
           responses[i] = ExecuteWrite(live[i]->session, live[i]->req);
+          if (kMetricsCompiledIn) {
+            GM().service_time_write_us.Record(TraceRing::NowUs() - w0);
+          }
         }
         commit = scope.Commit();
       }
@@ -227,6 +310,7 @@ void HacService::WriterLoop() {
     gate_cv_.notify_all();
 
     ++write_batches_;
+    GM().write_batches.Inc();
     uint64_t largest = largest_write_batch_.load(std::memory_order_relaxed);
     while (live.size() > largest &&
            !largest_write_batch_.compare_exchange_weak(largest, live.size(),
@@ -236,6 +320,7 @@ void HacService::WriterLoop() {
     // read observes its own settled write.
     for (size_t i = 0; i < live.size(); ++i) {
       ++executed_writes_;
+      GM().executed_writes.Inc();
       live[i]->done.set_value(std::move(responses[i]));
     }
   }
@@ -336,6 +421,13 @@ ServerResponse HacService::ExecuteRead(Session* session, const ServerRequest& re
     }
     case ServerOp::kStats:
       resp.stats = fs_.Stats();
+      break;
+    case ServerOp::kIntrospect:
+      // Normally intercepted in Submit (it must not be queued or shed); handled
+      // here too so direct ExecuteRead callers get the same answer.
+      GM().introspect_requests.Inc();
+      resp.text = req.aux == "trace" ? TraceRing::Global().ExportChromeJson()
+                                     : IntrospectStatsJson();
       break;
     case ServerOp::kChdir: {
       auto st = fs_.StatPath(abs);

@@ -9,7 +9,7 @@
 //
 // Classification table (see DESIGN.md "Service layer & threading model"):
 //   read  — Ping, ReadDir, Search, Stat, Lstat, ReadFd, Seek, GetQuery,
-//           GetLinkClasses, ReadLink, Stats, Chdir (session-local cwd)
+//           GetLinkClasses, ReadLink, Stats, Chdir (session-local cwd), Introspect
 //   write — Open, Close, WriteFd, WriteFile, Mkdir, SMkdir, SetQuery, Unlink, Rmdir,
 //           Rename, Symlink, PromoteLink, DemoteLink, Prohibit, Unprohibit, Reindex,
 //           SSync, SAct, CloseSession
@@ -44,6 +44,11 @@ enum class ServerOp : uint8_t {
   kReadLink,
   kStats,
   kChdir,
+  kIntrospect,      // aux = "stats" (default) or "trace"; resp.text = JSON.
+                    // Read class, but exempt from admission control entirely: it
+                    // reads only the process-global metrics registry and trace
+                    // ring, so the service answers it even under overload
+                    // (docs/API.md "Introspection").
   // --- write class ---
   kOpen,            // flags = OpenFlags; returns a session fd
   kClose,           // fd = session fd

@@ -1,0 +1,283 @@
+// Minimal JSON support shared by the bench harness and the introspection surface.
+//
+// JsonObject is an ordered emitter: fields render in insertion order, nested objects
+// and arrays of objects are supported, numbers are emitted unquoted. It started life
+// in bench/bench_util.h as the machine-checkable bench output format (--hac_ab_json,
+// --hac_json); the service's kIntrospect response and `hacctl stats` emit the same
+// shape, so it lives here and bench_util.h re-exports it.
+//
+// JsonValidate is the matching minimal checker — a recursive-descent scanner that
+// accepts standard JSON and reports the first syntax error. It builds no DOM; tests
+// and the docs_check gate use it to assert that emitted blobs parse.
+#ifndef HAC_SUPPORT_JSON_H_
+#define HAC_SUPPORT_JSON_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hac {
+
+inline std::string Fmt(double v, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, v);
+  return buf;
+}
+
+class JsonObject {
+ public:
+  JsonObject& Add(const std::string& key, uint64_t v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonObject& Add(const std::string& key, int v) {
+    return AddRaw(key, std::to_string(v));
+  }
+  JsonObject& Add(const std::string& key, double v, int decimals = 2) {
+    return AddRaw(key, Fmt(v, decimals));
+  }
+  JsonObject& Add(const std::string& key, const std::string& v) {
+    return AddRaw(key, Quote(v));
+  }
+  JsonObject& Add(const std::string& key, const char* v) {
+    return AddRaw(key, Quote(v));
+  }
+  JsonObject& AddBool(const std::string& key, bool v) {
+    return AddRaw(key, v ? "true" : "false");
+  }
+  JsonObject& Add(const std::string& key, const JsonObject& nested) {
+    entries_.push_back({key, "", std::make_shared<JsonObject>(nested), {}});
+    return *this;
+  }
+  JsonObject& Add(const std::string& key, const std::vector<JsonObject>& array) {
+    entries_.push_back({key, "", nullptr, array});
+    return *this;
+  }
+  // Array of strings (rendered quoted). Distinguished from the object-array overload
+  // by element type.
+  JsonObject& Add(const std::string& key, const std::vector<std::string>& strings) {
+    std::string out = "[";
+    for (size_t i = 0; i < strings.size(); ++i) {
+      out += (i == 0 ? "" : ", ") + Quote(strings[i]);
+    }
+    return AddRaw(key, out + "]");
+  }
+
+  std::string Str(int indent = 0) const {
+    const std::string pad(static_cast<size_t>(indent) + 2, ' ');
+    std::string out = "{\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      out += pad + Quote(e.key) + ": ";
+      if (e.child != nullptr) {
+        out += e.child->Str(indent + 2);
+      } else if (!e.array.empty() || e.scalar.empty()) {
+        out += "[";
+        for (size_t j = 0; j < e.array.size(); ++j) {
+          out += (j == 0 ? "\n" : ",\n") + pad + "  " + e.array[j].Str(indent + 4);
+        }
+        out += e.array.empty() ? "]" : "\n" + pad + "]";
+      } else {
+        out += e.scalar;
+      }
+      out += (i + 1 < entries_.size()) ? ",\n" : "\n";
+    }
+    return out + std::string(static_cast<size_t>(indent), ' ') + "}";
+  }
+
+  void Print() const { std::printf("%s\n", Str().c_str()); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string scalar;  // pre-rendered JSON value; empty means child/array
+    std::shared_ptr<JsonObject> child;
+    std::vector<JsonObject> array;
+  };
+
+  JsonObject& AddRaw(const std::string& key, std::string rendered) {
+    entries_.push_back({key, std::move(rendered), nullptr, {}});
+    return *this;
+  }
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+      }
+      out += c;
+    }
+    return out + "\"";
+  }
+
+  std::vector<Entry> entries_;
+};
+
+// ---------------------------------------------------------------------------
+// JsonValidate: syntax-only recursive-descent scan.
+// ---------------------------------------------------------------------------
+
+namespace json_internal {
+
+struct Scanner {
+  std::string_view in;
+  size_t pos = 0;
+  std::string err;
+
+  bool Fail(const std::string& what) {
+    if (err.empty()) {
+      err = what + " at offset " + std::to_string(pos);
+    }
+    return false;
+  }
+  void SkipWs() {
+    while (pos < in.size() &&
+           (in[pos] == ' ' || in[pos] == '\t' || in[pos] == '\n' || in[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool Eat(char c) {
+    SkipWs();
+    if (pos < in.size() && in[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool String() {
+    SkipWs();
+    if (pos >= in.size() || in[pos] != '"') {
+      return Fail("expected string");
+    }
+    ++pos;
+    while (pos < in.size() && in[pos] != '"') {
+      if (in[pos] == '\\') {
+        ++pos;  // accept any escaped character
+        if (pos >= in.size()) {
+          return Fail("dangling escape");
+        }
+      }
+      ++pos;
+    }
+    if (pos >= in.size()) {
+      return Fail("unterminated string");
+    }
+    ++pos;
+    return true;
+  }
+  bool Number() {
+    SkipWs();
+    size_t start = pos;
+    if (pos < in.size() && (in[pos] == '-' || in[pos] == '+')) {
+      ++pos;
+    }
+    bool digits = false;
+    while (pos < in.size() && ((in[pos] >= '0' && in[pos] <= '9') || in[pos] == '.' ||
+                               in[pos] == 'e' || in[pos] == 'E' || in[pos] == '-' ||
+                               in[pos] == '+')) {
+      digits = digits || (in[pos] >= '0' && in[pos] <= '9');
+      ++pos;
+    }
+    if (!digits) {
+      pos = start;
+      return Fail("expected number");
+    }
+    return true;
+  }
+  bool Literal(std::string_view word) {
+    SkipWs();
+    if (in.substr(pos, word.size()) == word) {
+      pos += word.size();
+      return true;
+    }
+    return false;
+  }
+  bool Value(int depth) {
+    if (depth > 64) {
+      return Fail("nesting too deep");
+    }
+    SkipWs();
+    if (pos >= in.size()) {
+      return Fail("expected value");
+    }
+    char c = in[pos];
+    if (c == '{') {
+      return Object(depth);
+    }
+    if (c == '[') {
+      return Array(depth);
+    }
+    if (c == '"') {
+      return String();
+    }
+    if (Literal("true") || Literal("false") || Literal("null")) {
+      return true;
+    }
+    return Number();
+  }
+  bool Object(int depth) {
+    if (!Eat('{')) {
+      return Fail("expected '{'");
+    }
+    if (Eat('}')) {
+      return true;
+    }
+    do {
+      if (!String()) {
+        return false;
+      }
+      if (!Eat(':')) {
+        return Fail("expected ':'");
+      }
+      if (!Value(depth + 1)) {
+        return false;
+      }
+    } while (Eat(','));
+    if (!Eat('}')) {
+      return Fail("expected '}'");
+    }
+    return true;
+  }
+  bool Array(int depth) {
+    if (!Eat('[')) {
+      return Fail("expected '['");
+    }
+    if (Eat(']')) {
+      return true;
+    }
+    do {
+      if (!Value(depth + 1)) {
+        return false;
+      }
+    } while (Eat(','));
+    if (!Eat(']')) {
+      return Fail("expected ']'");
+    }
+    return true;
+  }
+};
+
+}  // namespace json_internal
+
+// True iff `text` is one syntactically valid JSON value (with nothing but whitespace
+// after it). On failure `error`, when non-null, receives a one-line description.
+inline bool JsonValidate(std::string_view text, std::string* error = nullptr) {
+  json_internal::Scanner s{text, 0, {}};
+  bool ok = s.Value(0);
+  if (ok) {
+    s.SkipWs();
+    if (s.pos != s.in.size()) {
+      ok = s.Fail("trailing characters");
+    }
+  }
+  if (!ok && error != nullptr) {
+    *error = s.err;
+  }
+  return ok;
+}
+
+}  // namespace hac
+
+#endif  // HAC_SUPPORT_JSON_H_

@@ -1,0 +1,125 @@
+// The canonical table of every metric and span name the process exports.
+//
+// One source of truth, three consumers: instrumentation sites reference these
+// constants (never string literals), MetricsRegistry::Global() pre-registers every
+// name at construction so kIntrospect output is complete and deterministic even for
+// counters that have not fired yet, and the docs_check gate cross-checks this table
+// against docs/OBSERVABILITY.md in both directions. Adding a metric means adding it
+// HERE and to the doc table — docs_check fails the build otherwise.
+//
+// Naming convention (documented in docs/OBSERVABILITY.md): dot-separated
+// `hac.<subsystem>.<what>[_<unit>]`, lowercase, underscores inside a segment.
+// Histogram names carry their unit as the final suffix (`_us` microseconds,
+// `_size` request counts, `_pct` percent 0-100). Span names have no `hac.` prefix —
+// they name code regions, not exported series — and use `<subsystem>.<region>`.
+#ifndef HAC_SUPPORT_METRIC_NAMES_H_
+#define HAC_SUPPORT_METRIC_NAMES_H_
+
+#include <cstddef>
+
+namespace hac::metric_names {
+
+// --- consistency engine (src/core/consistency_engine.cc) ---
+inline constexpr const char* kConsistencyQueryEvaluations =
+    "hac.consistency.query_evaluations";
+inline constexpr const char* kConsistencyDeltaEvaluations =
+    "hac.consistency.delta_evaluations";
+inline constexpr const char* kConsistencyScopePropagations =
+    "hac.consistency.scope_propagations";
+inline constexpr const char* kConsistencyShortCircuits =
+    "hac.consistency.short_circuit_propagations";
+inline constexpr const char* kConsistencyBatchFlushes = "hac.consistency.batch_flushes";
+inline constexpr const char* kConsistencyBatchedMutations =
+    "hac.consistency.batched_mutations";
+inline constexpr const char* kConsistencyPasses = "hac.consistency.passes";
+inline constexpr const char* kLinksTransientAdded = "hac.links.transient_added";
+inline constexpr const char* kLinksTransientRemoved = "hac.links.transient_removed";
+
+// --- deferred data consistency + remote mounts (src/core/consistency.cc) ---
+inline constexpr const char* kReindexDocsIndexed = "hac.reindex.docs_indexed";
+inline constexpr const char* kReindexDocsPurged = "hac.reindex.docs_purged";
+inline constexpr const char* kReindexAuto = "hac.reindex.auto_reindexes";
+inline constexpr const char* kRemoteSearches = "hac.remote.searches";
+inline constexpr const char* kRemoteImports = "hac.remote.imports";
+
+// --- attribute cache (src/core/hac_file_system.cc) ---
+inline constexpr const char* kAttrCacheHits = "hac.attr_cache.hits";
+inline constexpr const char* kAttrCacheMisses = "hac.attr_cache.misses";
+
+// --- service layer (src/server/hac_service.cc) ---
+inline constexpr const char* kServiceAdmittedReads = "hac.service.admitted_reads";
+inline constexpr const char* kServiceAdmittedWrites = "hac.service.admitted_writes";
+inline constexpr const char* kServiceRejectedQueueFull =
+    "hac.service.rejected_queue_full";
+inline constexpr const char* kServiceShedDeadline = "hac.service.shed_deadline";
+inline constexpr const char* kServiceExecutedReads = "hac.service.executed_reads";
+inline constexpr const char* kServiceExecutedWrites = "hac.service.executed_writes";
+inline constexpr const char* kServiceWriteBatches = "hac.service.write_batches";
+inline constexpr const char* kServiceIntrospectRequests =
+    "hac.service.introspect_requests";
+inline constexpr const char* kServiceSessionsOpened = "hac.service.sessions_opened";
+inline constexpr const char* kServiceSessionsClosed = "hac.service.sessions_closed";
+
+// --- index / query path (src/index/inverted_index.cc) ---
+inline constexpr const char* kIndexQueries = "hac.index.queries";
+inline constexpr const char* kIndexDocsIndexed = "hac.index.docs_indexed";
+inline constexpr const char* kIndexDocsRemoved = "hac.index.docs_removed";
+
+// --- tracer self-accounting (src/support/trace.cc) ---
+inline constexpr const char* kTraceDropped = "hac.trace.dropped";
+
+// --- gauges ---
+inline constexpr const char* kServiceOpenSessions = "hac.service.open_sessions";
+inline constexpr const char* kServiceReadQueueDepth = "hac.service.read_queue_depth";
+
+// --- histograms (unit in the suffix) ---
+inline constexpr const char* kConsistencyPassUs = "hac.consistency.pass_us";
+inline constexpr const char* kServiceQueueWaitReadUs =
+    "hac.service.queue_wait_read_us";
+inline constexpr const char* kServiceQueueWaitWriteUs =
+    "hac.service.queue_wait_write_us";
+inline constexpr const char* kServiceTimeReadUs = "hac.service.service_time_read_us";
+inline constexpr const char* kServiceTimeWriteUs = "hac.service.service_time_write_us";
+inline constexpr const char* kServiceWriteBatchSize = "hac.service.write_batch_size";
+inline constexpr const char* kIndexQueryUs = "hac.index.query_us";
+inline constexpr const char* kIndexQuerySelectivityPct =
+    "hac.index.query_selectivity_pct";
+
+// --- span names (scoped regions recorded into the trace ring) ---
+inline constexpr const char* kSpanConsistencyPass = "consistency.pass";
+inline constexpr const char* kSpanServiceRead = "service.read";
+inline constexpr const char* kSpanServiceWriteBatch = "service.write_batch";
+inline constexpr const char* kSpanIndexEvaluate = "index.evaluate";
+
+// Enumeration used for pre-registration and the docs_check cross-check.
+inline constexpr const char* kAllCounters[] = {
+    kConsistencyQueryEvaluations, kConsistencyDeltaEvaluations,
+    kConsistencyScopePropagations, kConsistencyShortCircuits,
+    kConsistencyBatchFlushes, kConsistencyBatchedMutations, kConsistencyPasses,
+    kLinksTransientAdded, kLinksTransientRemoved, kReindexDocsIndexed,
+    kReindexDocsPurged, kReindexAuto, kRemoteSearches, kRemoteImports, kAttrCacheHits,
+    kAttrCacheMisses, kServiceAdmittedReads, kServiceAdmittedWrites,
+    kServiceRejectedQueueFull, kServiceShedDeadline, kServiceExecutedReads,
+    kServiceExecutedWrites, kServiceWriteBatches, kServiceIntrospectRequests,
+    kServiceSessionsOpened, kServiceSessionsClosed, kIndexQueries, kIndexDocsIndexed,
+    kIndexDocsRemoved, kTraceDropped,
+};
+inline constexpr const char* kAllGauges[] = {
+    kServiceOpenSessions,
+    kServiceReadQueueDepth,
+};
+inline constexpr const char* kAllHistograms[] = {
+    kConsistencyPassUs,     kServiceQueueWaitReadUs, kServiceQueueWaitWriteUs,
+    kServiceTimeReadUs,     kServiceTimeWriteUs,     kServiceWriteBatchSize,
+    kIndexQueryUs,          kIndexQuerySelectivityPct,
+};
+inline constexpr const char* kAllSpans[] = {
+    kSpanConsistencyPass,
+    kSpanServiceRead,
+    kSpanServiceWriteBatch,
+    kSpanIndexEvaluate,
+};
+
+}  // namespace hac::metric_names
+
+#endif  // HAC_SUPPORT_METRIC_NAMES_H_

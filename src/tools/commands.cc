@@ -2,6 +2,7 @@
 
 #include "src/tools/fsck.h"
 #include "src/tools/inspect.h"
+#include "src/tools/stats_format.h"
 #include "src/vfs/path.h"
 
 namespace hac {
@@ -421,24 +422,7 @@ Result<std::string> CommandInterpreter::CmdStats(const std::vector<std::string>&
   if (args.size() != 1) {
     return Error(ErrorCode::kInvalidArgument, "usage: stats");
   }
-  StatsSnapshot s = fs_->Stats();
-  std::string out;
-  out += "query evaluations     " + std::to_string(s.query_evaluations) + "\n";
-  out += "delta evaluations     " + std::to_string(s.delta_evaluations) + "\n";
-  out += "scope propagations    " + std::to_string(s.scope_propagations) + "\n";
-  out += "short-circuited       " + std::to_string(s.short_circuit_propagations) + "\n";
-  out += "batch flushes         " + std::to_string(s.batch_flushes) + " (" +
-         std::to_string(s.batched_mutations) + " mutations coalesced)\n";
-  out += "transient links +/-   " + std::to_string(s.transient_links_added) + "/" +
-         std::to_string(s.transient_links_removed) + "\n";
-  out += "docs indexed/purged   " + std::to_string(s.docs_indexed) + "/" +
-         std::to_string(s.docs_purged) + "\n";
-  out += "remote searches       " + std::to_string(s.remote_searches) + "\n";
-  out += "remote imports        " + std::to_string(s.remote_imports) + "\n";
-  out += "attr cache hit/miss   " + std::to_string(s.attr_cache_hits) + "/" +
-         std::to_string(s.attr_cache_misses) + "\n";
-  out += "metadata bytes        " + std::to_string(fs_->MetadataSizeBytes()) + "\n";
-  return out;
+  return FormatStatsText(fs_->Stats(), fs_->MetadataSizeBytes());
 }
 
 std::string CommandInterpreter::HelpText() {

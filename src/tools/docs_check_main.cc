@@ -1,0 +1,102 @@
+// docs_check: the CI gate keeping support/metric_names.h and docs/OBSERVABILITY.md
+// in lockstep, both directions:
+//
+//   1. every registered metric name (and every span name) must appear in the doc
+//      as a backticked `name`;
+//   2. every backticked `hac.*` name in the doc must be a registered metric.
+//
+// Runs as a ctest (`ctest -R docs_check`); exits nonzero listing each offender.
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
+
+namespace {
+
+// Every `backticked` token in the text.
+std::set<std::string> BacktickedTokens(const std::string& text) {
+  std::set<std::string> out;
+  size_t pos = 0;
+  while ((pos = text.find('`', pos)) != std::string::npos) {
+    size_t end = text.find('`', pos + 1);
+    if (end == std::string::npos) {
+      break;
+    }
+    out.insert(text.substr(pos + 1, end - pos - 1));
+    pos = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: docs_check <path-to-OBSERVABILITY.md>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "docs_check: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string doc = buf.str();
+  const std::set<std::string> documented = BacktickedTokens(doc);
+
+  int failures = 0;
+
+  // Direction 1: code -> doc. The registry's names come from the same canonical
+  // table, but asking the live registry also catches names registered outside it.
+  std::vector<std::string> exported = hac::MetricsRegistry::Global().Names();
+  for (const char* span : hac::metric_names::kAllSpans) {
+    exported.push_back(span);
+  }
+  for (const std::string& name : exported) {
+    if (documented.count(name) == 0) {
+      std::fprintf(stderr, "docs_check: `%s` is exported but missing from %s\n",
+                   name.c_str(), argv[1]);
+      ++failures;
+    }
+  }
+
+  // Direction 2: doc -> code. Only well-formed hac.* names are treated as metric
+  // references — prose like `hac.*` or the naming template is skipped, and spans
+  // carry no prefix so they are checked in direction 1 only.
+  auto is_metric_name = [](const std::string& t) {
+    if (t.rfind("hac.", 0) != 0 || t.back() == '.') {
+      return false;
+    }
+    for (char c : t) {
+      if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+          std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '_') {
+        return false;
+      }
+    }
+    return true;
+  };
+  std::set<std::string> known(exported.begin(), exported.end());
+  for (const std::string& token : documented) {
+    if (is_metric_name(token) && known.count(token) == 0) {
+      std::fprintf(stderr,
+                   "docs_check: `%s` is documented in %s but not registered\n",
+                   token.c_str(), argv[1]);
+      ++failures;
+    }
+  }
+
+  if (failures != 0) {
+    std::fprintf(stderr, "docs_check: %d mismatch(es)\n", failures);
+    return 1;
+  }
+  std::printf("docs_check: %zu exported names all documented, no stale doc entries\n",
+              exported.size());
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "src/tools/hacctl.h"
+
+#include "src/core/hac_file_system.h"
+#include "src/server/client.h"
+#include "src/server/hac_service.h"
+
+namespace hac {
+
+namespace {
+
+// Touches every instrumented layer at least once: writes batch through the writer
+// thread, the semantic directory exercises the consistency engine and the index,
+// searches and stats run the read path and the attribute cache.
+Result<void> RunDemoWorkload(ServiceClient& client) {
+  HAC_RETURN_IF_ERROR(client.Mkdir("/projects"));
+  HAC_RETURN_IF_ERROR(
+      client.WriteFile("/projects/fingerprint.txt", "fingerprint analysis notes"));
+  HAC_RETURN_IF_ERROR(
+      client.WriteFile("/projects/dental.txt", "dental records summary"));
+  HAC_RETURN_IF_ERROR(
+      client.WriteFile("/projects/interview.txt", "suspect interview transcript"));
+  HAC_RETURN_IF_ERROR(client.SMkdir("/evidence", "fingerprint OR dental"));
+  HAC_RETURN_IF_ERROR(client.Search("records", "/projects"));
+  HAC_RETURN_IF_ERROR(client.StatPath("/projects/fingerprint.txt"));
+  HAC_RETURN_IF_ERROR(client.StatPath("/projects/fingerprint.txt"));  // cache hit
+  HAC_RETURN_IF_ERROR(client.ReadDir("/evidence"));
+  HAC_RETURN_IF_ERROR(client.WriteFile("/projects/notes.txt", "more dental findings"));
+  HAC_RETURN_IF_ERROR(client.Reindex());
+  return OkResult();
+}
+
+}  // namespace
+
+Result<std::string> RunHacctl(const std::vector<std::string>& args) {
+  if (args.size() != 1 || (args[0] != "stats" && args[0] != "trace")) {
+    return Error(ErrorCode::kInvalidArgument, "usage: hacctl stats|trace");
+  }
+  HacFileSystem fs;
+  HacService service(fs);
+  ServiceClient client(service);
+  HAC_RETURN_IF_ERROR(RunDemoWorkload(client));
+  HAC_ASSIGN_OR_RETURN(std::string out, client.Introspect(args[0]));
+  return out;
+}
+
+}  // namespace hac

@@ -1,0 +1,25 @@
+// hacctl: the observability command-line tool (docs/OBSERVABILITY.md).
+//
+//   hacctl stats   print the process metrics snapshot (the kIntrospect JSON)
+//   hacctl trace   print a Chrome trace_event dump of the span ring
+//
+// The tool spins up an in-memory HacFileSystem behind a HacService, drives a small
+// deterministic demo workload through it so every instrumented subsystem has fired,
+// then issues a kIntrospect request and prints the response text verbatim — the
+// output IS the service's introspection payload, byte for byte.
+#ifndef HAC_TOOLS_HACCTL_H_
+#define HAC_TOOLS_HACCTL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/support/result.h"
+
+namespace hac {
+
+// args excludes the program name: {"stats"} or {"trace"}.
+Result<std::string> RunHacctl(const std::vector<std::string>& args);
+
+}  // namespace hac
+
+#endif  // HAC_TOOLS_HACCTL_H_

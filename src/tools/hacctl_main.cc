@@ -1,0 +1,16 @@
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/tools/hacctl.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  auto result = hac::RunHacctl(args);
+  if (!result.ok()) {
+    std::fprintf(stderr, "hacctl: %s\n", result.error().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", result.value().c_str());
+  return 0;
+}

@@ -1,5 +1,6 @@
 #include "src/tools/inspect.h"
 
+#include "src/tools/stats_format.h"
 #include "src/vfs/path.h"
 
 namespace hac {
@@ -100,19 +101,16 @@ Result<std::string> DumpTree(HacFileSystem& fs, const std::string& root,
   }
 
   if (options.show_counters) {
-    CbaStats index_stats = fs.index().Stats();
+    // One coherent snapshot; reading fs.index().Stats() separately would race with
+    // the service layer's writer thread (the snapshot copies with relaxed loads).
     StatsSnapshot stats = fs.Stats();
     out += "\ncounters:\n";
     out += "  files: " + std::to_string(fs.registry().LiveCount()) + " live / " +
            std::to_string(fs.registry().TotalRecords()) + " total\n";
-    out += "  index: " + std::to_string(index_stats.documents) + " docs, " +
-           std::to_string(index_stats.terms) + " terms, " +
-           std::to_string(index_stats.postings) + " postings\n";
-    out += "  activity: " + std::to_string(stats.query_evaluations) + " evaluations (" +
-           std::to_string(stats.delta_evaluations) + " delta, " +
-           std::to_string(stats.short_circuit_propagations) + " short-circuited), " +
-           std::to_string(stats.transient_links_added) + "+" +
-           std::to_string(stats.transient_links_removed) + "- links\n";
+    out += "  index: " + std::to_string(stats.index.documents) + " docs, " +
+           std::to_string(stats.index.terms) + " terms, " +
+           std::to_string(stats.index.postings) + " postings\n";
+    out += "  " + FormatActivityLine(stats) + "\n";
   }
   return out;
 }

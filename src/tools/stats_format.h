@@ -1,0 +1,21 @@
+// Shared textual rendering of a StatsSnapshot, used by the command interpreter's
+// `stats` command and the inspection dump so the two never drift apart.
+#ifndef HAC_TOOLS_STATS_FORMAT_H_
+#define HAC_TOOLS_STATS_FORMAT_H_
+
+#include <string>
+
+#include "src/core/stats_snapshot.h"
+
+namespace hac {
+
+// The aligned key/value block `stats` prints (one counter per line, trailing
+// newline). `metadata_bytes` is HacFileSystem::MetadataSizeBytes().
+std::string FormatStatsText(const StatsSnapshot& s, uint64_t metadata_bytes);
+
+// The one-line activity summary the inspector embeds in its counters block.
+std::string FormatActivityLine(const StatsSnapshot& s);
+
+}  // namespace hac
+
+#endif  // HAC_TOOLS_STATS_FORMAT_H_

@@ -16,6 +16,8 @@
 
 #include "src/server/client.h"
 #include "src/server/hac_service.h"
+#include "src/support/json.h"
+#include "src/support/trace.h"
 
 namespace hac {
 namespace {
@@ -206,6 +208,67 @@ TEST(ServiceStressTest, MixedThreadsConvergeToSerialReplay) {
     const std::string query = "term" + std::to_string(t);
     EXPECT_EQ(fs.Search(query).value(), serial.Search(query).value()) << query;
   }
+}
+
+// Introspection hammered concurrently with the full mixed read/write load: every
+// snapshot must be valid JSON (registry iteration and the trace-ring claim protocol
+// race live recording here — the TSan gate runs this binary), and kIntrospect must
+// never be rejected or shed, even when the queues are busy.
+TEST(ServiceStressTest, IntrospectStaysValidAndUnsheddableUnderLoad) {
+  HacFileSystem fs;
+  SeedCorpus(fs);
+
+  std::vector<std::vector<Op>> logs;
+  for (int t = 0; t < kWriterThreads; ++t) {
+    logs.push_back(WriterLog(t));
+  }
+
+  HacService service(fs);
+  std::atomic<bool> writers_done = false;
+  std::atomic<uint64_t> introspect_calls = 0;
+  std::vector<std::thread> threads;
+
+  for (int t = 0; t < kWriterThreads; ++t) {
+    threads.emplace_back([&service, &logs, t] {
+      ServiceClient client(service);
+      for (const Op& op : logs[static_cast<size_t>(t)]) {
+        ApplyOp(client, op);
+      }
+    });
+  }
+  for (int t = 0; t < kReaderThreads; ++t) {
+    threads.emplace_back([&service, &writers_done, &introspect_calls, t] {
+      ServiceClient client(service);
+      while (!writers_done.load(std::memory_order_acquire)) {
+        auto stats = client.Introspect("stats");
+        ASSERT_TRUE(stats.ok()) << stats.error().ToString();
+        std::string err;
+        ASSERT_TRUE(JsonValidate(stats.value(), &err)) << err;
+        if (t % 2 == 0) {
+          auto trace = client.Introspect("trace");
+          ASSERT_TRUE(trace.ok()) << trace.error().ToString();
+          ASSERT_TRUE(JsonValidate(trace.value(), &err)) << err;
+        }
+        introspect_calls.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  for (int t = 0; t < kWriterThreads; ++t) {
+    threads[static_cast<size_t>(t)].join();
+  }
+  writers_done.store(true, std::memory_order_release);
+  for (size_t t = kWriterThreads; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  EXPECT_GT(introspect_calls.load(), 0u);
+  // Introspection is exempt from both admission-control mechanisms, so nothing
+  // above may have been turned away (the mutation load alone never fills the
+  // queues in this test — the first stress test asserts the same).
+  auto stats = service.Stats();
+  EXPECT_EQ(stats.rejected_queue_full, 0u);
+  EXPECT_EQ(stats.shed_deadline, 0u);
 }
 
 }  // namespace

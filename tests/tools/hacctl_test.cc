@@ -1,0 +1,113 @@
+// Golden coverage for the introspection surface: the kIntrospect payload (which
+// `hacctl stats` prints verbatim) must parse as JSON and mention every metric and
+// span name documented in docs/OBSERVABILITY.md. Together with the docs_check
+// gate (doc <-> metric_names.h) this closes the loop doc <-> wire output.
+#include "src/tools/hacctl.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/support/json.h"
+#include "src/support/metric_names.h"
+
+namespace hac {
+namespace {
+
+std::string ReadObservabilityDoc() {
+  std::ifstream in(std::string(HAC_SOURCE_DIR) + "/docs/OBSERVABILITY.md");
+  EXPECT_TRUE(in.good()) << "docs/OBSERVABILITY.md not found under " << HAC_SOURCE_DIR;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Backticked `hac.*` tokens that are well-formed metric names (same filter as
+// docs_check: prose like `hac.*` is skipped).
+std::set<std::string> DocumentedMetricNames(const std::string& doc) {
+  std::set<std::string> out;
+  size_t pos = 0;
+  while ((pos = doc.find('`', pos)) != std::string::npos) {
+    size_t end = doc.find('`', pos + 1);
+    if (end == std::string::npos) {
+      break;
+    }
+    std::string token = doc.substr(pos + 1, end - pos - 1);
+    pos = end + 1;
+    if (token.rfind("hac.", 0) != 0 || token.back() == '.') {
+      continue;
+    }
+    bool clean = true;
+    for (char c : token) {
+      if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+          std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '.' && c != '_') {
+        clean = false;
+        break;
+      }
+    }
+    if (clean) {
+      out.insert(token);
+    }
+  }
+  return out;
+}
+
+TEST(HacctlTest, RejectsUnknownSubcommand) {
+  EXPECT_FALSE(RunHacctl({}).ok());
+  EXPECT_FALSE(RunHacctl({"bogus"}).ok());
+  EXPECT_FALSE(RunHacctl({"stats", "extra"}).ok());
+}
+
+TEST(HacctlTest, StatsOutputParsesAndCoversEveryDocumentedName) {
+  auto result = RunHacctl({"stats"});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const std::string& json = result.value();
+
+  std::string err;
+  ASSERT_TRUE(JsonValidate(json, &err)) << err;
+  EXPECT_NE(json.find("\"schema\": \"hac.introspect.v1\""), std::string::npos);
+
+  std::set<std::string> documented = DocumentedMetricNames(ReadObservabilityDoc());
+  ASSERT_FALSE(documented.empty());
+  for (const std::string& name : documented) {
+    EXPECT_NE(json.find("\"" + name + "\""), std::string::npos)
+        << name << " documented in OBSERVABILITY.md but absent from hacctl stats";
+  }
+  // Spans carry no hac. prefix; they are listed in the snapshot's spans array.
+  for (const char* span : metric_names::kAllSpans) {
+    EXPECT_NE(json.find(std::string("\"") + span + "\""), std::string::npos) << span;
+  }
+}
+
+TEST(HacctlTest, TraceOutputIsValidChromeJson) {
+  auto result = RunHacctl({"trace"});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  std::string err;
+  ASSERT_TRUE(JsonValidate(result.value(), &err)) << err;
+  EXPECT_NE(result.value().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(HacctlTest, DemoWorkloadActuallyFiresTheHotSubsystems) {
+#if HAC_METRICS_ENABLED
+  auto result = RunHacctl({"stats"});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  const std::string& json = result.value();
+  // The demo must leave the core counters nonzero, or `hacctl stats` would
+  // demonstrate nothing. Zero would render as `"name": 0`.
+  for (const char* name :
+       {metric_names::kServiceExecutedWrites, metric_names::kServiceExecutedReads,
+        metric_names::kIndexQueries, metric_names::kConsistencyPasses,
+        metric_names::kLinksTransientAdded}) {
+    EXPECT_EQ(json.find(std::string("\"") + name + "\": 0,"), std::string::npos)
+        << name << " is zero after the demo workload";
+  }
+#endif
+}
+
+}  // namespace
+}  // namespace hac
