@@ -1,0 +1,212 @@
+// Wavefront-parallel propagation: serial vs level-parallel consistency passes over a
+// wide dependency DAG (one apex referenced by many sibling directories, all feeding a
+// join). Each apex edit makes every sibling dirty at once, so the middle wavefront is
+// as wide as the fan-out and the parallel engine can spread its plan-phase query
+// evaluations across the pool.
+//
+// Run with --hac_json for the acceptance experiment: the identical churn workload at
+// parallelism 1 and parallelism hardware_concurrency(), printing wall times, speedup,
+// and an FNV-1a digest of every directory's link table under both engines. Exits 2 if
+// the digests disagree (parallel must be byte-equivalent), and 1 if the speedup falls
+// below 1.0 on a host with at least 4 hardware threads. Single-core hosts only gate
+// on the digest — there is nothing to win there, only barrier overhead to bound.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/core/hac_file_system.h"
+#include "src/workload/corpus.h"
+
+namespace hac {
+namespace {
+
+std::unique_ptr<HacFileSystem> DagFs(size_t parallelism, size_t fanout) {
+  HacOptions options;
+  options.consistency = ConsistencyMode::kIncremental;
+  options.parallelism = parallelism;
+  auto fs = std::make_unique<HacFileSystem>(options);
+  CorpusOptions opts;
+  opts.num_files = PaperScale() ? 2000 : 400;
+  opts.dirs = 10;
+  opts.words_per_file = 120;
+  if (!GenerateCorpus(*fs, opts).ok() || !fs->Reindex().ok()) {
+    std::abort();
+  }
+  const auto& topics = CorpusTopics();
+  if (!fs->SMkdir("/apex", topics[0] + " OR " + topics[1] + " OR " + topics[2]).ok()) {
+    std::abort();
+  }
+  // The wide middle wavefront: every sibling re-evaluates when the apex changes.
+  for (size_t m = 0; m < fanout; ++m) {
+    const std::string query = topics[m % topics.size()] + " AND dir(/apex)";
+    if (!fs->SMkdir("/m" + std::to_string(m), query).ok()) {
+      std::abort();
+    }
+  }
+  std::string join = "dir(/m0)";
+  for (size_t m = 1; m < std::min<size_t>(fanout, 8); ++m) {
+    join += " OR dir(/m" + std::to_string(m) + ")";
+  }
+  if (!fs->SMkdir("/join", join).ok()) {
+    std::abort();
+  }
+  return fs;
+}
+
+// One apex edit per step: pin or unpin a document, each triggering a full
+// apex -> siblings -> join propagation pass.
+void Churn(HacFileSystem& fs, int steps) {
+  for (int i = 0; i < steps; ++i) {
+    if (i % 2 == 0) {
+      if (!fs.Symlink("/corpus/d0/note20.txt", "/apex/pin.txt").ok()) {
+        std::abort();
+      }
+    } else {
+      (void)fs.Unlink("/apex/pin.txt");
+    }
+  }
+}
+
+// FNV-1a over every directory's link table: entry names in ReadDir order (sorted by
+// the link table) plus each link's target. Two engines that produced the same links
+// in the same state produce the same digest.
+uint64_t LinkDigest(HacFileSystem& fs, const std::vector<std::string>& dirs) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](const std::string& s) {
+    for (unsigned char c : s) {
+      h = (h ^ c) * 1099511628211ull;
+    }
+    h = (h ^ 0x1f) * 1099511628211ull;
+  };
+  for (const std::string& dir : dirs) {
+    mix(dir);
+    auto entries = fs.ReadDir(dir);
+    if (!entries.ok()) {
+      std::abort();
+    }
+    for (const auto& e : entries.value()) {
+      mix(e.name);
+      auto target = fs.ReadLink(dir + "/" + e.name);
+      mix(target.ok() ? target.value() : "!");
+    }
+  }
+  return h;
+}
+
+struct GateRun {
+  double build_ms = 0;
+  double churn_ms = 0;
+  uint64_t digest = 0;
+  uint64_t scope_propagations = 0;
+};
+
+GateRun RunGateWorkload(size_t parallelism, size_t fanout, int steps,
+                        std::vector<std::string>* dirs_out) {
+  GateRun out;
+  BenchTimer t;
+  t.Start();
+  auto fs = DagFs(parallelism, fanout);
+  out.build_ms = t.StopMs();
+  std::vector<std::string> dirs = {"/apex", "/join"};
+  for (size_t m = 0; m < fanout; ++m) {
+    dirs.push_back("/m" + std::to_string(m));
+  }
+  t.Start();
+  Churn(*fs, steps);
+  out.churn_ms = t.StopMs();
+  out.digest = LinkDigest(*fs, dirs);
+  out.scope_propagations = fs->Stats().scope_propagations;
+  if (dirs_out != nullptr) {
+    *dirs_out = dirs;
+  }
+  return out;
+}
+
+int RunParallelGate() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const size_t parallel_width = std::max(2u, std::min(hw == 0 ? 2u : hw, 8u));
+  const size_t fanout = PaperScale() ? 48 : 24;
+  const int steps = PaperScale() ? 40 : 20;
+
+  GateRun serial = RunGateWorkload(1, fanout, steps, nullptr);
+  GateRun parallel = RunGateWorkload(parallel_width, fanout, steps, nullptr);
+  const double speedup =
+      parallel.churn_ms == 0 ? 1.0 : serial.churn_ms / parallel.churn_ms;
+
+  JsonObject serial_json;
+  serial_json.Add("churn_ms", serial.churn_ms)
+      .Add("build_ms", serial.build_ms)
+      .Add("scope_propagations", serial.scope_propagations)
+      .Add("digest", serial.digest);
+  JsonObject parallel_json;
+  parallel_json.Add("churn_ms", parallel.churn_ms)
+      .Add("build_ms", parallel.build_ms)
+      .Add("scope_propagations", parallel.scope_propagations)
+      .Add("digest", parallel.digest)
+      .Add("width", static_cast<uint64_t>(parallel_width));
+  JsonObject out;
+  out.Add("workload", "wide_dag_apex_churn")
+      .Add("fanout", static_cast<uint64_t>(fanout))
+      .Add("edits", static_cast<uint64_t>(steps))
+      .Add("hardware_concurrency", static_cast<uint64_t>(hw))
+      .Add("serial", serial_json)
+      .Add("parallel", parallel_json)
+      .Add("speedup", speedup)
+      .AddBool("digests_match", serial.digest == parallel.digest);
+  out.Print();
+
+  if (serial.digest != parallel.digest) {
+    std::fprintf(stderr, "FAIL: parallel propagation diverged from serial\n");
+    return 2;
+  }
+  // The speedup bar only binds where parallel hardware exists; everywhere it must
+  // not corrupt state, and on 4+ thread hosts it must also not lose to serial.
+  if (hw >= 4 && speedup < 1.0) {
+    std::fprintf(stderr, "FAIL: parallel churn slower than serial (%.2fx)\n", speedup);
+    return 1;
+  }
+  return 0;
+}
+
+// Scaling curve: the same apex churn at widths 1/2/4/8 (see EXPERIMENTS.md).
+void BM_WavefrontChurnByWidth(benchmark::State& state) {
+  const size_t width = static_cast<size_t>(state.range(0));
+  auto fs = DagFs(width, /*fanout=*/24);
+  int i = 0;
+  for (auto _ : state) {
+    if (i % 2 == 0) {
+      if (!fs->Symlink("/corpus/d0/note20.txt", "/apex/pin.txt").ok()) {
+        std::abort();
+      }
+    } else {
+      (void)fs->Unlink("/apex/pin.txt");
+    }
+    ++i;
+  }
+  state.counters["width"] = static_cast<double>(width);
+}
+BENCHMARK(BM_WavefrontChurnByWidth)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+}  // namespace hac
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--hac_json") == 0) {
+      return hac::RunParallelGate();
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -106,9 +106,9 @@ std::vector<DirUid> DependencyGraph::DependentsInTopoOrder(DirUid uid) const {
   return order;
 }
 
-std::vector<DirUid> DependencyGraph::AffectedInTopoOrder(
+std::unordered_set<DirUid> DependencyGraph::AffectedSet(
     const std::vector<DirUid>& sources) const {
-  // Collect the affected subgraph: the sources plus their dependent closure.
+  // The sources plus their dependent closure.
   std::unordered_set<DirUid> affected;
   std::vector<DirUid> stack;
   for (DirUid uid : sources) {
@@ -129,6 +129,12 @@ std::vector<DirUid> DependencyGraph::AffectedInTopoOrder(
       }
     }
   }
+  return affected;
+}
+
+std::vector<DirUid> DependencyGraph::AffectedInTopoOrder(
+    const std::vector<DirUid>& sources) const {
+  std::unordered_set<DirUid> affected = AffectedSet(sources);
   // Kahn over the affected subgraph; only edges internal to it count.
   std::unordered_map<DirUid, size_t> in_degree;
   for (DirUid node : affected) {
@@ -187,6 +193,59 @@ std::vector<DirUid> DependencyGraph::FullTopoOrder() const {
     }
   }
   return order;
+}
+
+std::vector<std::vector<DirUid>> DependencyGraph::LevelsOf(
+    const std::unordered_set<DirUid>& nodes) const {
+  std::unordered_map<DirUid, size_t> in_degree;
+  in_degree.reserve(nodes.size());
+  for (DirUid node : nodes) {
+    size_t d = 0;
+    for (DirUid dep : deps_.at(node)) {
+      if (nodes.count(dep) != 0) {
+        ++d;
+      }
+    }
+    in_degree[node] = d;
+  }
+  std::vector<DirUid> current;
+  for (const auto& [node, d] : in_degree) {
+    if (d == 0) {
+      current.push_back(node);
+    }
+  }
+  std::sort(current.begin(), current.end());
+  std::vector<std::vector<DirUid>> levels;
+  while (!current.empty()) {
+    std::vector<DirUid> next;
+    for (DirUid cur : current) {
+      for (DirUid dep : dependents_.at(cur)) {
+        auto it = in_degree.find(dep);
+        if (it != in_degree.end() && --it->second == 0) {
+          next.push_back(dep);
+        }
+      }
+    }
+    std::sort(next.begin(), next.end());
+    levels.push_back(std::move(current));
+    current = std::move(next);
+  }
+  return levels;
+}
+
+std::vector<std::vector<DirUid>> DependencyGraph::AffectedInLevels(
+    const std::vector<DirUid>& sources) const {
+  return LevelsOf(AffectedSet(sources));
+}
+
+std::vector<std::vector<DirUid>> DependencyGraph::FullLevels() const {
+  std::unordered_set<DirUid> all;
+  all.reserve(deps_.size());
+  for (const auto& [node, node_deps] : deps_) {
+    (void)node_deps;
+    all.insert(node);
+  }
+  return LevelsOf(all);
 }
 
 size_t DependencyGraph::EdgeCount() const {

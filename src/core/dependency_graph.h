@@ -48,6 +48,20 @@ class DependencyGraph {
   // Topological order of the whole graph (dependencies first).
   std::vector<DirUid> FullTopoOrder() const;
 
+  // Wavefront schedule of the affected subgraph: the same nodes AffectedInTopoOrder
+  // returns, grouped into topological levels. A node's level is the longest
+  // dependency path to it WITHIN the affected set, so every node's in-set
+  // dependencies sit in strictly earlier levels and nodes sharing a level are
+  // pairwise independent — they may be re-evaluated concurrently once a barrier has
+  // finalized the previous level. Each level is sorted ascending and the flattened
+  // schedule is a valid topological order (the canonical visit order of the
+  // consistency engine's passes, serial or parallel).
+  std::vector<std::vector<DirUid>> AffectedInLevels(
+      const std::vector<DirUid>& sources) const;
+
+  // Wavefront schedule of the whole graph (Reindex / persistence-load passes).
+  std::vector<std::vector<DirUid>> FullLevels() const;
+
   size_t NodeCount() const { return deps_.size(); }
   size_t EdgeCount() const;
   size_t SizeBytes() const;
@@ -55,6 +69,13 @@ class DependencyGraph {
  private:
   // True if `target` is reachable from `start` along dependent edges.
   bool Reaches(DirUid start, DirUid target) const;
+
+  // Sources plus their dependent closure (the affected set of a pass).
+  std::unordered_set<DirUid> AffectedSet(const std::vector<DirUid>& sources) const;
+
+  // Kahn's algorithm over the subgraph induced by `nodes`, emitting whole ready
+  // levels (each sorted ascending) instead of one node at a time.
+  std::vector<std::vector<DirUid>> LevelsOf(const std::unordered_set<DirUid>& nodes) const;
 
   std::unordered_map<DirUid, std::unordered_set<DirUid>> deps_;        // uid -> reads-from
   std::unordered_map<DirUid, std::unordered_set<DirUid>> dependents_;  // uid -> read-by

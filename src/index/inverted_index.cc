@@ -27,6 +27,16 @@ IndexMetrics& GM() {
   return *m;
 }
 
+// Sparse-scope fast path: when the scope has kSparseScopeFactor× fewer set bits than
+// a term's posting list, iterate the scope and probe the list (O(|scope| · log n))
+// instead of materializing the full list as a bitmap and ANDing over the doc space.
+constexpr size_t kSparseScopeFactor = 8;
+
+// Sorted-id vs Bitmap cutover for term-AND-term: below this combined density
+// (set bits per doc-space slot) the id-list intersection beats the word-parallel
+// bitmap AND, which always pays O(universe/64) regardless of how sparse the terms are.
+constexpr size_t kDenseCutover = 8;  // lists denser than 1/8 use bitmaps
+
 }  // namespace
 
 InvertedIndex::InvertedIndex(TokenizerOptions tokenizer_options)
@@ -109,7 +119,21 @@ Result<Bitmap> InvertedIndex::EvaluateNode(const QueryExpr& node, const Bitmap& 
     case QueryKind::kAll:
       return scope;
     case QueryKind::kTerm: {
-      Bitmap bm = TermDocs(node.text);
+      const PostingList* plist = FindPostings(node.text);
+      if (plist == nullptr || plist->Empty()) {
+        return Bitmap();
+      }
+      const size_t scope_count = scope.Count();
+      if (scope_count * kSparseScopeFactor < plist->Size()) {
+        Bitmap bm;
+        scope.ForEach([&](uint32_t doc) {
+          if (plist->Contains(doc)) {
+            bm.Set(doc);
+          }
+        });
+        return bm;
+      }
+      Bitmap bm = plist->ToBitmap();
       bm &= scope;
       return bm;
     }
@@ -147,6 +171,29 @@ Result<Bitmap> InvertedIndex::EvaluateNode(const QueryExpr& node, const Bitmap& 
       return bm;
     }
     case QueryKind::kAnd: {
+      // Term-AND-term with sparse operands: intersect the sorted posting lists
+      // directly (galloping when skewed) and filter by scope per match, instead of
+      // materializing both lists as full doc-space bitmaps. Identical result —
+      // Eval(a AND b, scope) = A ∩ B ∩ scope either way.
+      if (node.children[0]->kind == QueryKind::kTerm &&
+          node.children[1]->kind == QueryKind::kTerm) {
+        const PostingList* a = FindPostings(node.children[0]->text);
+        const PostingList* b = FindPostings(node.children[1]->text);
+        if (a == nullptr || b == nullptr || a->Empty() || b->Empty()) {
+          return Bitmap();
+        }
+        const size_t universe =
+            static_cast<size_t>(std::max(a->docs().back(), b->docs().back())) + 1;
+        if ((a->Size() + b->Size()) * kDenseCutover < universe) {
+          Bitmap bm;
+          for (uint32_t doc : PostingList::IntersectSorted(a->docs(), b->docs())) {
+            if (scope.Test(doc)) {
+              bm.Set(doc);
+            }
+          }
+          return bm;
+        }
+      }
       HAC_ASSIGN_OR_RETURN(Bitmap lhs, EvaluateNode(*node.children[0], scope, resolve_dir));
       if (lhs.Empty()) {
         return lhs;  // short-circuit
@@ -238,17 +285,19 @@ size_t InvertedIndex::IndexSizeBytes() const {
   return total;
 }
 
-Bitmap InvertedIndex::TermDocs(const std::string& term) const {
+const PostingList* InvertedIndex::FindPostings(const std::string& term) const {
   auto it = dictionary_.find(ToLowerAscii(term));
-  if (it == dictionary_.end()) {
-    return Bitmap();
-  }
-  return postings_[it->second].ToBitmap();
+  return it == dictionary_.end() ? nullptr : &postings_[it->second];
+}
+
+Bitmap InvertedIndex::TermDocs(const std::string& term) const {
+  const PostingList* plist = FindPostings(term);
+  return plist == nullptr ? Bitmap() : plist->ToBitmap();
 }
 
 size_t InvertedIndex::TermFrequency(const std::string& term) const {
-  auto it = dictionary_.find(ToLowerAscii(term));
-  return it == dictionary_.end() ? 0 : postings_[it->second].Size();
+  const PostingList* plist = FindPostings(term);
+  return plist == nullptr ? 0 : plist->Size();
 }
 
 std::vector<std::string> InvertedIndex::TermsWithFrequencyBetween(size_t min_df,

@@ -66,6 +66,9 @@ class InvertedIndex final : public CbaMechanism {
 
   TermId InternTerm(const std::string& term);
 
+  // Posting list for a term (case-folded), or nullptr when the term is unknown.
+  const PostingList* FindPostings(const std::string& term) const;
+
   Result<Bitmap> EvaluateNode(const QueryExpr& node, const Bitmap& scope,
                               const DirResolver* resolve_dir) const;
 

@@ -59,6 +59,13 @@ HacService::HacService(HacFileSystem& fs, ServiceOptions options)
       options_(options),
       readers_(std::max<size_t>(1, options.read_workers)),
       write_queue_(std::max<size_t>(1, options.max_write_queue)) {
+  if (options_.propagation_parallelism > 0) {
+    prev_propagation_pool_ = fs_.propagation_pool();
+    prev_propagation_width_ = fs_.propagation_width();
+    fs_.SetPropagationPool(
+        &readers_,
+        std::min(options_.propagation_parallelism, readers_.ThreadCount() + 1));
+  }
   writer_ = std::thread([this] { WriterLoop(); });
 }
 
@@ -627,6 +634,9 @@ void HacService::Stop() {
     write_queue_.Close();
     if (writer_.joinable()) {
       writer_.join();
+    }
+    if (options_.propagation_parallelism > 0) {
+      fs_.SetPropagationPool(prev_propagation_pool_, prev_propagation_width_);
     }
     readers_.Stop();
   });

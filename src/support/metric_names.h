@@ -84,6 +84,13 @@ inline constexpr const char* kServiceWriteBatchSize = "hac.service.write_batch_s
 inline constexpr const char* kIndexQueryUs = "hac.index.query_us";
 inline constexpr const char* kIndexQuerySelectivityPct =
     "hac.index.query_selectivity_pct";
+// Wavefront-parallel propagation (recorded once per parallel incremental pass).
+inline constexpr const char* kConsistencyParallelLevels =
+    "hac.consistency.parallel_levels";
+inline constexpr const char* kConsistencyParallelWidth =
+    "hac.consistency.parallel_width";
+inline constexpr const char* kConsistencyParallelBarrierWaitNs =
+    "hac.consistency.parallel_barrier_wait_ns";
 
 // --- span names (scoped regions recorded into the trace ring) ---
 inline constexpr const char* kSpanConsistencyPass = "consistency.pass";
@@ -112,6 +119,8 @@ inline constexpr const char* kAllHistograms[] = {
     kConsistencyPassUs,     kServiceQueueWaitReadUs, kServiceQueueWaitWriteUs,
     kServiceTimeReadUs,     kServiceTimeWriteUs,     kServiceWriteBatchSize,
     kIndexQueryUs,          kIndexQuerySelectivityPct,
+    kConsistencyParallelLevels, kConsistencyParallelWidth,
+    kConsistencyParallelBarrierWaitNs,
 };
 inline constexpr const char* kAllSpans[] = {
     kSpanConsistencyPass,

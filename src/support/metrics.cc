@@ -26,6 +26,12 @@ MetricsRegistry& MetricsRegistry::Global() {
         unit = "requests";
       } else if (n.size() >= 4 && n.compare(n.size() - 4, 4, "_pct") == 0) {
         unit = "pct";
+      } else if (n.size() >= 3 && n.compare(n.size() - 3, 3, "_ns") == 0) {
+        unit = "ns";
+      } else if (n.size() >= 7 && n.compare(n.size() - 7, 7, "_levels") == 0) {
+        unit = "levels";
+      } else if (n.size() >= 6 && n.compare(n.size() - 6, 6, "_width") == 0) {
+        unit = "dirs";
       }
       r->GetHistogram(n, unit);
     }

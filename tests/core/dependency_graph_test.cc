@@ -153,6 +153,63 @@ TEST(DependencyGraphTest, FullTopoOrderIsValid) {
   }
 }
 
+TEST(DependencyGraphTest, AffectedInLevelsGroupsTheDiamondByDepth) {
+  DependencyGraph g;
+  // 1 <- 2, 1 <- 3, {2,3} <- 4: the classic diamond plus a bystander 5.
+  for (DirUid u = 1; u <= 5; ++u) {
+    ASSERT_TRUE(g.AddNode(u).ok());
+  }
+  ASSERT_TRUE(g.SetDependencies(2, {1}).ok());
+  ASSERT_TRUE(g.SetDependencies(3, {1}).ok());
+  ASSERT_TRUE(g.SetDependencies(4, {2, 3}).ok());
+
+  auto levels = g.AffectedInLevels({1});
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], std::vector<DirUid>{1});
+  EXPECT_EQ(levels[1], (std::vector<DirUid>{2, 3}));  // independent: one wavefront
+  EXPECT_EQ(levels[2], std::vector<DirUid>{4});
+  // The bystander is untouched; an edit at a leaf affects only itself.
+  EXPECT_EQ(g.AffectedInLevels({5}), std::vector<std::vector<DirUid>>{{5}});
+  EXPECT_EQ(g.AffectedInLevels({4}), std::vector<std::vector<DirUid>>{{4}});
+}
+
+TEST(DependencyGraphTest, FullLevelsFlattenToAValidTopoOrder) {
+  DependencyGraph g;
+  for (DirUid u = 1; u <= 6; ++u) {
+    ASSERT_TRUE(g.AddNode(u).ok());
+  }
+  ASSERT_TRUE(g.SetDependencies(2, {1}).ok());
+  ASSERT_TRUE(g.SetDependencies(3, {1, 2}).ok());
+  ASSERT_TRUE(g.SetDependencies(4, {3}).ok());
+  ASSERT_TRUE(g.SetDependencies(5, {1}).ok());
+  ASSERT_TRUE(g.SetDependencies(6, {5, 4}).ok());
+
+  auto levels = g.FullLevels();
+  std::unordered_map<DirUid, size_t> level_of;
+  size_t total = 0;
+  for (size_t l = 0; l < levels.size(); ++l) {
+    EXPECT_TRUE(std::is_sorted(levels[l].begin(), levels[l].end()));
+    for (DirUid u : levels[l]) {
+      level_of[u] = l;
+      ++total;
+    }
+  }
+  ASSERT_EQ(total, 6u);
+  // Longest-path leveling: every dependency sits in a strictly earlier level, and a
+  // node's level is exactly 1 + max over its deps (so wavefronts are as wide as the
+  // DAG allows).
+  for (DirUid u = 1; u <= 6; ++u) {
+    size_t max_dep_level = 0;
+    bool has_dep = false;
+    for (DirUid dep : g.DependenciesOf(u)) {
+      EXPECT_LT(level_of[dep], level_of[u]) << dep << " must precede " << u;
+      max_dep_level = std::max(max_dep_level, level_of[dep]);
+      has_dep = true;
+    }
+    EXPECT_EQ(level_of[u], has_dep ? max_dep_level + 1 : 0u) << u;
+  }
+}
+
 class RandomDagTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(RandomDagTest, RandomEdgeInsertionNeverCreatesCycle) {

@@ -1,0 +1,216 @@
+// Determinism of wavefront-parallel propagation: the same mutation sequence run
+// through a serial engine (parallelism = 1) and a level-parallel engine (widths
+// 2/4/8) must produce byte-identical SaveState() images — same links, same link
+// classes, same inode allocation order, same epochs-visible state. The stress
+// variants at the bottom run under the TSan gate (parallel_consistency_tsan_gate)
+// so plan-phase races are caught, not just wrong answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/hac_file_system.h"
+#include "src/support/rng.h"
+
+namespace hac {
+namespace {
+
+constexpr const char* kVocab[] = {"alpha", "bravo",  "cargo", "delta",
+                                  "ember", "fresco", "gable", "harbor"};
+constexpr size_t kVocabSize = sizeof(kVocab) / sizeof(kVocab[0]);
+
+HacFileSystem MakeFs(size_t parallelism) {
+  HacOptions options;
+  options.consistency = ConsistencyMode::kIncremental;
+  options.parallelism = parallelism;
+  return HacFileSystem(options);
+}
+
+std::vector<std::string> Names(HacFileSystem& fs, const std::string& dir) {
+  std::vector<std::string> out;
+  auto entries = fs.ReadDir(dir);
+  EXPECT_TRUE(entries.ok()) << dir;
+  if (entries.ok()) {
+    for (const auto& e : entries.value()) {
+      out.push_back(e.name);
+    }
+  }
+  return out;
+}
+
+// The scripted diamond workload: build the classic /src -> {/left,/right} -> /join
+// DAG, then hit it with the full mutation repertoire (content edits, pins, query
+// changes, batches, unpins).
+void RunDiamondWorkload(HacFileSystem& fs) {
+  ASSERT_TRUE(fs.Mkdir("/docs").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/fp_img.txt", "fingerprint image ridge pixel").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/fp_crime.txt", "fingerprint murder evidence").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/img_only.txt", "image pixel raster").ok());
+  ASSERT_TRUE(fs.WriteFile("/docs/recipe.txt", "butter flour oven").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+
+  ASSERT_TRUE(fs.SMkdir("/src", "fingerprint").ok());
+  ASSERT_TRUE(fs.SMkdir("/left", "ALL AND dir(/src)").ok());
+  ASSERT_TRUE(fs.SMkdir("/right", "NOT murder AND dir(/src)").ok());
+  ASSERT_TRUE(fs.SMkdir("/join", "dir(/left) OR dir(/right)").ok());
+  (void)fs.ReadDir("/join");  // settle
+
+  ASSERT_TRUE(fs.WriteFile("/docs/new_case.txt", "fingerprint sailing regatta").ok());
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.Symlink("/docs/recipe.txt", "/src/pinned.txt").ok());
+  {
+    BatchScope batch(fs);
+    ASSERT_TRUE(fs.WriteFile("/docs/fp_img.txt", "image pixel only now").ok());
+    ASSERT_TRUE(fs.Symlink("/docs/img_only.txt", "/left/extra.txt").ok());
+    ASSERT_TRUE(batch.Commit().ok());
+  }
+  ASSERT_TRUE(fs.Reindex().ok());
+  ASSERT_TRUE(fs.SetQuery("/src", "image").ok());
+  ASSERT_TRUE(fs.Unlink("/src/pinned.txt").ok());
+  (void)fs.ReadDir("/join");
+}
+
+// A seeded random workload: a DAG of semantic directories whose queries reference
+// strictly earlier directories (so edge insertion can never cycle), then a churn
+// phase mixing content edits, pins, query rewrites, and batched mutation groups.
+// Everything is driven off the seed, so two file systems given the same seed see an
+// identical call sequence.
+std::vector<std::string> RunRandomWorkload(HacFileSystem& fs, uint64_t seed,
+                                           size_t num_docs, size_t num_dirs,
+                                           int churn_steps) {
+  Rng rng(seed);
+  auto random_text = [&rng] {
+    std::string text;
+    for (int w = 0; w < 4; ++w) {
+      text += std::string(kVocab[rng.NextBelow(kVocabSize)]) + " ";
+    }
+    return text;
+  };
+
+  EXPECT_TRUE(fs.Mkdir("/docs").ok());
+  for (size_t i = 0; i < num_docs; ++i) {
+    EXPECT_TRUE(fs.WriteFile("/docs/d" + std::to_string(i) + ".txt", random_text()).ok());
+  }
+  EXPECT_TRUE(fs.Reindex().ok());
+
+  std::vector<std::string> dirs;
+  for (size_t i = 0; i < num_dirs; ++i) {
+    std::string path = "/q" + std::to_string(i);
+    std::string query = kVocab[rng.NextBelow(kVocabSize)];
+    if (!dirs.empty()) {
+      const size_t refs = rng.NextBelow(std::min<size_t>(dirs.size(), 3) + 1);
+      for (size_t r = 0; r < refs; ++r) {
+        query += std::string(rng.NextBool(0.5) ? " OR dir(" : " AND dir(") +
+                 dirs[rng.NextBelow(dirs.size())] + ")";
+      }
+    }
+    EXPECT_TRUE(fs.SMkdir(path, query).ok()) << path << ": " << query;
+    dirs.push_back(path);
+  }
+
+  for (int step = 0; step < churn_steps; ++step) {
+    switch (rng.NextBelow(4)) {
+      case 0: {  // rewrite a document and reindex
+        std::string doc = "/docs/d" + std::to_string(rng.NextBelow(num_docs)) + ".txt";
+        EXPECT_TRUE(fs.WriteFile(doc, random_text()).ok());
+        EXPECT_TRUE(fs.Reindex().ok());
+        break;
+      }
+      case 1: {  // pin a document into a random semantic directory
+        std::string doc = "/docs/d" + std::to_string(rng.NextBelow(num_docs)) + ".txt";
+        std::string link =
+            dirs[rng.NextBelow(dirs.size())] + "/pin" + std::to_string(step) + ".txt";
+        EXPECT_TRUE(fs.Symlink(doc, link).ok()) << link;
+        break;
+      }
+      case 2: {  // rewrite a query; dir() refs only point at earlier dirs (no cycles)
+        const size_t target = rng.NextBelow(dirs.size());
+        std::string query = kVocab[rng.NextBelow(kVocabSize)];
+        if (target > 0 && rng.NextBool(0.5)) {
+          query += " OR dir(" + dirs[rng.NextBelow(target)] + ")";
+        }
+        EXPECT_TRUE(fs.SetQuery(dirs[target], query).ok()) << dirs[target] << ": " << query;
+        break;
+      }
+      default: {  // a batched group of edits flushed as one propagation pass
+        BatchScope batch(fs);
+        for (int j = 0; j < 3; ++j) {
+          std::string doc = "/docs/d" + std::to_string(rng.NextBelow(num_docs)) + ".txt";
+          EXPECT_TRUE(fs.WriteFile(doc, random_text()).ok());
+        }
+        EXPECT_TRUE(batch.Commit().ok());
+        EXPECT_TRUE(fs.Reindex().ok());
+        break;
+      }
+    }
+  }
+  for (const std::string& d : dirs) {
+    (void)fs.ReadDir(d);  // settle every directory before fingerprinting
+  }
+  return dirs;
+}
+
+// Readable first, exhaustive second: compare per-directory link names (small, easy
+// to eyeball on failure), then require the full serialized state to be byte-equal.
+void ExpectIdenticalState(HacFileSystem& serial, HacFileSystem& parallel,
+                          const std::vector<std::string>& dirs, size_t width) {
+  for (const std::string& d : dirs) {
+    EXPECT_EQ(Names(parallel, d), Names(serial, d)) << "width " << width << " at " << d;
+  }
+  EXPECT_EQ(parallel.SaveState(), serial.SaveState())
+      << "state image diverged at width " << width;
+}
+
+TEST(ParallelConsistencyTest, DiamondIdenticalAcrossWidths) {
+  HacFileSystem serial = MakeFs(1);
+  EXPECT_EQ(serial.propagation_width(), 1u);
+  EXPECT_EQ(serial.propagation_pool(), nullptr);
+  RunDiamondWorkload(serial);
+  if (::testing::Test::HasFatalFailure()) {
+    return;
+  }
+  const std::vector<std::string> dirs = {"/src", "/left", "/right", "/join", "/docs"};
+  for (size_t width : {2u, 4u, 8u}) {
+    HacFileSystem parallel = MakeFs(width);
+    EXPECT_EQ(parallel.propagation_width(), width);
+    ASSERT_NE(parallel.propagation_pool(), nullptr);
+    RunDiamondWorkload(parallel);
+    ExpectIdenticalState(serial, parallel, dirs, width);
+  }
+}
+
+class ParallelRandomDagTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelRandomDagTest, RandomDagIdenticalAcrossWidths) {
+  HacFileSystem serial = MakeFs(1);
+  const std::vector<std::string> dirs =
+      RunRandomWorkload(serial, GetParam(), /*num_docs=*/16, /*num_dirs=*/8,
+                        /*churn_steps=*/24);
+  for (size_t width : {2u, 4u, 8u}) {
+    HacFileSystem parallel = MakeFs(width);
+    EXPECT_EQ(parallel.propagation_width(), width);
+    RunRandomWorkload(parallel, GetParam(), 16, 8, 24);
+    ExpectIdenticalState(serial, parallel, dirs, width);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelRandomDagTest, ::testing::Values(3, 11, 27));
+
+// The TSan workhorse: a wider DAG with heavier churn at width 8, so plan-phase
+// evaluations genuinely overlap. Correctness is still checked against serial —
+// under TSan the interesting output is the race report, not the diff.
+TEST(ParallelConsistencyStressTest, HighWidthRandomChurn) {
+  constexpr uint64_t kSeed = 4242;
+  HacFileSystem serial = MakeFs(1);
+  const std::vector<std::string> dirs =
+      RunRandomWorkload(serial, kSeed, /*num_docs=*/32, /*num_dirs=*/20,
+                        /*churn_steps=*/48);
+  HacFileSystem parallel = MakeFs(8);
+  RunRandomWorkload(parallel, kSeed, 32, 20, 48);
+  ExpectIdenticalState(serial, parallel, dirs, 8);
+}
+
+}  // namespace
+}  // namespace hac

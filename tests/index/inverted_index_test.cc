@@ -155,5 +155,72 @@ TEST_F(InvertedIndexTest, StopwordsNeverMatch) {
   EXPECT_TRUE(Eval(idx_, "the", Bitmap::AllUpTo(12)).Empty());
 }
 
+// --- fast-path equivalence: sparse scopes and sorted-id term intersection ---
+//
+// The kTerm sparse-scope probe and the kAnd galloping intersection are pure
+// evaluation-strategy choices; these tests build corpora on both sides of the
+// density thresholds and require identical answers.
+
+class FastPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // "common" in every doc, "rare" in every 40th (50 docs), "sparse" in two docs —
+    // wide id space (kDocs >> posting sizes) so the density cutover triggers, and
+    // |rare| >= kGallopSkew * |sparse| so their AND takes the galloping path.
+    for (uint32_t doc = 0; doc < kDocs; ++doc) {
+      std::string text = "common filler";
+      if (doc % 40 == 0) {
+        text += " rare";
+      }
+      if (doc == 800 || doc == 1111) {
+        text += " sparse";
+      }
+      ASSERT_TRUE(idx_.IndexDocument(doc, text).ok());
+    }
+  }
+
+  static constexpr uint32_t kDocs = 2000;
+  InvertedIndex idx_;
+};
+
+TEST_F(FastPathTest, SparseScopeProbeMatchesBitmapPath) {
+  // |scope| * 8 < |postings("common")| = 2000: takes the probe path.
+  Bitmap sparse_scope;
+  sparse_scope.Set(0);
+  sparse_scope.Set(40);
+  sparse_scope.Set(41);
+  sparse_scope.Set(1999);
+  EXPECT_EQ(Eval(idx_, "common", sparse_scope), sparse_scope);
+  EXPECT_EQ(Eval(idx_, "rare", sparse_scope).ToIds(), (std::vector<uint32_t>{0, 40}));
+  // A dense scope takes the bitmap path; results must agree on the overlap.
+  Bitmap dense_scope = Bitmap::AllUpTo(kDocs);
+  Bitmap dense_rare = Eval(idx_, "rare", dense_scope);
+  EXPECT_EQ(dense_rare.Count(), kDocs / 40);
+  Bitmap narrowed = dense_rare;
+  narrowed &= sparse_scope;
+  EXPECT_EQ(Eval(idx_, "rare", sparse_scope), narrowed);
+}
+
+TEST_F(FastPathTest, SortedIdAndMatchesGenericEvaluation) {
+  Bitmap scope = Bitmap::AllUpTo(kDocs);
+  // rare(50) AND sparse(2): combined density below the cutover AND a >= kGallopSkew
+  // size skew — the galloping sorted-id path. 800 = 40*20 is in both.
+  EXPECT_EQ(Eval(idx_, "rare AND sparse", scope).ToIds(), std::vector<uint32_t>{800});
+  // sparse AND common: combined size ~kDocs, too dense — the generic bitmap path.
+  // Both strategies must agree.
+  EXPECT_EQ(Eval(idx_, "sparse AND common", scope).ToIds(),
+            (std::vector<uint32_t>{800, 1111}));
+  // Restricted scope: the scope filter applies after intersection.
+  Bitmap half = Bitmap::AllUpTo(1000);
+  EXPECT_EQ(Eval(idx_, "rare AND sparse", half).ToIds(), std::vector<uint32_t>{800});
+  // Reference: the same AND via public TermDocs bitmaps.
+  Bitmap want = idx_.TermDocs("rare");
+  want &= idx_.TermDocs("sparse");
+  want &= scope;
+  EXPECT_EQ(Eval(idx_, "rare AND sparse", scope), want);
+  // Unknown operand short-circuits to empty.
+  EXPECT_TRUE(Eval(idx_, "rare AND nonexistent", scope).Empty());
+}
+
 }  // namespace
 }  // namespace hac

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "src/support/rng.h"
+
 namespace hac {
 namespace {
 
@@ -65,6 +71,62 @@ TEST(PostingListTest, ToBitmapRoundTrip) {
   p.Add(64);
   p.Add(1000);
   EXPECT_EQ(p.ToBitmap().ToIds(), (std::vector<uint32_t>{0, 64, 1000}));
+}
+
+// Reference intersection for the IntersectSorted checks.
+std::vector<uint32_t> NaiveIntersect(const std::vector<uint32_t>& a,
+                                     const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+TEST(PostingListTest, IntersectSortedMergePath) {
+  // Comparable sizes (below the kGallopSkew ratio) take the linear merge.
+  std::vector<uint32_t> a = {1, 3, 5, 7, 9, 11};
+  std::vector<uint32_t> b = {2, 3, 4, 7, 10, 11, 12};
+  EXPECT_EQ(PostingList::IntersectSorted(a, b), NaiveIntersect(a, b));
+  EXPECT_EQ(PostingList::IntersectSorted(b, a), NaiveIntersect(a, b));
+  EXPECT_TRUE(PostingList::IntersectSorted(a, {}).empty());
+  EXPECT_TRUE(PostingList::IntersectSorted({}, b).empty());
+}
+
+TEST(PostingListTest, IntersectSortedGallopingPathMatchesNaive) {
+  // One operand kGallopSkew× the other forces the exponential-search path.
+  std::vector<uint32_t> small = {0, 500, 999, 4242, 9999};
+  std::vector<uint32_t> large;
+  for (uint32_t i = 0; i < 10000; i += 3) {
+    large.push_back(i);  // multiples of 3: hits 0, 999, 4242, 9999
+  }
+  ASSERT_GE(large.size(), small.size() * PostingList::kGallopSkew);
+  EXPECT_EQ(PostingList::IntersectSorted(small, large), NaiveIntersect(small, large));
+  EXPECT_EQ(PostingList::IntersectSorted(large, small), NaiveIntersect(small, large));
+  // Small ids beyond the large list's tail must not read past the end.
+  std::vector<uint32_t> past_end = {5, 20000, 30000};
+  EXPECT_EQ(PostingList::IntersectSorted(past_end, large),
+            NaiveIntersect(past_end, large));
+}
+
+TEST(PostingListTest, IntersectSortedRandomizedEquivalence) {
+  Rng rng(1234);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<uint32_t> a, b;
+    const size_t na = rng.NextInRange(0, 80);
+    const size_t nb = rng.NextBool(0.5) ? rng.NextInRange(0, 80)
+                                        : rng.NextInRange(500, 3000);  // force skew
+    uint32_t x = 0;
+    for (size_t i = 0; i < na; ++i) {
+      x += static_cast<uint32_t>(rng.NextInRange(1, 40));
+      a.push_back(x);
+    }
+    x = 0;
+    for (size_t i = 0; i < nb; ++i) {
+      x += static_cast<uint32_t>(rng.NextInRange(1, 5));
+      b.push_back(x);
+    }
+    EXPECT_EQ(PostingList::IntersectSorted(a, b), NaiveIntersect(a, b)) << round;
+  }
 }
 
 }  // namespace
