@@ -1,11 +1,16 @@
 // Service-layer throughput: closed-loop clients against one HacService.
 //
 // For each client-thread count (1, 2, 4, 8) and each request mix (read-heavy 95/5,
-// mixed 70/30), N threads each run a ServiceClient issuing requests back-to-back over
-// a pre-built semantic corpus. Reported per row: aggregate ops/sec, request-latency
+// mixed 70/30), N threads each run a client issuing requests back-to-back over a
+// pre-built semantic corpus. Reported per row: aggregate ops/sec, request-latency
 // p50/p95/p99, and the writer's observed mean batch size (the write-batching payoff:
 // concurrent mutations share one propagation pass, so mean batch size grows with
 // contention even when cores do not).
+//
+// --transport=inprocess (default) drives ServiceClient directly;
+// --transport=tcp starts a loopback TcpServer and gives every thread its own
+// RemoteServiceClient, so a row's delta vs the in-process row is the full wire
+// cost (encode + loopback round-trip + decode); --transport=both runs both.
 //
 // --hac_json prints the same rows as a JSON document (see EXPERIMENTS.md), including
 // the read-heavy 1->8 thread scaling factor. Scaling on a single-core host measures
@@ -24,6 +29,8 @@
 #include "bench/bench_util.h"
 #include "src/server/client.h"
 #include "src/server/hac_service.h"
+#include "src/server/tcp_client.h"
+#include "src/server/tcp_server.h"
 #include "src/workload/corpus.h"
 
 namespace hac {
@@ -33,6 +40,12 @@ struct MixSpec {
   const char* name;
   int write_percent;  // of requests
 };
+
+enum class Transport { kInProcess, kTcp };
+
+const char* TransportName(Transport t) {
+  return t == Transport::kInProcess ? "inprocess" : "tcp";
+}
 
 struct RunResult {
   int threads = 0;
@@ -73,7 +86,8 @@ double Percentile(std::vector<double>& sorted_us, double p) {
   return sorted_us[idx];
 }
 
-RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread) {
+RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread,
+                        Transport transport) {
   auto fs = BuildCorpusFs();
   auto d0 = fs->ReadDir("/corpus/d0");
   if (!d0.ok() || d0.value().empty()) {
@@ -83,6 +97,23 @@ RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread) {
   ServiceOptions sopts;
   sopts.read_workers = static_cast<size_t>(threads);
   HacService service(*fs, sopts);
+  std::unique_ptr<TcpServer> server;
+  if (transport == Transport::kTcp) {
+    server = std::make_unique<TcpServer>(service);
+    if (!server->Start().ok()) {
+      std::abort();
+    }
+  }
+  auto new_client = [&]() -> std::unique_ptr<ClientApi> {
+    if (transport == Transport::kInProcess) {
+      return std::make_unique<ServiceClient>(service);
+    }
+    auto remote = std::make_unique<RemoteServiceClient>();
+    if (!remote->Connect("127.0.0.1", server->port()).ok()) {
+      std::abort();
+    }
+    return remote;
+  };
   const auto& topics = CorpusTopics();
 
   std::vector<std::vector<double>> latencies(static_cast<size_t>(threads));
@@ -91,7 +122,8 @@ RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread) {
   wall.Start();
   for (int t = 0; t < threads; ++t) {
     workers.emplace_back([&, t] {
-      ServiceClient client(service);
+      std::unique_ptr<ClientApi> client_ptr = new_client();
+      ClientApi& client = *client_ptr;
       auto& lat = latencies[static_cast<size_t>(t)];
       lat.reserve(static_cast<size_t>(ops_per_thread));
       uint64_t rng = 0x9e3779b97f4a7c15ull + static_cast<uint64_t>(t);
@@ -154,41 +186,47 @@ RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread) {
   return r;
 }
 
-int RunAll(bool json) {
+int RunAll(bool json, const std::vector<Transport>& transports) {
   const int ops_per_thread = PaperScale() ? 2000 : 250;
   const std::vector<int> thread_counts = {1, 2, 4, 8};
   const std::vector<MixSpec> mixes = {{"read_heavy", 5}, {"mixed", 30}};
 
   std::vector<JsonObject> rows;
-  TablePrinter table({"mix", "threads", "ops/sec", "p50us", "p95us", "p99us",
-                      "mean_write_batch"});
+  TablePrinter table({"transport", "mix", "threads", "ops/sec", "p50us", "p95us",
+                      "p99us", "mean_write_batch"});
   double read_heavy_1 = 0, read_heavy_8 = 0;
-  for (const auto& mix : mixes) {
-    for (int threads : thread_counts) {
-      RunResult r = RunClosedLoop(threads, mix, ops_per_thread);
-      if (std::strcmp(mix.name, "read_heavy") == 0) {
-        if (threads == 1) {
-          read_heavy_1 = r.ops_per_sec;
+  for (Transport transport : transports) {
+    for (const auto& mix : mixes) {
+      for (int threads : thread_counts) {
+        RunResult r = RunClosedLoop(threads, mix, ops_per_thread, transport);
+        // The headline scaling number stays the in-process one (lock/queue
+        // overhead only, comparable across PRs).
+        if (transport == Transport::kInProcess &&
+            std::strcmp(mix.name, "read_heavy") == 0) {
+          if (threads == 1) {
+            read_heavy_1 = r.ops_per_sec;
+          }
+          if (threads == 8) {
+            read_heavy_8 = r.ops_per_sec;
+          }
         }
-        if (threads == 8) {
-          read_heavy_8 = r.ops_per_sec;
-        }
+        table.AddRow({TransportName(transport), mix.name, std::to_string(threads),
+                      Fmt(r.ops_per_sec, 0), Fmt(r.p50_us, 1), Fmt(r.p95_us, 1),
+                      Fmt(r.p99_us, 1), Fmt(r.mean_batch, 2)});
+        JsonObject row;
+        row.Add("transport", TransportName(transport))
+            .Add("mix", mix.name)
+            .Add("threads", r.threads)
+            .Add("total_ops", r.total_ops)
+            .Add("ops_per_sec", r.ops_per_sec)
+            .Add("p50_us", r.p50_us)
+            .Add("p95_us", r.p95_us)
+            .Add("p99_us", r.p99_us)
+            .Add("executed_writes", r.executed_writes)
+            .Add("write_batches", r.write_batches)
+            .Add("mean_write_batch", r.mean_batch);
+        rows.push_back(row);
       }
-      table.AddRow({mix.name, std::to_string(threads), Fmt(r.ops_per_sec, 0),
-                    Fmt(r.p50_us, 1), Fmt(r.p95_us, 1), Fmt(r.p99_us, 1),
-                    Fmt(r.mean_batch, 2)});
-      JsonObject row;
-      row.Add("mix", mix.name)
-          .Add("threads", r.threads)
-          .Add("total_ops", r.total_ops)
-          .Add("ops_per_sec", r.ops_per_sec)
-          .Add("p50_us", r.p50_us)
-          .Add("p95_us", r.p95_us)
-          .Add("p99_us", r.p99_us)
-          .Add("executed_writes", r.executed_writes)
-          .Add("write_batches", r.write_batches)
-          .Add("mean_write_batch", r.mean_batch);
-      rows.push_back(row);
     }
   }
   double scaling = read_heavy_1 <= 0 ? 0 : read_heavy_8 / read_heavy_1;
@@ -204,8 +242,11 @@ int RunAll(bool json) {
     out.Print();
   } else {
     table.Print();
-    std::printf("\nread-heavy scaling 1->8 threads: %.2fx (on %u hardware threads)\n",
-                scaling, std::thread::hardware_concurrency());
+    if (read_heavy_1 > 0) {
+      std::printf(
+          "\nread-heavy scaling 1->8 threads: %.2fx (on %u hardware threads)\n",
+          scaling, std::thread::hardware_concurrency());
+    }
   }
   return 0;
 }
@@ -215,10 +256,17 @@ int RunAll(bool json) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  std::vector<hac::Transport> transports = {hac::Transport::kInProcess};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hac_json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--transport=tcp") == 0) {
+      transports = {hac::Transport::kTcp};
+    } else if (std::strcmp(argv[i], "--transport=inprocess") == 0) {
+      transports = {hac::Transport::kInProcess};
+    } else if (std::strcmp(argv[i], "--transport=both") == 0) {
+      transports = {hac::Transport::kInProcess, hac::Transport::kTcp};
     }
   }
-  return hac::RunAll(json);
+  return hac::RunAll(json, transports);
 }

@@ -79,7 +79,7 @@ int main() {
   std::printf("\nafter creating scanner.txt + reindex:\n");
   ListDir(fs, "/home/fp");
 
-  hac::HacStats stats = fs.Stats();
+  hac::StatsSnapshot stats = fs.Stats();
   std::printf("\nstats: %llu query evaluations, %llu links added, %llu docs indexed\n",
               static_cast<unsigned long long>(stats.query_evaluations),
               static_cast<unsigned long long>(stats.transient_links_added),

@@ -8,9 +8,6 @@
 // Field names are unchanged; ++ maps onto an atomic RMW, plain reads onto loads, and
 // copying takes a relaxed field-by-field snapshot — so a StatsSnapshot returned by
 // Stats() still behaves like the plain value type it always was.
-//
-// `HacStats` remains as a deprecated alias for one release so existing callers keep
-// compiling; new code should say StatsSnapshot.
 #ifndef HAC_CORE_STATS_SNAPSHOT_H_
 #define HAC_CORE_STATS_SNAPSHOT_H_
 
@@ -80,9 +77,6 @@ struct StatsSnapshot {
     vfs = other.vfs;
   }
 };
-
-// Deprecated: kept for one release; use StatsSnapshot.
-using HacStats = StatsSnapshot;
 
 }  // namespace hac
 

@@ -13,297 +13,8 @@ ServiceClient::~ServiceClient() {
   }
 }
 
-ServerResponse ServiceClient::Call(ServerRequest req) {
+ServerResponse ServiceClient::Transport(ServerRequest req) {
   return service_.Call(session_, std::move(req));
-}
-
-Result<void> ServiceClient::VoidCall(ServerRequest req) {
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return OkResult();
-}
-
-Result<std::vector<DirEntry>> ServiceClient::ReadDir(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kReadDir;
-  req.path = path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.entries);
-}
-
-Result<Stat> ServiceClient::StatPath(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kStat;
-  req.path = path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return resp.st;
-}
-
-Result<Stat> ServiceClient::LstatPath(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kLstat;
-  req.path = path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return resp.st;
-}
-
-Result<Fd> ServiceClient::Open(const std::string& path, uint32_t flags) {
-  ServerRequest req;
-  req.op = ServerOp::kOpen;
-  req.path = path;
-  req.flags = flags;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return resp.fd;
-}
-
-Result<void> ServiceClient::Close(Fd fd) {
-  ServerRequest req;
-  req.op = ServerOp::kClose;
-  req.fd = fd;
-  return VoidCall(std::move(req));
-}
-
-Result<std::string> ServiceClient::Read(Fd fd, size_t max_bytes) {
-  ServerRequest req;
-  req.op = ServerOp::kReadFd;
-  req.fd = fd;
-  req.size = max_bytes;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.text);
-}
-
-Result<uint64_t> ServiceClient::Seek(Fd fd, uint64_t offset) {
-  ServerRequest req;
-  req.op = ServerOp::kSeek;
-  req.fd = fd;
-  req.size = offset;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return resp.size;
-}
-
-Result<size_t> ServiceClient::Write(Fd fd, const std::string& bytes) {
-  ServerRequest req;
-  req.op = ServerOp::kWriteFd;
-  req.fd = fd;
-  req.aux = bytes;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return static_cast<size_t>(resp.size);
-}
-
-Result<void> ServiceClient::WriteFile(const std::string& path,
-                                      const std::string& content) {
-  ServerRequest req;
-  req.op = ServerOp::kWriteFile;
-  req.path = path;
-  req.aux = content;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Mkdir(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kMkdir;
-  req.path = path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Unlink(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kUnlink;
-  req.path = path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Rmdir(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kRmdir;
-  req.path = path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Rename(const std::string& from, const std::string& to) {
-  ServerRequest req;
-  req.op = ServerOp::kRename;
-  req.path = from;
-  req.aux = to;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Symlink(const std::string& target,
-                                    const std::string& link_path) {
-  ServerRequest req;
-  req.op = ServerOp::kSymlink;
-  req.path = link_path;
-  req.aux = target;
-  return VoidCall(std::move(req));
-}
-
-Result<std::string> ServiceClient::ReadLink(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kReadLink;
-  req.path = path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.text);
-}
-
-Result<std::string> ServiceClient::Chdir(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kChdir;
-  req.path = path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.text);
-}
-
-Result<void> ServiceClient::SMkdir(const std::string& path, const std::string& query) {
-  ServerRequest req;
-  req.op = ServerOp::kSMkdir;
-  req.path = path;
-  req.aux = query;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::SetQuery(const std::string& path, const std::string& query) {
-  ServerRequest req;
-  req.op = ServerOp::kSetQuery;
-  req.path = path;
-  req.aux = query;
-  return VoidCall(std::move(req));
-}
-
-Result<std::string> ServiceClient::GetQuery(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kGetQuery;
-  req.path = path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.text);
-}
-
-Result<std::vector<std::string>> ServiceClient::Search(const std::string& query,
-                                                       const std::string& scope_dir) {
-  ServerRequest req;
-  req.op = ServerOp::kSearch;
-  req.path = scope_dir;
-  req.aux = query;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.paths);
-}
-
-Result<LinkClassView> ServiceClient::GetLinkClasses(const std::string& dir_path) {
-  ServerRequest req;
-  req.op = ServerOp::kGetLinkClasses;
-  req.path = dir_path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.links);
-}
-
-Result<void> ServiceClient::PromoteLink(const std::string& link_path) {
-  ServerRequest req;
-  req.op = ServerOp::kPromoteLink;
-  req.path = link_path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::DemoteLink(const std::string& link_path) {
-  ServerRequest req;
-  req.op = ServerOp::kDemoteLink;
-  req.path = link_path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Prohibit(const std::string& dir_path,
-                                     const std::string& file_path) {
-  ServerRequest req;
-  req.op = ServerOp::kProhibit;
-  req.path = dir_path;
-  req.aux = file_path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Unprohibit(const std::string& dir_path,
-                                       const std::string& file_path) {
-  ServerRequest req;
-  req.op = ServerOp::kUnprohibit;
-  req.path = dir_path;
-  req.aux = file_path;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::Reindex() {
-  ServerRequest req;
-  req.op = ServerOp::kReindex;
-  return VoidCall(std::move(req));
-}
-
-Result<void> ServiceClient::SSync(const std::string& path) {
-  ServerRequest req;
-  req.op = ServerOp::kSSync;
-  req.path = path;
-  return VoidCall(std::move(req));
-}
-
-Result<std::vector<std::string>> ServiceClient::SAct(const std::string& link_path) {
-  ServerRequest req;
-  req.op = ServerOp::kSAct;
-  req.path = link_path;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.paths);
-}
-
-StatsSnapshot ServiceClient::Stats() {
-  ServerRequest req;
-  req.op = ServerOp::kStats;
-  return Call(std::move(req)).stats;
-}
-
-Result<std::string> ServiceClient::Introspect(const std::string& what) {
-  ServerRequest req;
-  req.op = ServerOp::kIntrospect;
-  req.aux = what;
-  ServerResponse resp = Call(std::move(req));
-  if (!resp.ok()) {
-    return resp.error;
-  }
-  return std::move(resp.text);
 }
 
 }  // namespace hac

@@ -1,25 +1,26 @@
-// ServiceClient: a thin synchronous client of HacService — what a library consumer
-// (or an RPC shim) would use per connection. It owns one Session, translates typed
-// calls into ServerRequests, and blocks on the service's future for each call, so a
-// client observes its own writes in program order (the service completes a write's
-// future only after its batch has committed).
+// ServiceClient: the in-process ClientApi implementation — what a library consumer
+// (or the TCP transport's server side) uses per connection. It owns one Session and
+// its Transport() blocks on the service's future for each call, so a client observes
+// its own writes in program order (the service completes a write's future only after
+// its batch has committed).
 //
 // A ServiceClient must be driven from one thread at a time (matching the session's
-// single-client contract); create one client per concurrent caller.
+// single-client contract); create one client per concurrent caller. For the same
+// surface over the network, see RemoteServiceClient (tcp_client.h).
 #ifndef HAC_SERVER_CLIENT_H_
 #define HAC_SERVER_CLIENT_H_
 
 #include <string>
-#include <vector>
 
+#include "src/server/client_api.h"
 #include "src/server/hac_service.h"
 
 namespace hac {
 
-class ServiceClient {
+class ServiceClient : public RequestClient {
  public:
   explicit ServiceClient(HacService& service);
-  ~ServiceClient();
+  ~ServiceClient() override;
 
   ServiceClient(const ServiceClient&) = delete;
   ServiceClient& operator=(const ServiceClient&) = delete;
@@ -27,50 +28,10 @@ class ServiceClient {
   uint64_t session_id() const { return session_->id(); }
   const std::string& cwd() const { return session_->cwd(); }
 
-  // --- ordinary operations ---
-  Result<std::vector<DirEntry>> ReadDir(const std::string& path);
-  Result<Stat> StatPath(const std::string& path);
-  Result<Stat> LstatPath(const std::string& path);
-  Result<Fd> Open(const std::string& path, uint32_t flags);
-  Result<void> Close(Fd fd);
-  Result<std::string> Read(Fd fd, size_t max_bytes);
-  Result<uint64_t> Seek(Fd fd, uint64_t offset);
-  Result<size_t> Write(Fd fd, const std::string& bytes);
-  Result<void> WriteFile(const std::string& path, const std::string& content);
-  Result<void> Mkdir(const std::string& path);
-  Result<void> Unlink(const std::string& path);
-  Result<void> Rmdir(const std::string& path);
-  Result<void> Rename(const std::string& from, const std::string& to);
-  Result<void> Symlink(const std::string& target, const std::string& link_path);
-  Result<std::string> ReadLink(const std::string& path);
-  Result<std::string> Chdir(const std::string& path);  // returns the new cwd
-
-  // --- semantic operations ---
-  Result<void> SMkdir(const std::string& path, const std::string& query);
-  Result<void> SetQuery(const std::string& path, const std::string& query);
-  Result<std::string> GetQuery(const std::string& path);
-  Result<std::vector<std::string>> Search(const std::string& query,
-                                          const std::string& scope_dir = "/");
-  Result<LinkClassView> GetLinkClasses(const std::string& dir_path);
-  Result<void> PromoteLink(const std::string& link_path);
-  Result<void> DemoteLink(const std::string& link_path);
-  Result<void> Prohibit(const std::string& dir_path, const std::string& file_path);
-  Result<void> Unprohibit(const std::string& dir_path, const std::string& file_path);
-  Result<void> Reindex();
-  Result<void> SSync(const std::string& path);
-  Result<std::vector<std::string>> SAct(const std::string& link_path);
-
-  StatsSnapshot Stats();
-
-  // Process-global observability snapshot as JSON (docs/API.md "Introspection").
-  // `what` is "stats" (metrics registry) or "trace" (Chrome trace_event dump).
-  // Never rejected or shed by admission control.
-  Result<std::string> Introspect(const std::string& what = "stats");
+ protected:
+  ServerResponse Transport(ServerRequest req) override;
 
  private:
-  ServerResponse Call(ServerRequest req);
-  Result<void> VoidCall(ServerRequest req);
-
   HacService& service_;
   Session* session_;
 };

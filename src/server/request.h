@@ -73,6 +73,29 @@ enum class ServerOp : uint8_t {
 
 inline bool IsReadOp(ServerOp op) { return op < ServerOp::kOpen; }
 
+// The highest assigned op. The wire codec and the docs_check gate iterate the enum
+// through this bound; bump it when appending an op (append only — the numeric values
+// are on the wire).
+inline constexpr ServerOp kMaxServerOp = ServerOp::kCloseSession;
+inline constexpr size_t kServerOpCount = static_cast<size_t>(kMaxServerOp) + 1;
+
+// Stable PascalCase identifier for each op, matching the classification table above
+// and the docs/API.md op tables (docs_check cross-checks the two).
+inline constexpr const char* kServerOpNames[kServerOpCount] = {
+    "Ping",        "ReadDir",    "Search",     "Stat",        "Lstat",
+    "ReadFd",      "Seek",       "GetQuery",   "GetLinkClasses", "ReadLink",
+    "Stats",       "Chdir",      "Introspect", "Open",        "Close",
+    "WriteFd",     "WriteFile",  "Mkdir",      "SMkdir",      "SetQuery",
+    "Unlink",      "Rmdir",      "Rename",     "Symlink",     "PromoteLink",
+    "DemoteLink",  "Prohibit",   "Unprohibit", "Reindex",     "SSync",
+    "SAct",        "CloseSession",
+};
+
+inline const char* ServerOpName(ServerOp op) {
+  const auto i = static_cast<size_t>(op);
+  return i < kServerOpCount ? kServerOpNames[i] : "?";
+}
+
 struct ServerRequest {
   ServerOp op = ServerOp::kPing;
   std::string path;   // primary path operand (resolved against the session cwd)

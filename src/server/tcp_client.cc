@@ -1,0 +1,101 @@
+#include "src/server/tcp_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace hac {
+
+RemoteServiceClient::~RemoteServiceClient() { Disconnect(); }
+
+Result<void> RemoteServiceClient::Connect(const std::string& host, uint16_t port) {
+  if (fd_ >= 0) {
+    return Error(ErrorCode::kUnsupported, "already connected");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string ip = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, ip.c_str(), &addr.sin_addr) != 1) {
+    return Error(ErrorCode::kInvalidArgument, "bad address: " + host);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Error(ErrorCode::kBusy, "socket() failed");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Error(ErrorCode::kBusy,
+                 "cannot connect to " + ip + ":" + std::to_string(port));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  decoder_ = FrameDecoder();
+  return OkResult();
+}
+
+void RemoteServiceClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ServerResponse RemoteServiceClient::TransportFailure(ErrorCode code, std::string msg,
+                                                     bool drop) {
+  if (drop) {
+    Disconnect();
+  }
+  ServerResponse resp;
+  resp.error = Error(code, std::move(msg));
+  return resp;
+}
+
+ServerResponse RemoteServiceClient::Transport(ServerRequest req) {
+  if (fd_ < 0) {
+    return TransportFailure(ErrorCode::kOverloaded, "not connected", false);
+  }
+  const std::vector<uint8_t> frame = EncodeRequestFrame(req);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return TransportFailure(ErrorCode::kOverloaded, "connection lost on send", true);
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  uint8_t buf[64 * 1024];
+  for (;;) {
+    auto next = decoder_.Next();
+    if (!next.ok()) {
+      // kCorrupt (damaged bytes) or kUnsupported (version skew) from the decoder.
+      return TransportFailure(next.error().code, next.error().message, true);
+    }
+    if (next.value().has_value()) {
+      FrameDecoder::Frame f = std::move(*next.value());
+      if (f.kind != FrameKind::kResponse) {
+        return TransportFailure(ErrorCode::kCorrupt, "request frame sent to client",
+                                true);
+      }
+      auto resp = DecodeResponsePayload(f.payload);
+      if (!resp.ok()) {
+        return TransportFailure(resp.error().code, resp.error().message, true);
+      }
+      return std::move(resp).value();
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return TransportFailure(ErrorCode::kOverloaded, "connection closed by server",
+                              true);
+    }
+    decoder_.Feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace hac

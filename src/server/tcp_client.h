@@ -1,0 +1,56 @@
+// RemoteServiceClient: the ClientApi implementation that speaks the versioned wire
+// protocol over TCP. Interchangeable with the in-process ServiceClient — both derive
+// the whole typed surface from RequestClient, so code written against ClientApi runs
+// unchanged against a local service or a remote hacd.
+//
+// Synchronous, one in-flight request per connection (strict request→response order —
+// the session contract anyway). Transport-level failures surface through the normal
+// error channel (docs/API.md "Error transport"):
+//
+//   kOverloaded   — not connected, connection refused/lost, short read/write: the
+//                   server is unreachable, same taxonomy as admission-control
+//                   rejection (a caller retries both the same way).
+//   kCorrupt      — the server's bytes failed to decode; the socket is closed.
+//   kUnsupported  — wire version skew; the socket is closed.
+//
+// The destructor disconnects; the server closes the session (and its descriptors)
+// when it sees the connection drop.
+#ifndef HAC_SERVER_TCP_CLIENT_H_
+#define HAC_SERVER_TCP_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/client_api.h"
+#include "src/server/wire.h"
+
+namespace hac {
+
+class RemoteServiceClient : public RequestClient {
+ public:
+  RemoteServiceClient() = default;
+  ~RemoteServiceClient() override;
+
+  RemoteServiceClient(const RemoteServiceClient&) = delete;
+  RemoteServiceClient& operator=(const RemoteServiceClient&) = delete;
+
+  // Connects to a hacd TcpServer. `host` is a dotted-quad IPv4 address (or
+  // "localhost"). kBusy if the connection cannot be established; kInvalidArgument
+  // for a malformed address; kUnsupported if already connected.
+  Result<void> Connect(const std::string& host, uint16_t port);
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+ protected:
+  ServerResponse Transport(ServerRequest req) override;
+
+ private:
+  ServerResponse TransportFailure(ErrorCode code, std::string msg, bool drop);
+
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SERVER_TCP_CLIENT_H_

@@ -1,0 +1,268 @@
+#include "src/server/tcp_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/server/wire.h"
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
+
+namespace hac {
+
+namespace {
+
+struct TransportMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& bytes_in = reg.GetCounter(metric_names::kServerBytesIn);
+  Counter& bytes_out = reg.GetCounter(metric_names::kServerBytesOut);
+  Counter& connections_opened = reg.GetCounter(metric_names::kServerConnectionsOpened);
+  Counter& connections_closed = reg.GetCounter(metric_names::kServerConnectionsClosed);
+  Counter& wire_errors = reg.GetCounter(metric_names::kServerWireErrors);
+  Gauge& open_connections = reg.GetGauge(metric_names::kServerOpenConnections);
+};
+
+TransportMetrics& TM() {
+  static TransportMetrics* m = new TransportMetrics();
+  return *m;
+}
+
+ServerResponse MakeErrorResponse(ErrorCode code, std::string msg) {
+  ServerResponse resp;
+  resp.error = Error(code, std::move(msg));
+  return resp;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(HacService& service, TcpServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Result<void> TcpServer::Start() {
+  if (started_) {
+    return Error(ErrorCode::kUnsupported, "server already started");
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return Error(ErrorCode::kBusy, "socket() failed");
+  }
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCode::kInvalidArgument,
+                 "bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Error(ErrorCode::kBusy, "cannot bind/listen on " + options_.bind_address +
+                                       ":" + std::to_string(options_.port));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+  port_ = ntohs(bound.sin_port);
+
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  return OkResult();
+}
+
+void TcpServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    // Poll with a timeout so Stop() never races fd reuse: the flag is checked
+    // between waits, and the listen fd is closed only after this thread exits.
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) {
+      continue;
+    }
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    ReapFinished();
+    size_t active = 0;
+    for (const auto& c : conns_) {
+      active += c->done.load(std::memory_order_acquire) ? 0 : 1;
+    }
+    if (stopping_.load(std::memory_order_acquire) || active >= options_.max_connections) {
+      ++connections_rejected_;
+      SendFrame(fd, EncodeResponseFrame(MakeErrorResponse(
+                        ErrorCode::kOverloaded, "connection limit reached")));
+      ::close(fd);
+      continue;
+    }
+    auto conn = std::make_unique<Conn>();
+    conn->fd = fd;
+    Conn* raw = conn.get();
+    ++connections_opened_;
+    TM().connections_opened.Inc();
+    TM().open_connections.Add(1);
+    conn->thread = std::thread([this, raw] { ServeConnection(raw); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void TcpServer::ServeConnection(Conn* conn) {
+  Session* session = service_.OpenSession();
+  FrameDecoder decoder;
+  uint8_t buf[64 * 1024];
+  bool fatal = false;
+
+  while (!fatal && !stopping_.load(std::memory_order_acquire)) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      break;  // peer closed (0) or socket error/shutdown (<0)
+    }
+    bytes_in_ += static_cast<uint64_t>(n);
+    TM().bytes_in.Inc(static_cast<uint64_t>(n));
+    decoder.Feed(buf, static_cast<size_t>(n));
+
+    for (;;) {
+      auto next = decoder.Next();
+      if (!next.ok()) {
+        // Framing is unrecoverable: answer with the decode error, then hang up.
+        ++wire_errors_;
+        TM().wire_errors.Inc();
+        SendFrame(conn->fd, EncodeResponseFrame(MakeErrorResponse(
+                                next.error().code, next.error().message)));
+        fatal = true;
+        break;
+      }
+      if (!next.value().has_value()) {
+        break;  // need more bytes
+      }
+      FrameDecoder::Frame frame = std::move(*next.value());
+      ++frames_in_;
+      if (frame.kind != FrameKind::kRequest) {
+        ++wire_errors_;
+        TM().wire_errors.Inc();
+        SendFrame(conn->fd, EncodeResponseFrame(MakeErrorResponse(
+                                ErrorCode::kCorrupt, "response frame sent to server")));
+        fatal = true;
+        break;
+      }
+      auto req = DecodeRequestPayload(frame.payload);
+      ServerResponse resp;
+      if (!req.ok()) {
+        ++wire_errors_;
+        TM().wire_errors.Inc();
+        resp = MakeErrorResponse(req.error().code, req.error().message);
+        fatal = true;  // a payload that lies about its op/fields poisons the stream
+      } else if (req.value().op == ServerOp::kCloseSession) {
+        resp = MakeErrorResponse(ErrorCode::kInvalidArgument,
+                                 "session lifecycle is connection-bound");
+      } else {
+        resp = service_.Call(session, std::move(req).value());
+      }
+      if (!SendFrame(conn->fd, EncodeResponseFrame(resp))) {
+        fatal = true;
+        break;
+      }
+    }
+  }
+
+  (void)service_.CloseSession(session);
+  ::close(conn->fd);
+  ++connections_closed_;
+  TM().connections_closed.Inc();
+  TM().open_connections.Add(-1);
+  conn->done.store(true, std::memory_order_release);
+}
+
+bool TcpServer::SendFrame(int fd, const std::vector<uint8_t>& frame) {
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  ++frames_out_;
+  bytes_out_ += frame.size();
+  TM().bytes_out.Inc(frame.size());
+  return true;
+}
+
+void TcpServer::ReapFinished() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if ((*it)->done.load(std::memory_order_acquire)) {
+      if ((*it)->thread.joinable()) {
+        (*it)->thread.join();
+      }
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void TcpServer::Stop() {
+  if (!started_) {
+    return;
+  }
+  std::call_once(stop_once_, [this] {
+    stopping_.store(true, std::memory_order_release);
+    if (acceptor_.joinable()) {
+      acceptor_.join();
+    }
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) {
+      // Wake the reader thread out of recv(); it closes the fd itself on exit.
+      ::shutdown(c->fd, SHUT_RDWR);
+    }
+    for (auto& c : conns_) {
+      if (c->thread.joinable()) {
+        c->thread.join();
+      }
+    }
+    conns_.clear();
+  });
+}
+
+size_t TcpServer::ActiveConnections() const {
+  std::lock_guard<std::mutex> lk(conns_mu_);
+  size_t active = 0;
+  for (const auto& c : conns_) {
+    active += c->done.load(std::memory_order_acquire) ? 0 : 1;
+  }
+  return active;
+}
+
+TcpServerStats TcpServer::Stats() const {
+  TcpServerStats s;
+  s.connections_opened = connections_opened_.load(std::memory_order_relaxed);
+  s.connections_closed = connections_closed_.load(std::memory_order_relaxed);
+  s.connections_rejected = connections_rejected_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.frames_out = frames_out_.load(std::memory_order_relaxed);
+  s.wire_errors = wire_errors_.load(std::memory_order_relaxed);
+  s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace hac

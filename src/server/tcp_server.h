@@ -1,0 +1,109 @@
+// TcpServer: the network front door of hacd. A listener thread accepts loopback/IPv4
+// connections; each connection gets a reader thread, one Session, and a strict
+// request→response ordering over the versioned wire protocol (src/server/wire.h).
+//
+// The transport adds NOTHING to the service semantics: every decoded request goes
+// through HacService::Submit, so admission control (queue bounds, deadline shedding,
+// the kIntrospect overload exemption) and write batching apply to remote clients
+// exactly as to in-process ones. One connection == one session: relative paths
+// resolve against the connection's cwd, descriptors are connection-private, and
+// disconnect closes the session (releasing its descriptors) — the network analogue of
+// ~ServiceClient.
+//
+// Protocol-error policy: a connection that sends an undecodable frame gets one final
+// response frame carrying the decode error (kCorrupt, or kUnsupported for version
+// skew / unknown ops) and is then closed — length-prefixed framing cannot resynchronize
+// after header damage. kCloseSession is rejected with kInvalidArgument over the wire:
+// a remote session's lifecycle is its connection.
+#ifndef HAC_SERVER_TCP_SERVER_H_
+#define HAC_SERVER_TCP_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/server/hac_service.h"
+#include "src/support/result.h"
+
+namespace hac {
+
+struct TcpServerOptions {
+  std::string bind_address = "127.0.0.1";  // dotted-quad IPv4
+  uint16_t port = 0;                       // 0 = ephemeral; read back via port()
+  int backlog = 64;
+  // Connections beyond this are accepted, sent one kOverloaded response frame, and
+  // closed — the TCP analogue of a full admission queue.
+  size_t max_connections = 256;
+};
+
+struct TcpServerStats {
+  uint64_t connections_opened = 0;
+  uint64_t connections_closed = 0;
+  uint64_t connections_rejected = 0;  // over max_connections
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t wire_errors = 0;  // undecodable frames (connection then closed)
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class TcpServer {
+ public:
+  explicit TcpServer(HacService& service, TcpServerOptions options = {});
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  // Binds, listens, and spawns the accept loop. kUnsupported if already started,
+  // kBusy if the address cannot be bound.
+  Result<void> Start();
+
+  // Stops accepting, shuts down every live connection (their sessions close), joins
+  // all threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  // The bound port (resolves option port 0 to the kernel-assigned one). 0 before
+  // Start().
+  uint16_t port() const { return port_; }
+  size_t ActiveConnections() const;
+  TcpServerStats Stats() const;
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> done = false;
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Conn* conn);
+  // Sends one whole frame; false on a transport error.
+  bool SendFrame(int fd, const std::vector<uint8_t>& frame);
+  void ReapFinished();  // joins connections whose threads have exited
+
+  HacService& service_;
+  const TcpServerOptions options_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_ = false;
+  std::once_flag stop_once_;
+  bool started_ = false;
+
+  mutable std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Conn>> conns_;
+
+  std::atomic<uint64_t> connections_opened_ = 0, connections_closed_ = 0,
+                        connections_rejected_ = 0, frames_in_ = 0, frames_out_ = 0,
+                        wire_errors_ = 0, bytes_in_ = 0, bytes_out_ = 0;
+};
+
+}  // namespace hac
+
+#endif  // HAC_SERVER_TCP_SERVER_H_

@@ -1,0 +1,96 @@
+// Versioned binary wire schema for the hacd service API (docs/API.md "Wire
+// protocol").
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//   0       4     magic    0x31434148 ("HAC1" on the wire, little-endian)
+//   4       1     version  protocol version (kWireVersion)
+//   5       1     kind     0 = request, 1 = response
+//   6       4     length   payload byte count (little-endian; <= kMaxFramePayload)
+//   10      len   payload  encoded ServerRequest / ServerResponse
+//
+// Payloads reuse the persistence serializer (src/support/serializer.h): LEB128
+// varints and length-prefixed strings. Every field of ServerRequest/ServerResponse
+// is encoded unconditionally in a fixed order, so the layout is deterministic and a
+// round-trip is byte-identical. Enum values cross the wire numerically: ServerOp and
+// ErrorCode are append-only (request.h / error.h), so their numeric values ARE the
+// stable on-wire mapping; a decoder rejects values above the bound it was compiled
+// with (kUnsupported for ops, kCorrupt for error codes) instead of guessing.
+//
+// Error taxonomy of the decode paths, relied on by transports and tests:
+//   * kCorrupt      — framing/payload damage: bad magic, bad kind, oversized or
+//                     truncated payload, invalid enum field, trailing garbage.
+//   * kUnsupported  — well-formed but from a different protocol era: version skew,
+//                     unknown ServerOp.
+// A decoder never crashes on arbitrary bytes (fuzzed in tests/server/wire_test.cc).
+#ifndef HAC_SERVER_WIRE_H_
+#define HAC_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/server/request.h"
+#include "src/support/result.h"
+#include "src/support/serializer.h"
+
+namespace hac {
+
+inline constexpr uint32_t kWireMagic = 0x31434148;  // "HAC1" little-endian
+inline constexpr uint8_t kWireVersion = 1;
+inline constexpr size_t kWireHeaderSize = 10;
+// Upper bound on a payload; a header claiming more is corruption, not a large
+// message (keeps a garbage length field from looking like a 4 GiB allocation).
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class FrameKind : uint8_t {
+  kRequest = 0,
+  kResponse = 1,
+};
+
+// --- payload codecs (no frame header) ---
+void EncodeRequest(const ServerRequest& req, ByteWriter& out);
+void EncodeResponse(const ServerResponse& resp, ByteWriter& out);
+Result<ServerRequest> DecodeRequest(ByteReader& in);
+Result<ServerResponse> DecodeResponse(ByteReader& in);
+
+// --- whole frames (header + payload), as sent on a socket ---
+// Encoding records hac.server.wire_encode_ns; decoding hac.server.wire_decode_ns.
+std::vector<uint8_t> EncodeRequestFrame(const ServerRequest& req);
+std::vector<uint8_t> EncodeResponseFrame(const ServerResponse& resp);
+// Decode one complete frame (header included). `expect` is the kind the caller is
+// prepared to handle; a frame of the other kind is kCorrupt.
+Result<ServerRequest> DecodeRequestFrame(const std::vector<uint8_t>& frame);
+Result<ServerResponse> DecodeResponseFrame(const std::vector<uint8_t>& frame);
+
+// Decode a bare payload as produced by FrameDecoder (header already validated and
+// stripped). Rejects trailing bytes; records hac.server.wire_decode_ns.
+Result<ServerRequest> DecodeRequestPayload(const std::vector<uint8_t>& payload);
+Result<ServerResponse> DecodeResponsePayload(const std::vector<uint8_t>& payload);
+
+// Incremental frame scanner for a byte stream. Feed() appends raw bytes; Next()
+// yields the payload of each complete frame in order (header validated and
+// stripped), std::nullopt when more bytes are needed, or an error once the stream
+// is unrecoverable (framing is length-prefixed, so any header damage poisons
+// everything after it — transports close the connection).
+class FrameDecoder {
+ public:
+  struct Frame {
+    FrameKind kind;
+    std::vector<uint8_t> payload;
+  };
+
+  void Feed(const uint8_t* data, size_t n) { buf_.insert(buf_.end(), data, data + n); }
+  Result<std::optional<Frame>> Next();
+
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+}  // namespace hac
+
+#endif  // HAC_SERVER_WIRE_H_

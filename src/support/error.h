@@ -37,6 +37,12 @@ enum class ErrorCode : int {
   kStaleExport = 20,      // remote export root no longer exists (or moved out of scope)
 };
 
+// The highest assigned code. The wire codec rejects values above this bound, and
+// tests/server/wire_test.cc enumerates every code through it — when appending a
+// code, bump this constant (and only append: the numeric values live in persisted
+// error logs and on the wire).
+inline constexpr int kMaxErrorCode = static_cast<int>(ErrorCode::kStaleExport);
+
 // Returns a stable, lowercase identifier for the code ("not_found", ...).
 std::string_view ErrorCodeName(ErrorCode code);
 

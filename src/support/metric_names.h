@@ -60,6 +60,13 @@ inline constexpr const char* kServiceIntrospectRequests =
 inline constexpr const char* kServiceSessionsOpened = "hac.service.sessions_opened";
 inline constexpr const char* kServiceSessionsClosed = "hac.service.sessions_closed";
 
+// --- network server: wire codec + TCP transport (src/server/{wire,tcp_server}.cc) ---
+inline constexpr const char* kServerBytesIn = "hac.server.bytes_in";
+inline constexpr const char* kServerBytesOut = "hac.server.bytes_out";
+inline constexpr const char* kServerConnectionsOpened = "hac.server.connections_opened";
+inline constexpr const char* kServerConnectionsClosed = "hac.server.connections_closed";
+inline constexpr const char* kServerWireErrors = "hac.server.wire_errors";
+
 // --- index / query path (src/index/inverted_index.cc) ---
 inline constexpr const char* kIndexQueries = "hac.index.queries";
 inline constexpr const char* kIndexDocsIndexed = "hac.index.docs_indexed";
@@ -71,6 +78,7 @@ inline constexpr const char* kTraceDropped = "hac.trace.dropped";
 // --- gauges ---
 inline constexpr const char* kServiceOpenSessions = "hac.service.open_sessions";
 inline constexpr const char* kServiceReadQueueDepth = "hac.service.read_queue_depth";
+inline constexpr const char* kServerOpenConnections = "hac.server.open_connections";
 
 // --- histograms (unit in the suffix) ---
 inline constexpr const char* kConsistencyPassUs = "hac.consistency.pass_us";
@@ -91,6 +99,9 @@ inline constexpr const char* kConsistencyParallelWidth =
     "hac.consistency.parallel_width";
 inline constexpr const char* kConsistencyParallelBarrierWaitNs =
     "hac.consistency.parallel_barrier_wait_ns";
+// Wire codec cost per frame (encode: typed struct -> bytes; decode: the reverse).
+inline constexpr const char* kServerWireEncodeNs = "hac.server.wire_encode_ns";
+inline constexpr const char* kServerWireDecodeNs = "hac.server.wire_decode_ns";
 
 // --- span names (scoped regions recorded into the trace ring) ---
 inline constexpr const char* kSpanConsistencyPass = "consistency.pass";
@@ -108,19 +119,21 @@ inline constexpr const char* kAllCounters[] = {
     kAttrCacheMisses, kServiceAdmittedReads, kServiceAdmittedWrites,
     kServiceRejectedQueueFull, kServiceShedDeadline, kServiceExecutedReads,
     kServiceExecutedWrites, kServiceWriteBatches, kServiceIntrospectRequests,
-    kServiceSessionsOpened, kServiceSessionsClosed, kIndexQueries, kIndexDocsIndexed,
-    kIndexDocsRemoved, kTraceDropped,
+    kServiceSessionsOpened, kServiceSessionsClosed, kServerBytesIn, kServerBytesOut,
+    kServerConnectionsOpened, kServerConnectionsClosed, kServerWireErrors,
+    kIndexQueries, kIndexDocsIndexed, kIndexDocsRemoved, kTraceDropped,
 };
 inline constexpr const char* kAllGauges[] = {
     kServiceOpenSessions,
     kServiceReadQueueDepth,
+    kServerOpenConnections,
 };
 inline constexpr const char* kAllHistograms[] = {
     kConsistencyPassUs,     kServiceQueueWaitReadUs, kServiceQueueWaitWriteUs,
     kServiceTimeReadUs,     kServiceTimeWriteUs,     kServiceWriteBatchSize,
     kIndexQueryUs,          kIndexQuerySelectivityPct,
     kConsistencyParallelLevels, kConsistencyParallelWidth,
-    kConsistencyParallelBarrierWaitNs,
+    kConsistencyParallelBarrierWaitNs, kServerWireEncodeNs, kServerWireDecodeNs,
 };
 inline constexpr const char* kAllSpans[] = {
     kSpanConsistencyPass,

@@ -1,9 +1,12 @@
-// docs_check: the CI gate keeping support/metric_names.h and docs/OBSERVABILITY.md
-// in lockstep, both directions:
+// docs_check: the CI gate keeping code-level name tables and their docs in
+// lockstep:
 //
-//   1. every registered metric name (and every span name) must appear in the doc
-//      as a backticked `name`;
-//   2. every backticked `hac.*` name in the doc must be a registered metric.
+//   1. every registered metric name (and every span name) must appear in
+//      docs/OBSERVABILITY.md as a backticked `name`;
+//   2. every backticked `hac.*` name in that doc must be a registered metric;
+//   3. (optional second argument) every ServerOp in the request.h classification
+//      table must appear backticked in docs/API.md — adding an op without
+//      documenting it fails CI.
 //
 // Runs as a ctest (`ctest -R docs_check`); exits nonzero listing each offender.
 #include <cctype>
@@ -14,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/server/request.h"
 #include "src/support/metric_names.h"
 #include "src/support/metrics.h"
 
@@ -34,21 +38,30 @@ std::set<std::string> BacktickedTokens(const std::string& text) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: docs_check <path-to-OBSERVABILITY.md>\n");
-    return 2;
-  }
-  std::ifstream in(argv[1]);
+bool ReadAll(const char* path, std::string& out) {
+  std::ifstream in(path);
   if (!in) {
-    std::fprintf(stderr, "docs_check: cannot read %s\n", argv[1]);
-    return 2;
+    return false;
   }
   std::stringstream buf;
   buf << in.rdbuf();
-  const std::string doc = buf.str();
+  out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr,
+                 "usage: docs_check <path-to-OBSERVABILITY.md> [path-to-API.md]\n");
+    return 2;
+  }
+  std::string doc;
+  if (!ReadAll(argv[1], doc)) {
+    std::fprintf(stderr, "docs_check: cannot read %s\n", argv[1]);
+    return 2;
+  }
   const std::set<std::string> documented = BacktickedTokens(doc);
 
   int failures = 0;
@@ -92,11 +105,35 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Direction 3: every wire-visible op must be documented in the API reference.
+  // The op name table is the same one the classification table in request.h and
+  // the wire protocol docs use, so a newly appended op that never made it into
+  // docs/API.md shows up here.
+  if (argc == 3) {
+    std::string api_doc;
+    if (!ReadAll(argv[2], api_doc)) {
+      std::fprintf(stderr, "docs_check: cannot read %s\n", argv[2]);
+      return 2;
+    }
+    const std::set<std::string> api_tokens = BacktickedTokens(api_doc);
+    for (size_t i = 0; i < hac::kServerOpCount; ++i) {
+      const std::string op = hac::kServerOpNames[i];
+      if (api_tokens.count(op) == 0) {
+        std::fprintf(stderr,
+                     "docs_check: ServerOp `%s` (value %zu) is missing from %s\n",
+                     op.c_str(), i, argv[2]);
+        ++failures;
+      }
+    }
+  }
+
   if (failures != 0) {
     std::fprintf(stderr, "docs_check: %d mismatch(es)\n", failures);
     return 1;
   }
-  std::printf("docs_check: %zu exported names all documented, no stale doc entries\n",
-              exported.size());
+  std::printf(
+      "docs_check: %zu exported names all documented, no stale doc entries%s\n",
+      exported.size(),
+      argc == 3 ? "; every ServerOp documented in the API reference" : "");
   return 0;
 }

@@ -8,6 +8,7 @@
 #ifndef HAC_VFS_FD_TABLE_H_
 #define HAC_VFS_FD_TABLE_H_
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <utility>
@@ -27,6 +28,22 @@ struct OpenFile {
 template <typename T>
 class BasicFdTable {
  public:
+  BasicFdTable() = default;
+  // Movable so a FileSystem can be rebuilt by persistence load; moving is not
+  // concurrency-safe (the atomic count only covers live mutate-while-monitor).
+  BasicFdTable(BasicFdTable&& other) noexcept
+      : slots_(std::move(other.slots_)),
+        open_count_(other.open_count_.load(std::memory_order_relaxed)) {
+    other.open_count_.store(0, std::memory_order_relaxed);
+  }
+  BasicFdTable& operator=(BasicFdTable&& other) noexcept {
+    slots_ = std::move(other.slots_);
+    open_count_.store(other.open_count_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    other.open_count_.store(0, std::memory_order_relaxed);
+    return *this;
+  }
+
   // Allocates the lowest free descriptor.
   Fd Allocate(T file) {
     for (size_t i = 0; i < slots_.size(); ++i) {
@@ -57,8 +74,10 @@ class BasicFdTable {
     return OkResult();
   }
 
-  // Number of currently open descriptors.
-  size_t OpenCount() const { return open_count_; }
+  // Number of currently open descriptors. Readable from a monitoring thread while
+  // another thread mutates the table (the same contract as the atomic stats
+  // counters); the count is exact only once the mutators have settled.
+  size_t OpenCount() const { return open_count_.load(std::memory_order_relaxed); }
 
   // Visits every open descriptor (used for close-all on session teardown).
   template <typename Fn>
@@ -80,7 +99,7 @@ class BasicFdTable {
   }
 
   std::vector<std::optional<T>> slots_;
-  size_t open_count_ = 0;
+  std::atomic<size_t> open_count_ = 0;
 };
 
 // The VFS's "kernel" descriptor table.

@@ -178,7 +178,7 @@ TEST_F(SemanticMountTest, UnmountKeepsCachedFiles) {
 TEST_F(SemanticMountTest, StatsCountRemoteActivity) {
   ASSERT_TRUE(fs_.MountSemantic("/lib", lib_.get()).ok());
   ASSERT_TRUE(fs_.SMkdir("/lib/fp", "fingerprint").ok());
-  HacStats stats = fs_.Stats();
+  StatsSnapshot stats = fs_.Stats();
   EXPECT_GE(stats.remote_searches, 1u);
   EXPECT_EQ(stats.remote_imports, 2u);
 }

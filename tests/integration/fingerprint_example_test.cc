@@ -123,7 +123,7 @@ TEST(FingerprintExampleTest, CountsLikeScenarioExpectations) {
   }
   ASSERT_TRUE(fs.Reindex().ok());
   ASSERT_TRUE(fs.SMkdir("/q", "fingerprint").ok());
-  HacStats stats = fs.Stats();
+  StatsSnapshot stats = fs.Stats();
   EXPECT_EQ(stats.transient_links_added, 5u);
   EXPECT_GE(stats.query_evaluations, 1u);
   EXPECT_EQ(stats.docs_indexed, 10u);

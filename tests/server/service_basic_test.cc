@@ -1,7 +1,8 @@
-// HacService behaviour tests: op parity with the direct facade, session isolation,
-// relative-path resolution, write batching, and admission control (queue-full
-// rejection and queue-deadline shedding), all made deterministic with the service's
-// read_hook test hook.
+// HacService scheduling tests: write batching and admission control (queue-full
+// rejection and queue-deadline shedding), made deterministic with the service's
+// read_hook test hook. Client-visible behaviour (op parity, session isolation,
+// descriptor lifecycle) lives in client_contract_test.cc, which runs the same
+// assertions over both the in-process and the TCP transport.
 #include "src/server/hac_service.h"
 
 #include <chrono>
@@ -63,106 +64,6 @@ class ServiceBasicTest : public ::testing::Test {
  protected:
   HacFileSystem fs_;
 };
-
-TEST_F(ServiceBasicTest, OrdinaryOpsMatchDirectFacade) {
-  HacService service(fs_);
-  ServiceClient client(service);
-
-  ASSERT_TRUE(client.Mkdir("/docs").ok());
-  ASSERT_TRUE(client.WriteFile("/docs/fp.txt", "fingerprint minutiae analysis").ok());
-  ASSERT_TRUE(client.WriteFile("/docs/cook.txt", "butter flour oven").ok());
-  ASSERT_TRUE(client.Reindex().ok());
-  ASSERT_TRUE(client.SMkdir("/fp", "fingerprint").ok());
-
-  // The service-visible state is the facade's state.
-  auto via_service = client.ReadDir("/fp");
-  auto direct = fs_.ReadDir("/fp");
-  ASSERT_TRUE(via_service.ok());
-  ASSERT_TRUE(direct.ok());
-  EXPECT_EQ(via_service.value(), direct.value());
-  ASSERT_EQ(via_service.value().size(), 1u);
-  EXPECT_EQ(via_service.value()[0].name, "fp.txt");
-
-  auto found = client.Search("fingerprint");
-  ASSERT_TRUE(found.ok());
-  EXPECT_EQ(found.value(), fs_.Search("fingerprint").value());
-
-  auto q = client.GetQuery("/fp");
-  ASSERT_TRUE(q.ok());
-  EXPECT_EQ(q.value(), fs_.GetQuery("/fp").value());
-
-  auto st = client.StatPath("/docs/fp.txt");
-  ASSERT_TRUE(st.ok());
-  EXPECT_EQ(st.value().size, fs_.StatPath("/docs/fp.txt").value().size);
-
-  auto links = client.GetLinkClasses("/fp");
-  ASSERT_TRUE(links.ok());
-  ASSERT_EQ(links.value().transient.size(), 1u);
-  EXPECT_EQ(links.value().transient[0].first, "fp.txt");
-
-  ASSERT_TRUE(client.PromoteLink("/fp/fp.txt").ok());
-  EXPECT_EQ(client.GetLinkClasses("/fp").value().permanent.size(), 1u);
-
-  auto missing = client.StatPath("/nope");
-  ASSERT_FALSE(missing.ok());
-  EXPECT_EQ(missing.error().code, ErrorCode::kNotFound);
-}
-
-TEST_F(ServiceBasicTest, DescriptorsAndRelativePathsArePerSession) {
-  HacService service(fs_);
-  ServiceClient a(service);
-  ServiceClient b(service);
-
-  ASSERT_TRUE(a.Mkdir("/shared").ok());
-  ASSERT_TRUE(a.WriteFile("/shared/f.txt", "abcdefgh").ok());
-
-  auto fd_a = a.Open("/shared/f.txt", kOpenRead);
-  auto fd_b = b.Open("/shared/f.txt", kOpenRead);
-  ASSERT_TRUE(fd_a.ok());
-  ASSERT_TRUE(fd_b.ok());
-  // Lowest-free allocation per session: both clients get descriptor 0, isolated.
-  EXPECT_EQ(fd_a.value(), 0);
-  EXPECT_EQ(fd_b.value(), 0);
-
-  // Offsets are independent.
-  EXPECT_EQ(a.Read(fd_a.value(), 4).value(), "abcd");
-  EXPECT_EQ(b.Read(fd_b.value(), 2).value(), "ab");
-  EXPECT_EQ(a.Read(fd_a.value(), 4).value(), "efgh");
-  EXPECT_EQ(b.Read(fd_b.value(), 2).value(), "cd");
-
-  // One session's Close cannot touch the other's descriptor.
-  ASSERT_TRUE(a.Close(fd_a.value()).ok());
-  EXPECT_FALSE(a.Read(fd_a.value(), 1).ok());
-  EXPECT_EQ(b.Read(fd_b.value(), 2).value(), "ef");
-
-  // Relative paths resolve against each session's own cwd.
-  ASSERT_TRUE(a.Mkdir("/dir_a").ok());
-  ASSERT_TRUE(b.Mkdir("/dir_b").ok());
-  EXPECT_EQ(a.Chdir("/dir_a").value(), "/dir_a");
-  EXPECT_EQ(b.Chdir("/dir_b").value(), "/dir_b");
-  ASSERT_TRUE(a.WriteFile("mine.txt", "from a").ok());
-  ASSERT_TRUE(b.WriteFile("mine.txt", "from b").ok());
-  EXPECT_TRUE(fs_.StatPath("/dir_a/mine.txt").ok());
-  EXPECT_TRUE(fs_.StatPath("/dir_b/mine.txt").ok());
-  EXPECT_EQ(a.StatPath("mine.txt").value().inode,
-            fs_.StatPath("/dir_a/mine.txt").value().inode);
-}
-
-TEST_F(ServiceBasicTest, CloseSessionReleasesItsDescriptors) {
-  HacService service(fs_);
-  ASSERT_TRUE(fs_.WriteFile("/f.txt", "data").ok());
-  {
-    ServiceClient client(service);
-    ASSERT_TRUE(client.Open("/f.txt", kOpenRead).ok());
-    ASSERT_TRUE(client.Open("/f.txt", kOpenRead).ok());
-    EXPECT_EQ(fs_.vfs().OpenFdCount(), 2u);
-  }
-  // ~ServiceClient closed the session, which closed both backing descriptors.
-  EXPECT_EQ(fs_.vfs().OpenFdCount(), 0u);
-  auto stats = service.Stats();
-  EXPECT_EQ(stats.sessions_opened, 1u);
-  EXPECT_EQ(stats.sessions_closed, 1u);
-}
 
 TEST_F(ServiceBasicTest, PropagationParallelismLendsAndRestoresReaderPool) {
   EXPECT_EQ(fs_.propagation_pool(), nullptr);
@@ -334,30 +235,6 @@ TEST_F(ServiceBasicTest, StopCompletesAdmittedWorkThenRejects) {
   EXPECT_FALSE(fs_.StatPath("/after_stop").ok());
   // CloseSession still reclaims the session after Stop.
   ASSERT_TRUE(service.CloseSession(s).ok());
-}
-
-TEST_F(ServiceBasicTest, SemanticWritesThroughServiceKeepScopeConsistency) {
-  HacService service(fs_);
-  ServiceClient client(service);
-  ASSERT_TRUE(client.Mkdir("/docs").ok());
-  ASSERT_TRUE(client.WriteFile("/docs/a.txt", "fingerprint ridge").ok());
-  ASSERT_TRUE(client.WriteFile("/docs/b.txt", "sailing regatta").ok());
-  ASSERT_TRUE(client.Reindex().ok());
-  ASSERT_TRUE(client.SMkdir("/fp", "fingerprint").ok());
-  ASSERT_EQ(client.ReadDir("/fp").value().size(), 1u);
-
-  // Retargeting the query through the service re-evaluates the directory.
-  ASSERT_TRUE(client.SetQuery("/fp", "sailing").ok());
-  auto entries = client.ReadDir("/fp");
-  ASSERT_TRUE(entries.ok());
-  ASSERT_EQ(entries.value().size(), 1u);
-  EXPECT_EQ(entries.value()[0].name, "b.txt");
-
-  // Unlink of a transient link prohibits re-adding it (section 2.3 semantics).
-  ASSERT_TRUE(client.Unlink("/fp/b.txt").ok());
-  ASSERT_TRUE(client.SSync("/fp").ok());
-  EXPECT_TRUE(client.ReadDir("/fp").value().empty());
-  EXPECT_EQ(client.GetLinkClasses("/fp").value().prohibited.size(), 1u);
 }
 
 }  // namespace

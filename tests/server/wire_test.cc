@@ -1,0 +1,391 @@
+// Wire-codec tests: deterministic round-trips for every ServerOp and every
+// ErrorCode, the append-only bounds that keep the numeric mappings stable, and
+// fuzz/property coverage of the decode paths (truncated frames, bad magic, version
+// skew, bit flips — an error or a value, never a crash).
+#include "src/server/wire.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace hac {
+namespace {
+
+ServerRequest SampleRequest(size_t op_index) {
+  ServerRequest req;
+  req.op = static_cast<ServerOp>(op_index);
+  req.path = "/some/dir/op" + std::to_string(op_index);
+  req.aux = "aux payload for " + std::string(ServerOpName(req.op));
+  req.fd = static_cast<Fd>(op_index) - 1;  // exercises -1 at index 0
+  req.size = op_index * 977 + 13;
+  req.flags = static_cast<uint32_t>(op_index << 3);
+  return req;
+}
+
+void ExpectRequestsEqual(const ServerRequest& a, const ServerRequest& b) {
+  EXPECT_EQ(a.op, b.op);
+  EXPECT_EQ(a.path, b.path);
+  EXPECT_EQ(a.aux, b.aux);
+  EXPECT_EQ(a.fd, b.fd);
+  EXPECT_EQ(a.size, b.size);
+  EXPECT_EQ(a.flags, b.flags);
+}
+
+TEST(WireRequestTest, RoundTripCoversEveryServerOp) {
+  for (size_t i = 0; i < kServerOpCount; ++i) {
+    ServerRequest req = SampleRequest(i);
+    auto decoded = DecodeRequestFrame(EncodeRequestFrame(req));
+    ASSERT_TRUE(decoded.ok()) << "op " << ServerOpName(req.op) << ": "
+                              << decoded.error().ToString();
+    ExpectRequestsEqual(req, decoded.value());
+  }
+}
+
+TEST(WireRequestTest, OpNameTableIsCompleteAndDistinct) {
+  std::vector<std::string> seen;
+  for (size_t i = 0; i < kServerOpCount; ++i) {
+    std::string name = ServerOpName(static_cast<ServerOp>(i));
+    EXPECT_NE(name, "?") << "op " << i << " missing from kServerOpNames";
+    for (const auto& prev : seen) {
+      EXPECT_NE(name, prev);
+    }
+    seen.push_back(std::move(name));
+  }
+}
+
+TEST(WireRequestTest, UnknownOpIsUnsupportedNotCorrupt) {
+  // A newer peer's op decodes as kUnsupported: well-formed bytes, future schema.
+  ByteWriter payload;
+  EncodeRequest(SampleRequest(0), payload);
+  std::vector<uint8_t> bytes = payload.TakeBuffer();
+  bytes[0] = static_cast<uint8_t>(kServerOpCount);  // first unassigned op value
+  auto decoded = DecodeRequestPayload(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kUnsupported);
+}
+
+ServerResponse SampleResponse() {
+  ServerResponse resp;
+  resp.fd = 7;
+  resp.size = 4096;
+  resp.text = "file contents\nwith newline";
+  resp.entries = {{"a.txt", NodeType::kFile, 11}, {"sub", NodeType::kDirectory, 12},
+                  {"ln", NodeType::kSymlink, 13}};
+  resp.paths = {"/docs/a.txt", "/docs/b.txt"};
+  resp.st = Stat{42, NodeType::kDirectory, 3, 99, 2};
+  resp.links.permanent = {{"pin.txt", "/docs/a.txt"}};
+  resp.links.transient = {{"t1.txt", "/docs/b.txt"}, {"t2.txt", "/docs/c.txt"}};
+  resp.links.prohibited = {"/docs/vetoed.txt"};
+  // Give every stats field a distinct value so a transposed field fails loudly.
+  uint64_t v = 1000;
+  resp.stats.query_evaluations = ++v;
+  resp.stats.delta_evaluations = ++v;
+  resp.stats.scope_propagations = ++v;
+  resp.stats.short_circuit_propagations = ++v;
+  resp.stats.batch_flushes = ++v;
+  resp.stats.batched_mutations = ++v;
+  resp.stats.transient_links_added = ++v;
+  resp.stats.transient_links_removed = ++v;
+  resp.stats.docs_indexed = ++v;
+  resp.stats.docs_purged = ++v;
+  resp.stats.auto_reindexes = ++v;
+  resp.stats.remote_searches = ++v;
+  resp.stats.remote_imports = ++v;
+  resp.stats.attr_cache_hits = ++v;
+  resp.stats.attr_cache_misses = ++v;
+  resp.stats.index.documents = ++v;
+  resp.stats.index.terms = ++v;
+  resp.stats.index.postings = ++v;
+  resp.stats.index.queries_evaluated = ++v;
+  resp.stats.vfs.lookups = ++v;
+  resp.stats.vfs.mkdirs = ++v;
+  resp.stats.vfs.creates = ++v;
+  resp.stats.vfs.opens = ++v;
+  resp.stats.vfs.closes = ++v;
+  resp.stats.vfs.reads = ++v;
+  resp.stats.vfs.writes = ++v;
+  resp.stats.vfs.read_bytes = ++v;
+  resp.stats.vfs.written_bytes = ++v;
+  resp.stats.vfs.stats = ++v;
+  resp.stats.vfs.readdirs = ++v;
+  resp.stats.vfs.unlinks = ++v;
+  resp.stats.vfs.rmdirs = ++v;
+  resp.stats.vfs.renames = ++v;
+  resp.stats.vfs.symlinks = ++v;
+  return resp;
+}
+
+void ExpectResponsesEqual(const ServerResponse& a, const ServerResponse& b) {
+  EXPECT_EQ(a.error.code, b.error.code);
+  EXPECT_EQ(a.error.message, b.error.message);
+  EXPECT_EQ(a.fd, b.fd);
+  EXPECT_EQ(a.size, b.size);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.entries, b.entries);
+  EXPECT_EQ(a.paths, b.paths);
+  EXPECT_EQ(a.st.inode, b.st.inode);
+  EXPECT_EQ(a.st.type, b.st.type);
+  EXPECT_EQ(a.st.size, b.st.size);
+  EXPECT_EQ(a.st.mtime, b.st.mtime);
+  EXPECT_EQ(a.st.nlink, b.st.nlink);
+  EXPECT_EQ(a.links.permanent, b.links.permanent);
+  EXPECT_EQ(a.links.transient, b.links.transient);
+  EXPECT_EQ(a.links.prohibited, b.links.prohibited);
+  const uint64_t af[] = {a.stats.query_evaluations, a.stats.delta_evaluations,
+                         a.stats.scope_propagations, a.stats.short_circuit_propagations,
+                         a.stats.batch_flushes, a.stats.batched_mutations,
+                         a.stats.transient_links_added, a.stats.transient_links_removed,
+                         a.stats.docs_indexed, a.stats.docs_purged,
+                         a.stats.auto_reindexes, a.stats.remote_searches,
+                         a.stats.remote_imports, a.stats.attr_cache_hits,
+                         a.stats.attr_cache_misses, a.stats.index.documents,
+                         a.stats.index.terms, a.stats.index.postings,
+                         a.stats.index.queries_evaluated, a.stats.vfs.lookups,
+                         a.stats.vfs.mkdirs, a.stats.vfs.creates, a.stats.vfs.opens,
+                         a.stats.vfs.closes, a.stats.vfs.reads, a.stats.vfs.writes,
+                         a.stats.vfs.read_bytes, a.stats.vfs.written_bytes,
+                         a.stats.vfs.stats, a.stats.vfs.readdirs, a.stats.vfs.unlinks,
+                         a.stats.vfs.rmdirs, a.stats.vfs.renames, a.stats.vfs.symlinks};
+  const uint64_t bf[] = {b.stats.query_evaluations, b.stats.delta_evaluations,
+                         b.stats.scope_propagations, b.stats.short_circuit_propagations,
+                         b.stats.batch_flushes, b.stats.batched_mutations,
+                         b.stats.transient_links_added, b.stats.transient_links_removed,
+                         b.stats.docs_indexed, b.stats.docs_purged,
+                         b.stats.auto_reindexes, b.stats.remote_searches,
+                         b.stats.remote_imports, b.stats.attr_cache_hits,
+                         b.stats.attr_cache_misses, b.stats.index.documents,
+                         b.stats.index.terms, b.stats.index.postings,
+                         b.stats.index.queries_evaluated, b.stats.vfs.lookups,
+                         b.stats.vfs.mkdirs, b.stats.vfs.creates, b.stats.vfs.opens,
+                         b.stats.vfs.closes, b.stats.vfs.reads, b.stats.vfs.writes,
+                         b.stats.vfs.read_bytes, b.stats.vfs.written_bytes,
+                         b.stats.vfs.stats, b.stats.vfs.readdirs, b.stats.vfs.unlinks,
+                         b.stats.vfs.rmdirs, b.stats.vfs.renames, b.stats.vfs.symlinks};
+  for (size_t i = 0; i < 34; ++i) {
+    EXPECT_EQ(af[i], bf[i]) << "stats field " << i;
+  }
+}
+
+TEST(WireResponseTest, RoundTripEveryField) {
+  ServerResponse resp = SampleResponse();
+  auto decoded = DecodeResponseFrame(EncodeResponseFrame(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+  ExpectResponsesEqual(resp, decoded.value());
+}
+
+TEST(WireResponseTest, RoundTripOfDefaultResponse) {
+  ServerResponse resp;
+  auto decoded = DecodeResponseFrame(EncodeResponseFrame(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+  ExpectResponsesEqual(resp, decoded.value());
+}
+
+// --- error transport hygiene ---
+
+TEST(WireErrorTest, EveryErrorCodeSurvivesTheWireWithItsStableName) {
+  for (int c = 0; c <= kMaxErrorCode; ++c) {
+    ServerResponse resp;
+    resp.error.code = static_cast<ErrorCode>(c);
+    resp.error.message = "ctx " + std::to_string(c);
+    auto decoded = DecodeResponseFrame(EncodeResponseFrame(resp));
+    ASSERT_TRUE(decoded.ok()) << "code " << c;
+    EXPECT_EQ(decoded.value().error.code, resp.error.code);
+    EXPECT_EQ(decoded.value().error.message, resp.error.message);
+    // The identifier is the stable contract (persisted logs + docs); "unknown"
+    // would mean a code was assigned without a name.
+    EXPECT_NE(ErrorCodeName(decoded.value().error.code), "unknown") << "code " << c;
+    EXPECT_EQ(ErrorCodeName(decoded.value().error.code),
+              ErrorCodeName(resp.error.code));
+  }
+}
+
+TEST(WireErrorTest, ErrorCodeNamesAreDistinct) {
+  for (int a = 0; a <= kMaxErrorCode; ++a) {
+    for (int b = a + 1; b <= kMaxErrorCode; ++b) {
+      EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(a)),
+                ErrorCodeName(static_cast<ErrorCode>(b)))
+          << a << " vs " << b;
+    }
+  }
+}
+
+TEST(WireErrorTest, StaleExportStaysTheMaxCode) {
+  // Append-only discipline: a new code must extend past kStaleExport and bump
+  // kMaxErrorCode (wire.cc static_asserts the same bound at compile time), so a
+  // value can never be silently reused.
+  EXPECT_EQ(static_cast<int>(ErrorCode::kStaleExport), 20);
+  EXPECT_EQ(kMaxErrorCode, 20);
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kStaleExport), "stale_export");
+}
+
+TEST(WireErrorTest, UnknownErrorCodeOnWireIsCorrupt) {
+  ByteWriter payload;
+  EncodeResponse(ServerResponse{}, payload);
+  std::vector<uint8_t> bytes = payload.TakeBuffer();
+  bytes[0] = static_cast<uint8_t>(kMaxErrorCode + 1);  // first unassigned code
+  auto decoded = DecodeResponsePayload(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kCorrupt);
+}
+
+// --- framing ---
+
+TEST(WireFrameTest, BadMagicIsCorrupt) {
+  std::vector<uint8_t> frame = EncodeRequestFrame(SampleRequest(1));
+  frame[0] ^= 0xFF;
+  auto decoded = DecodeRequestFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kCorrupt);
+}
+
+TEST(WireFrameTest, VersionSkewIsUnsupported) {
+  std::vector<uint8_t> frame = EncodeRequestFrame(SampleRequest(1));
+  frame[4] = kWireVersion + 1;
+  auto decoded = DecodeRequestFrame(frame);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kUnsupported);
+}
+
+TEST(WireFrameTest, KindMismatchIsCorrupt) {
+  std::vector<uint8_t> frame = EncodeResponseFrame(ServerResponse{});
+  auto decoded = DecodeRequestFrame(frame);  // expecting a request
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.error().code, ErrorCode::kCorrupt);
+}
+
+TEST(WireFrameTest, EveryTruncationOfAValidFrameFailsCleanly) {
+  const std::vector<uint8_t> frame = EncodeRequestFrame(SampleRequest(2));
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    std::vector<uint8_t> prefix(frame.begin(),
+                                frame.begin() + static_cast<ptrdiff_t>(cut));
+    auto decoded = DecodeRequestFrame(prefix);
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+    EXPECT_EQ(decoded.error().code, ErrorCode::kCorrupt) << "cut at " << cut;
+  }
+}
+
+TEST(WireFrameTest, StreamingDecoderYieldsFramesAcrossArbitrarySplits) {
+  const std::vector<uint8_t> f1 = EncodeRequestFrame(SampleRequest(3));
+  const std::vector<uint8_t> f2 = EncodeResponseFrame(SampleResponse());
+  std::vector<uint8_t> stream = f1;
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  // Feed one byte at a time: exactly two frames, in order, at the right offsets.
+  FrameDecoder dec;
+  std::vector<FrameDecoder::Frame> got;
+  for (uint8_t b : stream) {
+    dec.Feed(&b, 1);
+    auto next = dec.Next();
+    ASSERT_TRUE(next.ok());
+    if (next.value().has_value()) {
+      got.push_back(std::move(*next.value()));
+    }
+  }
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].kind, FrameKind::kRequest);
+  EXPECT_EQ(got[1].kind, FrameKind::kResponse);
+  auto req = DecodeRequestPayload(got[0].payload);
+  ASSERT_TRUE(req.ok());
+  ExpectRequestsEqual(SampleRequest(3), req.value());
+  auto resp = DecodeResponsePayload(got[1].payload);
+  ASSERT_TRUE(resp.ok());
+  ExpectResponsesEqual(SampleResponse(), resp.value());
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(WireFrameTest, StreamingDecoderReportsHeaderDamage) {
+  FrameDecoder dec;
+  std::vector<uint8_t> garbage(64, 0xAB);
+  dec.Feed(garbage.data(), garbage.size());
+  auto next = dec.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, ErrorCode::kCorrupt);
+}
+
+TEST(WireFrameTest, OversizedLengthClaimIsCorruptNotAnAllocation) {
+  ByteWriter w;
+  w.PutU32(kWireMagic);
+  w.PutU8(kWireVersion);
+  w.PutU8(0);
+  w.PutU32(kMaxFramePayload + 1);
+  FrameDecoder dec;
+  dec.Feed(w.buffer().data(), w.size());
+  auto next = dec.Next();
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.error().code, ErrorCode::kCorrupt);
+}
+
+// --- fuzz/property: arbitrary bytes produce a value or an error, never a crash ---
+
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 16;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+TEST(WireFuzzTest, RandomBuffersNeverCrashTheDecoders) {
+  Lcg rng(0xC0FFEE);
+  for (int iter = 0; iter < 2000; ++iter) {
+    const size_t len = rng.Next() % 256;
+    std::vector<uint8_t> buf(len);
+    for (auto& b : buf) {
+      b = static_cast<uint8_t>(rng.Next());
+    }
+    (void)DecodeRequestFrame(buf);
+    (void)DecodeResponseFrame(buf);
+    (void)DecodeRequestPayload(buf);
+    (void)DecodeResponsePayload(buf);
+    FrameDecoder dec;
+    dec.Feed(buf.data(), buf.size());
+    for (int i = 0; i < 8; ++i) {
+      auto next = dec.Next();
+      if (!next.ok() || !next.value().has_value()) {
+        break;
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, SingleByteFlipsOfValidFramesFailCleanlyOrDecode) {
+  const std::vector<uint8_t> req_frame = EncodeRequestFrame(SampleRequest(5));
+  const std::vector<uint8_t> resp_frame = EncodeResponseFrame(SampleResponse());
+  Lcg rng(0xFACADE);
+  for (const auto& base :
+       {std::pair{&req_frame, true}, std::pair{&resp_frame, false}}) {
+    for (size_t pos = 0; pos < base.first->size(); ++pos) {
+      std::vector<uint8_t> mutated = *base.first;
+      mutated[pos] ^= static_cast<uint8_t>(1 + rng.Next() % 255);
+      if (base.second) {
+        (void)DecodeRequestFrame(mutated);  // value or error; must not crash
+      } else {
+        (void)DecodeResponseFrame(mutated);
+      }
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomTruncationsOfValidPayloadsAreCorrupt) {
+  ByteWriter w;
+  EncodeResponse(SampleResponse(), w);
+  const std::vector<uint8_t> payload = w.TakeBuffer();
+  Lcg rng(0xBEEF);
+  for (int iter = 0; iter < 200; ++iter) {
+    const size_t cut = rng.Next() % payload.size();
+    std::vector<uint8_t> prefix(payload.begin(),
+                                payload.begin() + static_cast<ptrdiff_t>(cut));
+    auto decoded = DecodeResponsePayload(prefix);
+    // Any strict prefix is missing at least the trailing stats varints.
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace hac
