@@ -1,0 +1,681 @@
+#include "src/core/durability.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
+#include "src/support/serializer.h"
+#include "src/vfs/types.h"
+
+namespace hac {
+
+namespace fs_std = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x4841434B;  // "HACK"
+constexpr uint32_t kCheckpointVersion = 1;
+constexpr char kCheckpointPrefix[] = "checkpoint-";
+constexpr char kCheckpointSuffix[] = ".hacs";
+constexpr char kWalPrefix[] = "wal-";
+constexpr char kWalSuffix[] = ".log";
+
+Counter& WalAppendsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kDurabilityWalAppends);
+  return c;
+}
+Counter& WalBytesCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kDurabilityWalBytes);
+  return c;
+}
+Counter& CheckpointsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kDurabilityCheckpoints);
+  return c;
+}
+Counter& RecoveriesCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kDurabilityRecoveries);
+  return c;
+}
+Counter& ReplayedCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kDurabilityReplayedRecords);
+  return c;
+}
+Counter& CorruptFramesCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter(metric_names::kDurabilityCorruptFrames);
+  return c;
+}
+Histogram& FsyncHistogram() {
+  static Histogram& h =
+      MetricsRegistry::Global().GetHistogram(metric_names::kDurabilityFsyncUs, "us");
+  return h;
+}
+Histogram& CheckpointHistogram() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      metric_names::kDurabilityCheckpointUs, "us");
+  return h;
+}
+Histogram& RecoveryHistogram() {
+  static Histogram& h = MetricsRegistry::Global().GetHistogram(
+      metric_names::kDurabilityRecoveryUs, "us");
+  return h;
+}
+
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point since) {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - since)
+                                   .count());
+}
+
+std::string GenerationFileName(const char* prefix, uint64_t lsn, const char* suffix) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx", static_cast<unsigned long long>(lsn));
+  return std::string(prefix) + hex + suffix;
+}
+
+Result<void> SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotFound, dir + ": " + std::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Error(ErrorCode::kBusy, "fsync " + dir + ": " + std::strerror(errno));
+  }
+  return OkResult();
+}
+
+Result<std::vector<uint8_t>> ReadWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Error(ErrorCode::kNotFound, path);
+  }
+  std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                             std::istreambuf_iterator<char>());
+  return bytes;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// CRC32
+// ---------------------------------------------------------------------------
+
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < n; ++i) {
+    crc = kTable[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+FaultSpec FaultSpec::Parse(const std::string& spec) {
+  FaultSpec out;
+  size_t colon = spec.find(':');
+  if (colon == std::string::npos) {
+    return out;
+  }
+  std::string kind = spec.substr(0, colon);
+  out.at_write = std::strtoull(spec.c_str() + colon + 1, nullptr, 10);
+  if (kind == "crash_after") {
+    out.kind = Kind::kCrashAfter;
+  } else if (kind == "torn") {
+    out.kind = Kind::kTorn;
+  } else if (kind == "bitflip") {
+    out.kind = Kind::kBitFlip;
+  }
+  return out;
+}
+
+FaultSpec FaultSpec::FromEnv() {
+  const char* env = std::getenv("HAC_WAL_FAULT");
+  return env != nullptr ? Parse(env) : FaultSpec{};
+}
+
+// ---------------------------------------------------------------------------
+// RealFile
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<RealFile>> RealFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Error(ErrorCode::kNotFound, path + ": " + std::strerror(errno));
+  }
+  return std::unique_ptr<RealFile>(new RealFile(fd));
+}
+
+RealFile::~RealFile() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Result<void> RealFile::Append(const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t put = ::write(fd_, p, n);
+    if (put < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Error(ErrorCode::kBusy, std::string("write: ") + std::strerror(errno));
+    }
+    p += put;
+    n -= static_cast<size_t>(put);
+  }
+  return OkResult();
+}
+
+Result<void> RealFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Error(ErrorCode::kBusy, std::string("fsync: ") + std::strerror(errno));
+  }
+  return OkResult();
+}
+
+// ---------------------------------------------------------------------------
+// FaultyFile
+// ---------------------------------------------------------------------------
+
+FaultyFile::FaultyFile(const std::string& path, FaultSpec fault)
+    : path_(path), fault_(fault) {}
+
+Result<void> FaultyFile::FlushToDisk(const uint8_t* data, size_t n) {
+  HAC_ASSIGN_OR_RETURN(std::unique_ptr<RealFile> f, RealFile::Open(path_));
+  if (n > 0) {
+    HAC_RETURN_IF_ERROR(f->Append(data, n));
+  }
+  return f->Sync();
+}
+
+Result<void> FaultyFile::Append(const void* data, size_t n) {
+  if (dead_) {
+    return OkResult();  // the modelled process is gone; nothing observes this write
+  }
+  ++writes_;
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  if (fault_.kind == FaultSpec::Kind::kTorn && writes_ == fault_.at_write) {
+    // The kernel flushed everything buffered plus half of this frame, then the
+    // machine died: the log ends in a torn frame.
+    std::vector<uint8_t> torn(unsynced_);
+    torn.insert(torn.end(), bytes, bytes + n / 2);
+    HAC_RETURN_IF_ERROR(FlushToDisk(torn.data(), torn.size()));
+    unsynced_.clear();
+    dead_ = true;
+    return OkResult();
+  }
+  unsynced_.insert(unsynced_.end(), bytes, bytes + n);
+  if (fault_.kind == FaultSpec::Kind::kBitFlip && writes_ == fault_.at_write &&
+      !unsynced_.empty()) {
+    // Silent media corruption: one bit of the just-buffered frame flips and the
+    // write path never notices — only the CRC check at recovery does.
+    unsynced_[unsynced_.size() - 1 - n / 2] ^= 0x10;
+  }
+  if (fault_.kind == FaultSpec::Kind::kCrashAfter && writes_ >= fault_.at_write) {
+    // Crash before the fsync: the buffered ("page cache") suffix is lost.
+    unsynced_.clear();
+    dead_ = true;
+  }
+  return OkResult();
+}
+
+Result<void> FaultyFile::Sync() {
+  if (dead_) {
+    return Error(ErrorCode::kBusy, "wal: injected crash (" + path_ + ")");
+  }
+  HAC_RETURN_IF_ERROR(FlushToDisk(unsynced_.data(), unsynced_.size()));
+  unsynced_.clear();
+  return OkResult();
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+void DurableStore::EncodeFrame(uint64_t lsn, const JournalRecord& rec,
+                               std::vector<uint8_t>& out) {
+  ByteWriter payload;
+  payload.PutVarint(lsn);
+  payload.PutU8(static_cast<uint8_t>(rec.op));
+  payload.PutVarint(rec.subject);
+  payload.PutString(rec.a);
+  payload.PutString(rec.b);
+  const std::vector<uint8_t>& body = payload.buffer();
+  ByteWriter header;
+  header.PutU32(static_cast<uint32_t>(body.size()));
+  header.PutU32(Crc32(body.data(), body.size()));
+  out.insert(out.end(), header.buffer().begin(), header.buffer().end());
+  out.insert(out.end(), body.begin(), body.end());
+}
+
+std::vector<DurableStore::DecodedFrame> DurableStore::DecodeFrames(
+    const std::vector<uint8_t>& bytes, bool* truncated, std::string* detail) {
+  std::vector<DecodedFrame> out;
+  if (truncated != nullptr) {
+    *truncated = false;
+  }
+  auto stop = [&](const std::string& why) {
+    if (truncated != nullptr) {
+      *truncated = true;
+    }
+    if (detail != nullptr) {
+      *detail = why;
+    }
+    CorruptFramesCounter().Inc();
+  };
+  ByteReader r(bytes);
+  while (!r.AtEnd()) {
+    if (r.remaining() < 8) {
+      stop("torn frame header (" + std::to_string(r.remaining()) + " trailing bytes)");
+      break;
+    }
+    auto len = r.GetU32();
+    auto crc = r.GetU32();
+    if (!len.ok() || !crc.ok() || len.value() > r.remaining()) {
+      stop("truncated frame body (want " +
+           std::to_string(len.ok() ? len.value() : 0) + " bytes, have " +
+           std::to_string(r.remaining()) + ")");
+      break;
+    }
+    std::vector<uint8_t> body(len.value());
+    if (!r.GetBytes(body.data(), body.size()).ok()) {
+      stop("truncated frame body");
+      break;
+    }
+    if (Crc32(body.data(), body.size()) != crc.value()) {
+      stop("crc mismatch at frame " + std::to_string(out.size()));
+      break;
+    }
+    ByteReader b(body.data(), body.size());
+    DecodedFrame frame;
+    auto lsn = b.GetVarint();
+    auto op = b.GetU8();
+    auto subject = op.ok() ? b.GetVarint() : Result<uint64_t>(op.error());
+    auto a = subject.ok() ? b.GetString() : Result<std::string>(subject.error());
+    auto bb = a.ok() ? b.GetString() : Result<std::string>(a.error());
+    if (!lsn.ok() || !bb.ok() || op.value() == 0 ||
+        op.value() > static_cast<uint8_t>(kMaxJournalOp)) {
+      stop("malformed frame payload at frame " + std::to_string(out.size()));
+      break;
+    }
+    frame.lsn = lsn.value();
+    frame.record.op = static_cast<JournalOp>(op.value());
+    frame.record.subject = subject.value();
+    frame.record.a = std::move(a).value();
+    frame.record.b = std::move(bb).value();
+    out.push_back(std::move(frame));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+Result<void> DurableStore::ApplyRecord(HacFileSystem& fs, const JournalRecord& rec) {
+  switch (rec.op) {
+    case JournalOp::kDirCreated: {
+      Result<void> s = fs.Mkdir(rec.a);
+      if (!s.ok() && s.code() == ErrorCode::kAlreadyExists) {
+        return OkResult();
+      }
+      return s;
+    }
+    case JournalOp::kDirRemoved:
+      return fs.Rmdir(rec.a);
+    case JournalOp::kFileRegistered: {
+      HAC_ASSIGN_OR_RETURN(Fd fd, fs.Open(rec.a, kOpenWrite | kOpenCreate));
+      return fs.Close(fd);
+    }
+    case JournalOp::kQuerySet:
+      return fs.SetQuery(rec.a, rec.b);
+    case JournalOp::kRename:
+      return fs.Rename(rec.a, rec.b);
+    case JournalOp::kFileWritten: {
+      HAC_ASSIGN_OR_RETURN(Fd fd, fs.Open(rec.a, kOpenWrite | kOpenCreate));
+      Result<uint64_t> seek = fs.Seek(fd, rec.subject);
+      Result<size_t> put =
+          seek.ok() ? fs.Write(fd, rec.b.data(), rec.b.size()) : Result<size_t>(seek.error());
+      HAC_RETURN_IF_ERROR(fs.Close(fd));
+      if (!put.ok()) {
+        return put.error();
+      }
+      return OkResult();
+    }
+    case JournalOp::kFileTruncated: {
+      HAC_ASSIGN_OR_RETURN(Fd fd, fs.Open(rec.a, kOpenWrite | kOpenTruncate));
+      return fs.Close(fd);
+    }
+    case JournalOp::kUnlinked:
+      return fs.Unlink(rec.a);
+    case JournalOp::kSymlinked:
+      return fs.Symlink(rec.b, rec.a);
+    case JournalOp::kLinkPromoted:
+      return fs.PromoteLink(rec.a);
+    case JournalOp::kLinkDemoted:
+      return fs.DemoteLink(rec.a);
+    case JournalOp::kProhibitAdded:
+      return fs.Prohibit(rec.a, rec.b);
+    case JournalOp::kProhibitCleared:
+      return fs.Unprohibit(rec.a, rec.b);
+    case JournalOp::kFileDeactivated:
+    case JournalOp::kLinkAdded:
+    case JournalOp::kLinkRemoved:
+    case JournalOp::kMount:
+    case JournalOp::kUnmount:
+      return OkResult();  // bookkeeping echo: replay re-derives this state
+  }
+  return OkResult();
+}
+
+// ---------------------------------------------------------------------------
+// DurableStore
+// ---------------------------------------------------------------------------
+
+DurableStore::DurableStore(DurabilityOptions options) : options_(std::move(options)) {}
+
+Result<std::unique_ptr<DurableStore>> DurableStore::Open(DurabilityOptions options) {
+  if (options.data_dir.empty()) {
+    return Error(ErrorCode::kInvalidArgument, "durability needs a data_dir");
+  }
+  std::error_code ec;
+  fs_std::create_directories(options.data_dir, ec);
+  if (ec) {
+    return Error(ErrorCode::kInvalidArgument,
+                 options.data_dir + ": " + ec.message());
+  }
+  return std::unique_ptr<DurableStore>(new DurableStore(std::move(options)));
+}
+
+std::vector<std::pair<uint64_t, std::string>> DurableStore::ListGeneration(
+    const std::string& prefix, const std::string& suffix) const {
+  std::vector<std::pair<uint64_t, std::string>> out;
+  std::error_code ec;
+  for (const auto& entry : fs_std::directory_iterator(options_.data_dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() != prefix.size() + 16 + suffix.size() ||
+        name.compare(0, prefix.size(), prefix) != 0 ||
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) != 0) {
+      continue;
+    }
+    uint64_t lsn = std::strtoull(name.c_str() + prefix.size(), nullptr, 16);
+    out.emplace_back(lsn, entry.path().string());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return out;
+}
+
+Result<void> DurableStore::OpenWalSegment(uint64_t start_lsn) {
+  wal_start_lsn_ = start_lsn;
+  wal_path_ = (fs_std::path(options_.data_dir) /
+               GenerationFileName(kWalPrefix, start_lsn, kWalSuffix))
+                  .string();
+  if (options_.wal_fault.active()) {
+    wal_ = std::make_unique<FaultyFile>(wal_path_, options_.wal_fault);
+    return OkResult();
+  }
+  HAC_ASSIGN_OR_RETURN(std::unique_ptr<RealFile> f, RealFile::Open(wal_path_));
+  wal_ = std::move(f);
+  return OkResult();
+}
+
+Result<std::unique_ptr<HacFileSystem>> DurableStore::Recover(HacOptions fs_options) {
+  const auto started = std::chrono::steady_clock::now();
+  recovery_ = RecoveryInfo{};
+
+  // 1. Newest checkpoint that validates end to end; older generations are the
+  // fallback for a checkpoint torn mid-write (its rename never happened, or the
+  // image fails its CRC).
+  std::unique_ptr<HacFileSystem> fs;
+  for (const auto& [lsn, path] : ListGeneration(kCheckpointPrefix, kCheckpointSuffix)) {
+    auto bytes = ReadWholeFile(path);
+    if (!bytes.ok()) {
+      continue;
+    }
+    ByteReader r(bytes.value());
+    auto magic = r.GetU32();
+    auto version = r.GetU32();
+    auto cp_lsn = r.GetU64();
+    auto crc = r.GetU32();
+    auto len = r.GetVarint();
+    if (!magic.ok() || magic.value() != kCheckpointMagic || !version.ok() ||
+        version.value() != kCheckpointVersion || !cp_lsn.ok() || !crc.ok() ||
+        !len.ok() || len.value() != r.remaining()) {
+      CorruptFramesCounter().Inc();
+      continue;
+    }
+    std::vector<uint8_t> image(len.value());
+    if (!r.GetBytes(image.data(), image.size()).ok() ||
+        Crc32(image.data(), image.size()) != crc.value()) {
+      CorruptFramesCounter().Inc();
+      continue;
+    }
+    auto loaded = HacFileSystem::LoadState(image, fs_options);
+    if (!loaded.ok()) {
+      CorruptFramesCounter().Inc();
+      continue;
+    }
+    fs = std::move(loaded).value();
+    recovery_.checkpoint_lsn = cp_lsn.value();
+    recovery_.checkpoint_file = path;
+    break;
+  }
+  if (fs == nullptr) {
+    fs = std::make_unique<HacFileSystem>(fs_options);
+  }
+
+  // 2. Replay the log tail in segment order, skipping frames the checkpoint
+  // already covers, stopping at the first invalid frame. A segment that stops
+  // early is repaired to its valid prefix and everything after it is dropped, so
+  // post-recovery appends never hide behind a corrupt frame.
+  auto segments = ListGeneration(kWalPrefix, kWalSuffix);
+  std::sort(segments.begin(), segments.end());  // ascending for replay
+  uint64_t max_lsn = recovery_.checkpoint_lsn;
+  bool stopped = false;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [seg_lsn, seg_path] = segments[i];
+    if (stopped) {
+      std::error_code ec;
+      fs_std::remove(seg_path, ec);
+      continue;
+    }
+    auto bytes = ReadWholeFile(seg_path);
+    if (!bytes.ok()) {
+      continue;
+    }
+    bool truncated = false;
+    std::string detail;
+    std::vector<DecodedFrame> frames = DecodeFrames(bytes.value(), &truncated, &detail);
+    for (const DecodedFrame& frame : frames) {
+      max_lsn = std::max(max_lsn, frame.lsn);
+      if (frame.lsn <= recovery_.checkpoint_lsn) {
+        ++recovery_.skipped_records;
+        continue;
+      }
+      Result<void> applied = ApplyRecord(*fs, frame.record);
+      if (applied.ok()) {
+        ++recovery_.replayed_records;
+      } else {
+        ++recovery_.replay_errors;
+      }
+    }
+    if (truncated) {
+      stopped = true;
+      recovery_.tail_truncated = true;
+      recovery_.detail = seg_path + ": " + detail;
+      // Rewrite the segment as its valid prefix (frames re-encode byte-identically).
+      std::vector<uint8_t> repaired;
+      for (const DecodedFrame& frame : frames) {
+        EncodeFrame(frame.lsn, frame.record, repaired);
+      }
+      std::error_code ec;
+      fs_std::remove(seg_path, ec);
+      auto f = RealFile::Open(seg_path);
+      if (f.ok()) {
+        (void)f.value()->Append(repaired.data(), repaired.size());
+        (void)f.value()->Sync();
+      }
+    }
+  }
+
+  // 3. Settle data consistency, then discard the bookkeeping the replay itself
+  // journalled — those mutations are already in the log.
+  if (recovery_.replayed_records > 0) {
+    HAC_RETURN_IF_ERROR(fs->Reindex());
+  }
+  (void)fs->DrainJournal();
+
+  last_lsn_ = max_lsn;
+  last_checkpoint_lsn_ = recovery_.checkpoint_lsn;
+  records_since_checkpoint_ = recovery_.replayed_records;
+  bytes_since_checkpoint_ = 0;
+  // Continue in the newest surviving segment (or start the genesis one).
+  uint64_t segment = recovery_.checkpoint_lsn;
+  for (const auto& [seg_lsn, seg_path] : ListGeneration(kWalPrefix, kWalSuffix)) {
+    segment = std::max(segment, seg_lsn);
+    break;  // newest-first listing
+  }
+  HAC_RETURN_IF_ERROR(OpenWalSegment(segment));
+
+  RecoveriesCounter().Inc();
+  ReplayedCounter().Inc(recovery_.replayed_records);
+  RecoveryHistogram().Record(ElapsedUs(started));
+  return fs;
+}
+
+Result<void> DurableStore::CommitFrom(HacFileSystem& fs) {
+  if (wal_ == nullptr) {
+    HAC_RETURN_IF_ERROR(OpenWalSegment(last_checkpoint_lsn_));
+  }
+  std::vector<JournalRecord> records = fs.DrainJournal();
+  uint64_t appended = 0;
+  uint64_t bytes = 0;
+  for (const JournalRecord& rec : records) {
+    if (!IsReplayableOp(rec.op)) {
+      continue;
+    }
+    std::vector<uint8_t> frame;
+    EncodeFrame(++last_lsn_, rec, frame);
+    HAC_RETURN_IF_ERROR(wal_->Append(frame.data(), frame.size()));
+    ++appended;
+    bytes += frame.size();
+  }
+  if (appended == 0) {
+    return OkResult();  // read-only batch: no fsync needed
+  }
+  const auto fsync_started = std::chrono::steady_clock::now();
+  HAC_RETURN_IF_ERROR(wal_->Sync());
+  FsyncHistogram().Record(ElapsedUs(fsync_started));
+  WalAppendsCounter().Inc(appended);
+  WalBytesCounter().Inc(bytes);
+  records_since_checkpoint_ += appended;
+  bytes_since_checkpoint_ += bytes;
+  return OkResult();
+}
+
+bool DurableStore::ShouldCheckpoint() const {
+  return (options_.checkpoint_interval_records != 0 &&
+          records_since_checkpoint_ >= options_.checkpoint_interval_records) ||
+         (options_.checkpoint_interval_bytes != 0 &&
+          bytes_since_checkpoint_ >= options_.checkpoint_interval_bytes);
+}
+
+Result<void> DurableStore::Checkpoint(HacFileSystem& fs) {
+  const auto started = std::chrono::steady_clock::now();
+  std::vector<uint8_t> image = fs.SaveState();
+  const uint64_t lsn = last_lsn_;
+
+  ByteWriter w;
+  w.PutU32(kCheckpointMagic);
+  w.PutU32(kCheckpointVersion);
+  w.PutU64(lsn);
+  w.PutU32(Crc32(image.data(), image.size()));
+  w.PutVarint(image.size());
+  w.PutBytes(image.data(), image.size());
+
+  // Write-temp, fsync, rename, fsync-dir: readers only ever see a complete image
+  // under the final name. The temp file stays a RealFile even under fault
+  // injection — the crash matrix injects checkpoint damage separately.
+  const std::string final_path =
+      (fs_std::path(options_.data_dir) /
+       GenerationFileName(kCheckpointPrefix, lsn, kCheckpointSuffix))
+          .string();
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    HAC_ASSIGN_OR_RETURN(std::unique_ptr<RealFile> f, RealFile::Open(tmp_path));
+    HAC_RETURN_IF_ERROR(f->Append(w.buffer().data(), w.buffer().size()));
+    HAC_RETURN_IF_ERROR(f->Sync());
+  }
+  std::error_code ec;
+  fs_std::rename(tmp_path, final_path, ec);
+  if (ec) {
+    return Error(ErrorCode::kBusy, "rename " + tmp_path + ": " + ec.message());
+  }
+  HAC_RETURN_IF_ERROR(SyncDirectory(options_.data_dir));
+
+  last_checkpoint_lsn_ = lsn;
+  records_since_checkpoint_ = 0;
+  bytes_since_checkpoint_ = 0;
+  // Rotate the log: frames after this checkpoint land in a fresh segment, so
+  // pruning can drop whole files once two newer checkpoints exist.
+  HAC_RETURN_IF_ERROR(OpenWalSegment(lsn));
+  HAC_RETURN_IF_ERROR(PruneGenerations());
+
+  CheckpointsCounter().Inc();
+  CheckpointHistogram().Record(ElapsedUs(started));
+  return OkResult();
+}
+
+Result<void> DurableStore::PruneGenerations() {
+  // Keep the two newest checkpoints; everything the older of the two no longer
+  // needs — older checkpoints, and WAL segments fully covered by it — goes.
+  auto checkpoints = ListGeneration(kCheckpointPrefix, kCheckpointSuffix);
+  if (checkpoints.size() < 2) {
+    return OkResult();
+  }
+  const uint64_t keep_from = checkpoints[1].first;  // older retained generation
+  std::error_code ec;
+  for (size_t i = 2; i < checkpoints.size(); ++i) {
+    fs_std::remove(checkpoints[i].second, ec);
+  }
+  for (const auto& [seg_lsn, seg_path] : ListGeneration(kWalPrefix, kWalSuffix)) {
+    if (seg_lsn < keep_from) {
+      fs_std::remove(seg_path, ec);
+    }
+  }
+  return OkResult();
+}
+
+}  // namespace hac

@@ -1,0 +1,215 @@
+// Crash-safe persistence for HacFileSystem: on-disk write-ahead log, atomic
+// checkpoints, and recovery.
+//
+// The in-memory MetadataJournal models the paper's synchronous metadata writes; this
+// layer makes them real. The contract (documented in full in docs/DURABILITY.md):
+//
+//   * WAL — every replayable JournalRecord (see IsReplayableOp) is drained from the
+//     facade's journal at each group commit and appended to the current WAL segment
+//     as a length-prefixed, CRC32-framed record tagged with a monotone LSN. The
+//     segment is fsynced once per commit; CommitFrom() returns only after the frames
+//     are durable, so the service layer can acknowledge the batch.
+//   * Checkpoint — Checkpoint() persists the facade's full SaveState() image (VFS +
+//     registry + per-directory state + index snapshot) atomically: write to a temp
+//     file, fsync, rename into place, fsync the directory. It then starts a fresh
+//     WAL segment and prunes segments and checkpoint generations no longer needed
+//     (the newest two checkpoints are retained, so a crash that tears the newest one
+//     still recovers from its predecessor plus the surviving log).
+//   * Recovery — Recover() loads the newest checkpoint that validates (magic,
+//     version, CRC), falls back to older generations or an empty file system, then
+//     replays the WAL tail in LSN order through the public facade API, skipping
+//     records at or below the checkpoint LSN and stopping cleanly at the first
+//     torn, truncated, or CRC-corrupt frame (ErrorCode::kCorrupt semantics: the
+//     damaged suffix is discarded, everything before it is served). A final
+//     Reindex() restores data consistency.
+//
+// Fault injection: DurableFile is the seam. FaultyFile buffers writes until Sync()
+// (modelling the volatile page cache) and can crash after N writes, tear the final
+// frame in half, or flip a bit — driven programmatically or via the HAC_WAL_FAULT
+// environment variable ("crash_after:N" | "torn:N" | "bitflip:N"). The recovery test
+// matrix in tests/core/durability_test.cc is built on it.
+#ifndef HAC_CORE_DURABILITY_H_
+#define HAC_CORE_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/hac_file_system.h"
+
+namespace hac {
+
+// IEEE CRC-32 (the zlib polynomial), table-driven. Seed 0; not reflected-output
+// tricks — the value only ever meets its own producer.
+uint32_t Crc32(const uint8_t* data, size_t n, uint32_t seed = 0);
+
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+struct FaultSpec {
+  enum class Kind : uint8_t {
+    kNone = 0,
+    kCrashAfter,  // after N writes, drop unsynced data and go dead (crash pre-fsync)
+    kTorn,        // on write N, persist only the first half of it, then go dead
+    kBitFlip,     // on write N, flip one bit in the persisted bytes, then continue
+  };
+  Kind kind = Kind::kNone;
+  uint64_t at_write = 0;
+
+  bool active() const { return kind != Kind::kNone; }
+
+  // Parses "crash_after:N" / "torn:N" / "bitflip:N" (empty or unknown -> kNone).
+  static FaultSpec Parse(const std::string& spec);
+  // Reads the HAC_WAL_FAULT environment variable.
+  static FaultSpec FromEnv();
+};
+
+// Append-only file abstraction the WAL and checkpoint writers go through.
+class DurableFile {
+ public:
+  virtual ~DurableFile() = default;
+  // Buffers or writes `n` bytes at the end of the file.
+  virtual Result<void> Append(const void* data, size_t n) = 0;
+  // Makes every appended byte durable. CommitFrom() acknowledges only after this.
+  virtual Result<void> Sync() = 0;
+};
+
+// Production file: POSIX append + fsync.
+class RealFile : public DurableFile {
+ public:
+  static Result<std::unique_ptr<RealFile>> Open(const std::string& path);
+  ~RealFile() override;
+  Result<void> Append(const void* data, size_t n) override;
+  Result<void> Sync() override;
+
+ private:
+  explicit RealFile(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+// Fault-injecting file. Writes accumulate in a volatile buffer ("page cache") and
+// reach the backing file only at Sync() — so a crash before fsync deterministically
+// loses exactly the unsynced suffix, which a real kernel page cache would hide from
+// a same-machine test. When the configured fault fires the file goes dead: the
+// on-disk state is frozen in its crash shape and later appends/syncs are swallowed
+// (the "process" has crashed; the service notices via the next commit's error).
+class FaultyFile : public DurableFile {
+ public:
+  FaultyFile(const std::string& path, FaultSpec fault);
+  Result<void> Append(const void* data, size_t n) override;
+  Result<void> Sync() override;
+  bool dead() const { return dead_; }
+
+ private:
+  Result<void> FlushToDisk(const uint8_t* data, size_t n);
+
+  std::string path_;
+  FaultSpec fault_;
+  std::vector<uint8_t> unsynced_;
+  uint64_t writes_ = 0;
+  bool dead_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// DurableStore
+// ---------------------------------------------------------------------------
+
+struct DurabilityOptions {
+  std::string data_dir;
+  // Checkpoint policy: ShouldCheckpoint() turns true when this many WAL records
+  // (or bytes) have accumulated since the last checkpoint. 0 disables that trigger.
+  uint64_t checkpoint_interval_records = 4096;
+  uint64_t checkpoint_interval_bytes = 4u << 20;
+  // Fault injection for the WAL file (checkpoint temp files stay real so the
+  // matrix rows stay independent). Defaults to HAC_WAL_FAULT.
+  FaultSpec wal_fault = FaultSpec::FromEnv();
+};
+
+struct RecoveryInfo {
+  uint64_t checkpoint_lsn = 0;     // 0 = recovered from an empty/genesis state
+  std::string checkpoint_file;     // empty when no checkpoint was used
+  uint64_t replayed_records = 0;   // WAL frames re-executed through the facade
+  uint64_t skipped_records = 0;    // frames at or below the checkpoint LSN
+  uint64_t replay_errors = 0;      // frames whose re-execution failed (tolerated)
+  bool tail_truncated = false;     // replay stopped at a torn/corrupt frame
+  std::string detail;              // human-readable note about the stop reason
+};
+
+// One data directory. Layout:
+//   checkpoint-<lsn,16 hex>.hacs   full SaveState image, CRC-sealed header
+//   wal-<lsn,16 hex>.log           frames with LSNs > <lsn>, in order
+// Single-threaded like the facade it persists: the service layer calls it from the
+// writer thread only.
+class DurableStore {
+ public:
+  // Opens (creating if needed) the data directory and scans generations. Does not
+  // read the state yet — call Recover() for that.
+  static Result<std::unique_ptr<DurableStore>> Open(DurabilityOptions options);
+
+  // Builds the file system the directory describes: newest valid checkpoint plus
+  // the surviving WAL tail, reindexed. On a fresh directory returns an empty
+  // facade. Also drains the recovered instance's journal (replay re-journals) and
+  // writes nothing — the caller decides when the first checkpoint happens.
+  Result<std::unique_ptr<HacFileSystem>> Recover(HacOptions fs_options = {});
+  const RecoveryInfo& recovery_info() const { return recovery_; }
+
+  // Group commit: drains every journal record `fs` accumulated, appends the
+  // replayable ones as WAL frames, and fsyncs once. The caller must not release
+  // acknowledgements for the drained mutations before this returns OK.
+  Result<void> CommitFrom(HacFileSystem& fs);
+
+  // Atomic checkpoint (write-temp, fsync, rename, fsync dir), WAL rotation, and
+  // pruning of generations older than the previous retained checkpoint.
+  Result<void> Checkpoint(HacFileSystem& fs);
+
+  bool ShouldCheckpoint() const;
+
+  uint64_t last_lsn() const { return last_lsn_; }
+  uint64_t records_since_checkpoint() const { return records_since_checkpoint_; }
+  uint64_t bytes_since_checkpoint() const { return bytes_since_checkpoint_; }
+  const DurabilityOptions& options() const { return options_; }
+
+  // --- shared frame codec (exposed for tests and fsck tooling) ---
+
+  // Appends one frame (u32 length | u32 crc | payload) to `out`.
+  static void EncodeFrame(uint64_t lsn, const JournalRecord& rec,
+                          std::vector<uint8_t>& out);
+  struct DecodedFrame {
+    uint64_t lsn = 0;
+    JournalRecord record;
+  };
+  // Decodes every valid frame from the front of `bytes`; stops at the first torn,
+  // truncated or corrupt frame. `truncated`/`detail` report whether and why the
+  // scan stopped early.
+  static std::vector<DecodedFrame> DecodeFrames(const std::vector<uint8_t>& bytes,
+                                                bool* truncated, std::string* detail);
+
+  // Re-executes one replayed record through the public facade API. Exposed so the
+  // clean-replay reference in tests shares the exact semantics.
+  static Result<void> ApplyRecord(HacFileSystem& fs, const JournalRecord& rec);
+
+ private:
+  explicit DurableStore(DurabilityOptions options);
+
+  Result<void> OpenWalSegment(uint64_t start_lsn);
+  Result<void> PruneGenerations();
+  // Newest-first list of (lsn, path) for files matching `prefix`.
+  std::vector<std::pair<uint64_t, std::string>> ListGeneration(
+      const std::string& prefix, const std::string& suffix) const;
+
+  DurabilityOptions options_;
+  std::unique_ptr<DurableFile> wal_;
+  std::string wal_path_;
+  uint64_t wal_start_lsn_ = 0;       // segment name; frames in it have lsn > this
+  uint64_t last_lsn_ = 0;            // highest LSN ever assigned (or recovered)
+  uint64_t last_checkpoint_lsn_ = 0;
+  uint64_t records_since_checkpoint_ = 0;
+  uint64_t bytes_since_checkpoint_ = 0;
+  RecoveryInfo recovery_;
+};
+
+}  // namespace hac
+
+#endif  // HAC_CORE_DURABILITY_H_

@@ -222,6 +222,7 @@ Result<Fd> HacFileSystem::Open(const std::string& path, uint32_t flags) {
       (void)registry_.MarkDirty(doc.value());
     }
     attr_cache_.Invalidate(inode);
+    journal_.Append(JournalOp::kFileTruncated, 0, r.path);
     NoteContentMutation();
   }
   return processes_[current_process_].Allocate(HacOpenFile{&vfs_, backend_fd, inode, r.path});
@@ -248,6 +249,14 @@ Result<size_t> HacFileSystem::Write(Fd fd, const void* buf, size_t n) {
       (void)registry_.MarkDirty(doc.value());
     }
     attr_cache_.Invalidate(of->inode);
+    // inode valid ⇒ local file ⇒ the backend is our VFS: the post-write offset minus
+    // the byte count is where this write landed. Journaled with the payload so the
+    // WAL can replay it (appends land at the same place because replay preserves
+    // operation order).
+    auto pos = vfs_.Tell(of->backend_fd);
+    const uint64_t at = pos.ok() && pos.value() >= put ? pos.value() - put : 0;
+    journal_.Append(JournalOp::kFileWritten, at, of->path,
+                    std::string_view(static_cast<const char*>(buf), put));
     NoteContentMutation();
   }
   return put;
@@ -289,6 +298,7 @@ Result<void> HacFileSystem::Unlink(const std::string& path) {
 
   if (st.type == NodeType::kSymlink) {
     HAC_RETURN_IF_ERROR(vfs_.Unlink(r.path));
+    journal_.Append(JournalOp::kUnlinked, 0, r.path);
     auto meta = MetaOfPath(parent_path);
     if (meta.ok() && meta.value()->links.Find(name) != nullptr) {
       // Explicit user deletion: the link becomes prohibited and must never be
@@ -301,6 +311,7 @@ Result<void> HacFileSystem::Unlink(const std::string& path) {
 
   // Regular file: deferred data consistency — links elsewhere dangle until reindex.
   HAC_RETURN_IF_ERROR(vfs_.Unlink(r.path));
+  journal_.Append(JournalOp::kUnlinked, 0, r.path);
   if (auto doc = registry_.FindByInode(st.inode); doc.ok()) {
     (void)registry_.Deactivate(doc.value());
     journal_.Append(JournalOp::kFileDeactivated, doc.value(), r.path);
@@ -433,6 +444,7 @@ Result<void> HacFileSystem::Symlink(const std::string& target, const std::string
   std::string name = BaseName(r.path);
   auto meta = MetaOfPath(parent_path);
   if (!meta.ok()) {
+    journal_.Append(JournalOp::kSymlinked, 0, r.path, target);
     return OkResult();  // parent untracked (shouldn't happen for local dirs)
   }
   DirMetadata* m = meta.value();
@@ -460,6 +472,9 @@ Result<void> HacFileSystem::Symlink(const std::string& target, const std::string
     HAC_RETURN_IF_ERROR(m->links.AddForeignLink(name));
   }
   journal_.Append(JournalOp::kLinkAdded, m->uid, name, abs_target);
+  // The replayable record keeps the target verbatim (possibly relative): replay must
+  // recreate the identical symlink, not its resolution.
+  journal_.Append(JournalOp::kSymlinked, m->uid, r.path, target);
   return engine_->NotifyScopeChanged(m->uid, &delta);
 }
 

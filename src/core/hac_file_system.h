@@ -182,6 +182,12 @@ class HacFileSystem final : public FsInterface {
   const UidMap& uid_map() const { return uid_map_; }
   const DependencyGraph& dependency_graph() const { return graph_; }
   const MetadataJournal& journal() const { return journal_; }
+  // Drains up to `max_records` buffered journal records (0 = all): the durability
+  // layer moves them into the on-disk WAL at each group commit, bounding the
+  // in-memory buffer.
+  std::vector<JournalRecord> DrainJournal(size_t max_records = 0) {
+    return journal_.Drain(max_records);
+  }
   // Unified counter snapshot: facade counters plus the index and VFS component views.
   StatsSnapshot Stats() const;
 

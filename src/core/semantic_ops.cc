@@ -52,7 +52,7 @@ Result<void> HacFileSystem::SetQuery(const std::string& path, const std::string&
     HAC_RETURN_IF_ERROR(status);
     HAC_ASSIGN_OR_RETURN(std::vector<DirUid> deps, ComputeDeps(uid, r.path, nullptr));
     HAC_RETURN_IF_ERROR(graph_.SetDependencies(uid, deps));
-    journal_.Append(JournalOp::kQuerySet, uid, "");
+    journal_.Append(JournalOp::kQuerySet, uid, r.path, "");
     // Dependents see every formerly provided transient doc as the delta.
     return engine_->NotifyScopeChanged(uid, &old_transient);
   }
@@ -81,7 +81,7 @@ Result<void> HacFileSystem::SetQuery(const std::string& path, const std::string&
   meta->query = std::move(ast);
   // A cached evaluation of the previous query says nothing about this one.
   engine_->InvalidateCache(uid);
-  journal_.Append(JournalOp::kQuerySet, uid, query);
+  journal_.Append(JournalOp::kQuerySet, uid, r.path, query);
   return engine_->NotifyScopeChanged(uid);
 }
 
@@ -278,7 +278,7 @@ Result<void> HacFileSystem::PromoteLink(const std::string& link_path) {
   }
   HAC_ASSIGN_OR_RETURN(DirMetadata * meta, MetaOfPath(DirName(r.path)));
   HAC_RETURN_IF_ERROR(meta->links.Promote(BaseName(r.path)));
-  journal_.Append(JournalOp::kLinkAdded, meta->uid, BaseName(r.path), "promoted");
+  journal_.Append(JournalOp::kLinkPromoted, meta->uid, r.path);
   // Promotion changes classification, not membership: no propagation needed.
   return OkResult();
 }
@@ -296,7 +296,7 @@ Result<void> HacFileSystem::DemoteLink(const std::string& link_path) {
   }
   DocId doc = rec->doc;
   HAC_RETURN_IF_ERROR(meta->links.Demote(name));
-  journal_.Append(JournalOp::kLinkAdded, meta->uid, name, "demoted");
+  journal_.Append(JournalOp::kLinkDemoted, meta->uid, r.path);
   // Unlike promotion, demotion can change membership: the link is HAC's again and the
   // re-evaluation removes it unless the query still selects it.
   Bitmap delta;
@@ -318,13 +318,14 @@ Result<void> HacFileSystem::Prohibit(const std::string& dir_path,
   HAC_ASSIGN_OR_RETURN(DocId doc, registry_.FindByPath(norm_file));
   if (auto name = meta->links.NameOf(doc); name.ok()) {
     // Currently linked here: drop the link (and its symlink) on the way out.
+    journal_.Append(JournalOp::kProhibitAdded, meta->uid, r.path, norm_file);
     return ProhibitTrackedLink(meta, r.path, name.value(), /*unlink_vfs=*/true);
   }
   if (meta->links.IsProhibited(doc)) {
     return OkResult();
   }
   meta->links.Prohibit(doc);
-  journal_.Append(JournalOp::kLinkRemoved, meta->uid, norm_file, "prohibited");
+  journal_.Append(JournalOp::kProhibitAdded, meta->uid, r.path, norm_file);
   Bitmap delta;
   delta.Set(doc);
   return engine_->NotifyScopeChanged(meta->uid, &delta);
@@ -346,7 +347,7 @@ Result<void> HacFileSystem::Unprohibit(const std::string& dir_path,
     return Error(ErrorCode::kNotFound, norm_file + " is not prohibited here");
   }
   meta->links.Unprohibit(doc);
-  journal_.Append(JournalOp::kLinkAdded, meta->uid, norm_file, "unprohibited");
+  journal_.Append(JournalOp::kProhibitCleared, meta->uid, r.path, norm_file);
   // The file may now come back as a transient link.
   Bitmap delta;
   delta.Set(doc);

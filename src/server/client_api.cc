@@ -277,6 +277,12 @@ Result<std::vector<std::string>> RequestClient::SAct(const std::string& link_pat
   return std::move(resp.paths);
 }
 
+Result<void> RequestClient::Checkpoint() {
+  ServerRequest req;
+  req.op = ServerOp::kCheckpoint;
+  return VoidCall(std::move(req));
+}
+
 StatsSnapshot RequestClient::Stats() {
   ServerRequest req;
   req.op = ServerOp::kStats;

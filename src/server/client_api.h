@@ -64,6 +64,10 @@ class ClientApi {
   virtual Result<void> SSync(const std::string& path) = 0;
   virtual Result<std::vector<std::string>> SAct(const std::string& link_path) = 0;
 
+  // Persist a durability checkpoint now (docs/DURABILITY.md). Succeeds as a no-op
+  // when the service runs without a data directory.
+  virtual Result<void> Checkpoint() = 0;
+
   virtual StatsSnapshot Stats() = 0;
 
   // Process-global observability snapshot as JSON (docs/API.md "Introspection").
@@ -109,6 +113,7 @@ class RequestClient : public ClientApi {
   Result<void> Reindex() override;
   Result<void> SSync(const std::string& path) override;
   Result<std::vector<std::string>> SAct(const std::string& link_path) override;
+  Result<void> Checkpoint() override;
   StatsSnapshot Stats() override;
   Result<std::string> Introspect(const std::string& what = "stats") override;
 

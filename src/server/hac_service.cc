@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/core/durability.h"
 #include "src/support/metric_names.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
@@ -301,11 +302,37 @@ void HacService::WriterLoop() {
         }
         commit = scope.Commit();
       }
+      if (commit.ok() && options_.durable_store != nullptr) {
+        // Group commit to the WAL: the whole batch becomes durable with one fsync.
+        // Must succeed before any future below is fulfilled — an acknowledged write
+        // is on disk (docs/DURABILITY.md).
+        commit = options_.durable_store->CommitFrom(fs_);
+      }
       if (!commit.ok()) {
         // The group flush failed: every op that thought it succeeded did not settle.
         for (auto& r : responses) {
           if (r.ok()) {
             r.error = commit.error();
+          }
+        }
+      }
+      if (commit.ok() && options_.durable_store != nullptr) {
+        // Checkpoints run after the flush and the WAL commit so the persisted image
+        // includes every mutation in this batch. kCheckpoint requests report the
+        // checkpoint's own outcome; policy-triggered checkpoints fail soft (the WAL
+        // already holds everything acknowledged).
+        bool requested = false;
+        for (const auto& p : live) {
+          requested |= p->req.op == ServerOp::kCheckpoint;
+        }
+        if (requested || options_.durable_store->ShouldCheckpoint()) {
+          auto ck = options_.durable_store->Checkpoint(fs_);
+          if (!ck.ok()) {
+            for (size_t i = 0; i < live.size(); ++i) {
+              if (live[i]->req.op == ServerOp::kCheckpoint && responses[i].ok()) {
+                responses[i].error = ck.error();
+              }
+            }
           }
         }
       }
@@ -611,6 +638,10 @@ ServerResponse HacService::ExecuteWrite(Session* session, const ServerRequest& r
     case ServerOp::kCloseSession:
       CloseSessionDescriptors(session);
       break;
+    case ServerOp::kCheckpoint:
+      // The actual checkpoint runs in WriterLoop after the batch flush + WAL commit
+      // (the image must include this batch). Without a durable store it is a no-op.
+      break;
     default:
       resp.error = Error(ErrorCode::kInvalidArgument, "read op routed to write path");
       break;
@@ -634,6 +665,12 @@ void HacService::Stop() {
     write_queue_.Close();
     if (writer_.joinable()) {
       writer_.join();
+    }
+    if (options_.durable_store != nullptr) {
+      // Seal the store: persist any journal tail the writer left behind, then take
+      // a final checkpoint so the next start recovers without WAL replay.
+      (void)options_.durable_store->CommitFrom(fs_);
+      (void)options_.durable_store->Checkpoint(fs_);
     }
     if (options_.propagation_parallelism > 0) {
       fs_.SetPropagationPool(prev_propagation_pool_, prev_propagation_width_);

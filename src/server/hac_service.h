@@ -44,6 +44,8 @@
 
 namespace hac {
 
+class DurableStore;  // src/core/durability.h
+
 struct ServiceOptions {
   size_t read_workers = 4;
   size_t max_read_queue = 256;   // admitted-but-not-started read requests
@@ -63,6 +65,13 @@ struct ServiceOptions {
   // borrowed readers may all be blocked on the writer's exclusive lock: ParallelFor's
   // caller (the writer) participates, so propagation never waits on a pool slot.
   size_t propagation_parallelism = 0;
+  // Optional crash-safety hook (docs/DURABILITY.md). When set, the writer thread
+  // group-commits the facade's journal into the store's WAL after every batch flush
+  // and before any future in the batch is fulfilled — an acknowledged write is on
+  // disk. The writer also takes a checkpoint whenever the store's policy asks for
+  // one (DurabilityOptions thresholds) or a kCheckpoint request arrives, and Stop()
+  // seals the store with a final checkpoint. Not owned; must outlive the service.
+  DurableStore* durable_store = nullptr;
 };
 
 struct ServiceStats {

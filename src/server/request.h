@@ -12,7 +12,7 @@
 //           GetLinkClasses, ReadLink, Stats, Chdir (session-local cwd), Introspect
 //   write — Open, Close, WriteFd, WriteFile, Mkdir, SMkdir, SetQuery, Unlink, Rmdir,
 //           Rename, Symlink, PromoteLink, DemoteLink, Prohibit, Unprohibit, Reindex,
-//           SSync, SAct, CloseSession
+//           SSync, SAct, CloseSession, Checkpoint
 // Notes: Open allocates in the shared descriptor tables (and may create the file), so
 // it is a write even when opening read-only. SAct reads file content through the
 // kernel descriptor table, which allocates a transient fd — write class for that
@@ -69,6 +69,7 @@ enum class ServerOp : uint8_t {
   kSSync,
   kSAct,            // path = link path
   kCloseSession,    // internal: emitted by HacService::CloseSession
+  kCheckpoint,      // persist a durability checkpoint now (no-op without a data dir)
 };
 
 inline bool IsReadOp(ServerOp op) { return op < ServerOp::kOpen; }
@@ -76,7 +77,7 @@ inline bool IsReadOp(ServerOp op) { return op < ServerOp::kOpen; }
 // The highest assigned op. The wire codec and the docs_check gate iterate the enum
 // through this bound; bump it when appending an op (append only — the numeric values
 // are on the wire).
-inline constexpr ServerOp kMaxServerOp = ServerOp::kCloseSession;
+inline constexpr ServerOp kMaxServerOp = ServerOp::kCheckpoint;
 inline constexpr size_t kServerOpCount = static_cast<size_t>(kMaxServerOp) + 1;
 
 // Stable PascalCase identifier for each op, matching the classification table above
@@ -88,7 +89,7 @@ inline constexpr const char* kServerOpNames[kServerOpCount] = {
     "WriteFd",     "WriteFile",  "Mkdir",      "SMkdir",      "SetQuery",
     "Unlink",      "Rmdir",      "Rename",     "Symlink",     "PromoteLink",
     "DemoteLink",  "Prohibit",   "Unprohibit", "Reindex",     "SSync",
-    "SAct",        "CloseSession",
+    "SAct",        "CloseSession", "Checkpoint",
 };
 
 inline const char* ServerOpName(ServerOp op) {

@@ -14,7 +14,7 @@ namespace {
 // version-1 decoder can state its exact bounds at compile time. Growing either
 // enum without revisiting the codec (and these bounds) is a build error.
 static_assert(kMaxErrorCode == 20, "ErrorCode grew: extend the wire mapping bound");
-static_assert(kServerOpCount == 32, "ServerOp grew: extend the wire mapping bound");
+static_assert(kServerOpCount == 33, "ServerOp grew: extend the wire mapping bound");
 
 struct WireMetrics {
   MetricsRegistry& reg = MetricsRegistry::Global();

@@ -27,7 +27,7 @@ enum class ErrorCode : int {
   kCycle = 10,            // query would create a dependency cycle
   kParseError = 11,       // query language syntax error
   kUnsupported = 12,      // operation not supported by this name space
-  kCorrupt = 13,          // persisted image failed validation
+  kCorrupt = 13,          // persisted image, checkpoint or WAL frame failed validation
   kBusy = 14,             // object in use (e.g. open descriptors at unlink in strict mode)
   kPermission = 15,       // operation forbidden (e.g. editing a mount root)
   kCrossDevice = 16,      // rename across a mount boundary

@@ -67,6 +67,16 @@ inline constexpr const char* kServerConnectionsOpened = "hac.server.connections_
 inline constexpr const char* kServerConnectionsClosed = "hac.server.connections_closed";
 inline constexpr const char* kServerWireErrors = "hac.server.wire_errors";
 
+// --- durability: WAL + checkpoints + recovery (src/core/durability.cc) ---
+inline constexpr const char* kDurabilityWalAppends = "hac.durability.wal_appends";
+inline constexpr const char* kDurabilityWalBytes = "hac.durability.wal_bytes";
+inline constexpr const char* kDurabilityCheckpoints = "hac.durability.checkpoints";
+inline constexpr const char* kDurabilityRecoveries = "hac.durability.recoveries";
+inline constexpr const char* kDurabilityReplayedRecords =
+    "hac.durability.replayed_records";
+inline constexpr const char* kDurabilityCorruptFrames =
+    "hac.durability.corrupt_frames";
+
 // --- index / query path (src/index/inverted_index.cc) ---
 inline constexpr const char* kIndexQueries = "hac.index.queries";
 inline constexpr const char* kIndexDocsIndexed = "hac.index.docs_indexed";
@@ -102,6 +112,11 @@ inline constexpr const char* kConsistencyParallelBarrierWaitNs =
 // Wire codec cost per frame (encode: typed struct -> bytes; decode: the reverse).
 inline constexpr const char* kServerWireEncodeNs = "hac.server.wire_encode_ns";
 inline constexpr const char* kServerWireDecodeNs = "hac.server.wire_decode_ns";
+// Durability: one fsync per group commit; checkpoint/recovery are whole-operation
+// durations (recovery includes checkpoint load, WAL replay, and the reindex).
+inline constexpr const char* kDurabilityFsyncUs = "hac.durability.fsync_us";
+inline constexpr const char* kDurabilityCheckpointUs = "hac.durability.checkpoint_us";
+inline constexpr const char* kDurabilityRecoveryUs = "hac.durability.recovery_us";
 
 // --- span names (scoped regions recorded into the trace ring) ---
 inline constexpr const char* kSpanConsistencyPass = "consistency.pass";
@@ -121,6 +136,8 @@ inline constexpr const char* kAllCounters[] = {
     kServiceExecutedWrites, kServiceWriteBatches, kServiceIntrospectRequests,
     kServiceSessionsOpened, kServiceSessionsClosed, kServerBytesIn, kServerBytesOut,
     kServerConnectionsOpened, kServerConnectionsClosed, kServerWireErrors,
+    kDurabilityWalAppends, kDurabilityWalBytes, kDurabilityCheckpoints,
+    kDurabilityRecoveries, kDurabilityReplayedRecords, kDurabilityCorruptFrames,
     kIndexQueries, kIndexDocsIndexed, kIndexDocsRemoved, kTraceDropped,
 };
 inline constexpr const char* kAllGauges[] = {
@@ -134,6 +151,7 @@ inline constexpr const char* kAllHistograms[] = {
     kIndexQueryUs,          kIndexQuerySelectivityPct,
     kConsistencyParallelLevels, kConsistencyParallelWidth,
     kConsistencyParallelBarrierWaitNs, kServerWireEncodeNs, kServerWireDecodeNs,
+    kDurabilityFsyncUs, kDurabilityCheckpointUs, kDurabilityRecoveryUs,
 };
 inline constexpr const char* kAllSpans[] = {
     kSpanConsistencyPass,

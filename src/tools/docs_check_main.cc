@@ -6,7 +6,12 @@
 //   2. every backticked `hac.*` name in that doc must be a registered metric;
 //   3. (optional second argument) every ServerOp in the request.h classification
 //      table must appear backticked in docs/API.md — adding an op without
-//      documenting it fails CI.
+//      documenting it fails CI;
+//   4. (optional third argument) docs/DURABILITY.md must list every JournalOp as a
+//      backticked `JournalOp::kName` and every `hac.durability.*` metric, and — the
+//      reverse direction — every such token it mentions must exist in the code
+//      tables. A journal op or durability metric added without updating the
+//      durability contract (or removed while the doc still names it) fails CI.
 //
 // Runs as a ctest (`ctest -R docs_check`); exits nonzero listing each offender.
 #include <cctype>
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "src/core/metadata_journal.h"
 #include "src/server/request.h"
 #include "src/support/metric_names.h"
 #include "src/support/metrics.h"
@@ -52,9 +58,10 @@ bool ReadAll(const char* path, std::string& out) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2 || argc > 3) {
+  if (argc < 2 || argc > 4) {
     std::fprintf(stderr,
-                 "usage: docs_check <path-to-OBSERVABILITY.md> [path-to-API.md]\n");
+                 "usage: docs_check <path-to-OBSERVABILITY.md> [path-to-API.md] "
+                 "[path-to-DURABILITY.md]\n");
     return 2;
   }
   std::string doc;
@@ -109,7 +116,7 @@ int main(int argc, char** argv) {
   // The op name table is the same one the classification table in request.h and
   // the wire protocol docs use, so a newly appended op that never made it into
   // docs/API.md shows up here.
-  if (argc == 3) {
+  if (argc >= 3) {
     std::string api_doc;
     if (!ReadAll(argv[2], api_doc)) {
       std::fprintf(stderr, "docs_check: cannot read %s\n", argv[2]);
@@ -127,13 +134,77 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Direction 4: the durability contract names every journal op and every
+  // hac.durability.* metric — in both directions, like the observability doc.
+  if (argc >= 4) {
+    std::string dur_doc;
+    if (!ReadAll(argv[3], dur_doc)) {
+      std::fprintf(stderr, "docs_check: cannot read %s\n", argv[3]);
+      return 2;
+    }
+    const std::set<std::string> dur_tokens = BacktickedTokens(dur_doc);
+    // Prose patterns like `JournalOp::k<Name>` or `hac.durability.*` are not name
+    // references; only well-formed spellings participate in the reverse checks.
+    auto well_formed = [](const std::string& t, size_t from) {
+      if (t.size() <= from) {
+        return false;
+      }
+      for (size_t i = from; i < t.size(); ++i) {
+        if (std::isalnum(static_cast<unsigned char>(t[i])) == 0 && t[i] != '_' &&
+            t[i] != '.') {
+          return false;
+        }
+      }
+      return true;
+    };
+    std::set<std::string> op_tokens;  // the code-side `JournalOp::kName` spellings
+    for (size_t i = 1; i < hac::kJournalOpCount; ++i) {
+      const std::string token = std::string("JournalOp::k") + hac::kJournalOpNames[i];
+      op_tokens.insert(token);
+      if (dur_tokens.count(token) == 0) {
+        std::fprintf(stderr, "docs_check: `%s` is missing from %s\n", token.c_str(),
+                     argv[3]);
+        ++failures;
+      }
+    }
+    const size_t op_prefix_len = std::string("JournalOp::k").size();
+    for (const std::string& token : dur_tokens) {
+      if (token.rfind("JournalOp::k", 0) == 0 && well_formed(token, op_prefix_len) &&
+          op_tokens.count(token) == 0) {
+        std::fprintf(stderr,
+                     "docs_check: `%s` is documented in %s but not a journal op\n",
+                     token.c_str(), argv[3]);
+        ++failures;
+      }
+    }
+    for (const std::string& name : exported) {
+      if (name.rfind("hac.durability.", 0) == 0 && dur_tokens.count(name) == 0) {
+        std::fprintf(stderr, "docs_check: `%s` is missing from %s\n", name.c_str(),
+                     argv[3]);
+        ++failures;
+      }
+    }
+    std::set<std::string> known_names(exported.begin(), exported.end());
+    const size_t metric_prefix_len = std::string("hac.durability.").size();
+    for (const std::string& token : dur_tokens) {
+      if (token.rfind("hac.durability.", 0) == 0 &&
+          well_formed(token, metric_prefix_len) && known_names.count(token) == 0) {
+        std::fprintf(stderr,
+                     "docs_check: `%s` is documented in %s but not registered\n",
+                     token.c_str(), argv[3]);
+        ++failures;
+      }
+    }
+  }
+
   if (failures != 0) {
     std::fprintf(stderr, "docs_check: %d mismatch(es)\n", failures);
     return 1;
   }
   std::printf(
-      "docs_check: %zu exported names all documented, no stale doc entries%s\n",
+      "docs_check: %zu exported names all documented, no stale doc entries%s%s\n",
       exported.size(),
-      argc == 3 ? "; every ServerOp documented in the API reference" : "");
+      argc >= 3 ? "; every ServerOp documented in the API reference" : "",
+      argc >= 4 ? "; durability contract in sync" : "");
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/tools/fsck.h"
 
 #include <algorithm>
+#include <string_view>
 #include <unordered_set>
 
 #include "src/vfs/path.h"
@@ -256,6 +257,89 @@ std::string FsckReport::ToString() const {
 FsckReport RunFsck(HacFileSystem& fs, const FsckOptions& options) {
   Fsck fsck(fs, options);
   return fsck.Run();
+}
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+// FNV-1a over `s`, then a 0x1f field separator so "ab"+"c" != "a"+"bc".
+void Mix(uint64_t& h, std::string_view s) {
+  for (unsigned char c : s) {
+    h = (h ^ c) * kFnvPrime;
+  }
+  h = (h ^ 0x1f) * kFnvPrime;
+}
+
+}  // namespace
+
+uint64_t StateDigest(HacFileSystem& fs) {
+  uint64_t h = kFnvOffset;
+  std::vector<std::string> stack = {"/"};
+  while (!stack.empty()) {
+    std::string dir = std::move(stack.back());
+    stack.pop_back();
+    Mix(h, "dir");
+    Mix(h, dir);
+    if (auto query = fs.GetQuery(dir); query.ok()) {
+      Mix(h, query.value());
+    } else {
+      Mix(h, "");
+    }
+    if (auto classes = fs.GetLinkClasses(dir); classes.ok()) {
+      auto sorted = [](std::vector<std::pair<std::string, std::string>> v) {
+        std::sort(v.begin(), v.end());
+        return v;
+      };
+      for (const auto& [name, target] : sorted(classes.value().permanent)) {
+        Mix(h, "perm");
+        Mix(h, name);
+        Mix(h, target);
+      }
+      for (const auto& [name, target] : sorted(classes.value().transient)) {
+        Mix(h, "trans");
+        Mix(h, name);
+        Mix(h, target);
+      }
+      std::vector<std::string> prohibited = classes.value().prohibited;
+      std::sort(prohibited.begin(), prohibited.end());
+      for (const std::string& target : prohibited) {
+        Mix(h, "prohibit");
+        Mix(h, target);
+      }
+    }
+    // std::map-backed directories make ReadDir order deterministic; children in
+    // reverse so the stack pops them name-ascending.
+    auto entries = fs.vfs().ReadDir(dir);
+    if (!entries.ok()) {
+      continue;
+    }
+    for (auto it = entries.value().rbegin(); it != entries.value().rend(); ++it) {
+      const std::string child = JoinPath(dir == "/" ? "" : dir, it->name);
+      switch (it->type) {
+        case NodeType::kDirectory:
+          stack.push_back(child);
+          break;
+        case NodeType::kFile: {
+          Mix(h, "file");
+          Mix(h, child);
+          auto id = fs.vfs().Lookup(child, /*follow_final=*/false);
+          const Inode* node = id.ok() ? fs.vfs().FindInode(id.value()) : nullptr;
+          Mix(h, node != nullptr ? node->data : "");
+          break;
+        }
+        case NodeType::kSymlink: {
+          Mix(h, "link");
+          Mix(h, child);
+          auto target = fs.vfs().ReadLink(child);
+          Mix(h, target.ok() ? target.value() : "");
+          break;
+        }
+      }
+    }
+  }
+  return h;
 }
 
 }  // namespace hac

@@ -42,6 +42,14 @@ struct FsckReport {
 
 FsckReport RunFsck(HacFileSystem& fs, const FsckOptions& options = {});
 
+// FNV-1a digest of the complete observable state: a deterministic depth-first walk
+// mixing every path, node type, file content, symlink target, directory query and
+// link-class table (names and targets, not internal ids — two instances that answer
+// every client call identically digest identically, whatever order they were built
+// in). The durability tests compare a recovered instance against a clean replay with
+// this; `hacctl fsck --data-dir` prints it so operators can diff two data dirs.
+uint64_t StateDigest(HacFileSystem& fs);
+
 }  // namespace hac
 
 #endif  // HAC_TOOLS_FSCK_H_

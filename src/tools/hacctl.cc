@@ -1,12 +1,69 @@
 #include "src/tools/hacctl.h"
 
+#include <cstdio>
+#include <memory>
+#include <utility>
+
+#include "src/core/durability.h"
 #include "src/core/hac_file_system.h"
 #include "src/server/client.h"
 #include "src/server/hac_service.h"
+#include "src/tools/fsck.h"
 
 namespace hac {
 
 namespace {
+
+constexpr const char* kUsage =
+    "usage: hacctl stats|trace | hacctl checkpoint|fsck --data-dir DIR";
+
+// Parses the single "--data-dir DIR" argument pair the persistent subcommands take.
+Result<std::string> DataDirArg(const std::vector<std::string>& args) {
+  if (args.size() != 3 || args[1] != "--data-dir" || args[2].empty()) {
+    return Error(ErrorCode::kInvalidArgument, kUsage);
+  }
+  return args[2];
+}
+
+Result<std::string> RunCheckpoint(const std::string& data_dir) {
+  DurabilityOptions opts;
+  opts.data_dir = data_dir;
+  HAC_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                       DurableStore::Open(std::move(opts)));
+  HAC_ASSIGN_OR_RETURN(std::unique_ptr<HacFileSystem> fs, store->Recover());
+  HAC_RETURN_IF_ERROR(store->Checkpoint(*fs));
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "checkpointed %s at lsn %llu (replayed %llu)",
+                data_dir.c_str(),
+                static_cast<unsigned long long>(store->last_lsn()),
+                static_cast<unsigned long long>(
+                    store->recovery_info().replayed_records));
+  return std::string(buf);
+}
+
+Result<std::string> RunDataDirFsck(const std::string& data_dir) {
+  DurabilityOptions opts;
+  opts.data_dir = data_dir;
+  HAC_ASSIGN_OR_RETURN(std::unique_ptr<DurableStore> store,
+                       DurableStore::Open(std::move(opts)));
+  HAC_ASSIGN_OR_RETURN(std::unique_ptr<HacFileSystem> fs, store->Recover());
+  const RecoveryInfo& info = store->recovery_info();
+  FsckReport report = RunFsck(*fs);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "checkpoint_lsn %llu replayed %llu skipped %llu "
+                "tail_truncated %d\nstate_digest %016llx\n",
+                static_cast<unsigned long long>(info.checkpoint_lsn),
+                static_cast<unsigned long long>(info.replayed_records),
+                static_cast<unsigned long long>(info.skipped_records),
+                info.tail_truncated ? 1 : 0,
+                static_cast<unsigned long long>(StateDigest(*fs)));
+  std::string out = buf + report.ToString();
+  if (!report.Clean()) {
+    return Error(ErrorCode::kCorrupt, "fsck found inconsistencies:\n" + out);
+  }
+  return out;
+}
 
 // Touches every instrumented layer at least once: writes batch through the writer
 // thread, the semantic directory exercises the consistency engine and the index,
@@ -32,8 +89,16 @@ Result<void> RunDemoWorkload(ServiceClient& client) {
 }  // namespace
 
 Result<std::string> RunHacctl(const std::vector<std::string>& args) {
+  if (!args.empty() && args[0] == "checkpoint") {
+    HAC_ASSIGN_OR_RETURN(std::string dir, DataDirArg(args));
+    return RunCheckpoint(dir);
+  }
+  if (!args.empty() && args[0] == "fsck") {
+    HAC_ASSIGN_OR_RETURN(std::string dir, DataDirArg(args));
+    return RunDataDirFsck(dir);
+  }
   if (args.size() != 1 || (args[0] != "stats" && args[0] != "trace")) {
-    return Error(ErrorCode::kInvalidArgument, "usage: hacctl stats|trace");
+    return Error(ErrorCode::kInvalidArgument, kUsage);
   }
   HacFileSystem fs;
   HacService service(fs);

@@ -1,12 +1,17 @@
-// hacctl: the observability command-line tool (docs/OBSERVABILITY.md).
+// hacctl: the operations command-line tool (docs/OBSERVABILITY.md, docs/DURABILITY.md).
 //
-//   hacctl stats   print the process metrics snapshot (the kIntrospect JSON)
-//   hacctl trace   print a Chrome trace_event dump of the span ring
+//   hacctl stats                      print the process metrics snapshot (kIntrospect JSON)
+//   hacctl trace                      print a Chrome trace_event dump of the span ring
+//   hacctl checkpoint --data-dir DIR  recover DIR and persist a fresh checkpoint
+//   hacctl fsck --data-dir DIR        recover DIR, run the full consistency audit,
+//                                     print the report, the recovery summary, and the
+//                                     FNV state digest; non-clean findings are an error
 //
-// The tool spins up an in-memory HacFileSystem behind a HacService, drives a small
+// stats/trace spin up an in-memory HacFileSystem behind a HacService, drive a small
 // deterministic demo workload through it so every instrumented subsystem has fired,
-// then issues a kIntrospect request and prints the response text verbatim — the
-// output IS the service's introspection payload, byte for byte.
+// then issue a kIntrospect request and print the response text verbatim — the output
+// IS the service's introspection payload, byte for byte. checkpoint/fsck operate on a
+// persistent data directory through DurableStore recovery.
 #ifndef HAC_TOOLS_HACCTL_H_
 #define HAC_TOOLS_HACCTL_H_
 
@@ -17,7 +22,8 @@
 
 namespace hac {
 
-// args excludes the program name: {"stats"} or {"trace"}.
+// args excludes the program name: {"stats"}, {"trace"},
+// {"checkpoint", "--data-dir", DIR} or {"fsck", "--data-dir", DIR}.
 Result<std::string> RunHacctl(const std::vector<std::string>& args);
 
 }  // namespace hac

@@ -318,6 +318,11 @@ Result<uint64_t> FileSystem::Seek(Fd fd, uint64_t offset) {
   return offset;
 }
 
+Result<uint64_t> FileSystem::Tell(Fd fd) {
+  HAC_ASSIGN_OR_RETURN(OpenFile * of, fds_.Get(fd));
+  return of->offset;
+}
+
 Result<void> FileSystem::Unlink(const std::string& path) {
   HAC_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*follow_final=*/false));
   if (r.node == kInvalidInode) {

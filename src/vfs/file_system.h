@@ -38,6 +38,9 @@ class FileSystem final : public FsInterface {
   Result<size_t> Read(Fd fd, void* buf, size_t n) override;
   Result<size_t> Write(Fd fd, const void* buf, size_t n) override;
   Result<uint64_t> Seek(Fd fd, uint64_t offset) override;
+  // Current offset of an open descriptor (no FsInterface equivalent; the HAC facade
+  // uses it to journal the position a write landed at).
+  Result<uint64_t> Tell(Fd fd);
   Result<void> Unlink(const std::string& path) override;
   Result<void> Rename(const std::string& from, const std::string& to) override;
   Result<void> Symlink(const std::string& target, const std::string& link_path) override;

@@ -59,5 +59,49 @@ TEST(MetadataJournalTest, GrowsLinearly) {
   EXPECT_EQ(journal.RecordCount(), 100u);
 }
 
+TEST(MetadataJournalTest, DrainConsumesInOrder) {
+  MetadataJournal journal;
+  journal.Append(JournalOp::kDirCreated, 1, "/a");
+  journal.Append(JournalOp::kFileRegistered, 2, "/a/f");
+  journal.Append(JournalOp::kUnlinked, 0, "/a/f");
+  auto drained = journal.Drain();
+  ASSERT_EQ(drained.size(), 3u);
+  EXPECT_EQ(drained[0].op, JournalOp::kDirCreated);
+  EXPECT_EQ(drained[1].op, JournalOp::kFileRegistered);
+  EXPECT_EQ(drained[2].op, JournalOp::kUnlinked);
+  EXPECT_EQ(journal.SizeBytes(), 0u);
+  EXPECT_EQ(journal.PendingRecords(), 0u);
+  EXPECT_TRUE(journal.Drain().empty());
+  // RecordCount stays cumulative across drains (it resets only on Clear).
+  EXPECT_EQ(journal.RecordCount(), 3u);
+}
+
+TEST(MetadataJournalTest, BoundedDrainLeavesTheTail) {
+  MetadataJournal journal;
+  for (int i = 0; i < 5; ++i) {
+    journal.Append(JournalOp::kFileWritten, static_cast<uint64_t>(i), "/f", "x");
+  }
+  auto first = journal.Drain(2);
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].subject, 0u);
+  EXPECT_EQ(first[1].subject, 1u);
+  EXPECT_EQ(journal.PendingRecords(), 3u);
+  // Appends interleave with bounded drains without losing order.
+  journal.Append(JournalOp::kFileWritten, 5, "/f", "x");
+  auto rest = journal.Drain();
+  ASSERT_EQ(rest.size(), 4u);
+  EXPECT_EQ(rest[0].subject, 2u);
+  EXPECT_EQ(rest[3].subject, 5u);
+}
+
+TEST(MetadataJournalTest, JournalOpNamesCoverEveryOp) {
+  for (size_t i = 1; i < kJournalOpCount; ++i) {
+    const auto op = static_cast<JournalOp>(i);
+    EXPECT_STRNE(JournalOpName(op), "?") << "op " << i << " has no name";
+  }
+  EXPECT_STREQ(JournalOpName(static_cast<JournalOp>(0)), "?");
+  EXPECT_STREQ(JournalOpName(JournalOp::kProhibitCleared), "ProhibitCleared");
+}
+
 }  // namespace
 }  // namespace hac

@@ -182,7 +182,7 @@ TEST(JournalTest, RecordsBookkeepingActions) {
   for (const JournalRecord& r : records.value()) {
     saw_dir |= r.op == JournalOp::kDirCreated && r.a == "/d";
     saw_file |= r.op == JournalOp::kFileRegistered && r.a == "/d/f.txt";
-    saw_query |= r.op == JournalOp::kQuerySet && r.a == "fingerprint";
+    saw_query |= r.op == JournalOp::kQuerySet && r.a == "/q" && r.b == "fingerprint";
     saw_link_removed |= r.op == JournalOp::kLinkRemoved && r.a == "f.txt";
   }
   EXPECT_TRUE(saw_dir);

@@ -7,12 +7,14 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <filesystem>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "src/core/durability.h"
 #include "src/support/json.h"
 #include "src/support/metric_names.h"
 
@@ -61,6 +63,57 @@ TEST(HacctlTest, RejectsUnknownSubcommand) {
   EXPECT_FALSE(RunHacctl({}).ok());
   EXPECT_FALSE(RunHacctl({"bogus"}).ok());
   EXPECT_FALSE(RunHacctl({"stats", "extra"}).ok());
+}
+
+// Builds a small persisted data directory the durability subcommands can chew on.
+std::string MakeDataDir(const std::string& name) {
+  namespace fs_std = std::filesystem;
+  fs_std::path dir = fs_std::current_path() / "hacctl_test_data" / name;
+  fs_std::remove_all(dir);
+  fs_std::create_directories(dir);
+  DurabilityOptions dopts;
+  dopts.data_dir = dir.string();
+  dopts.wal_fault = FaultSpec{};
+  auto store = DurableStore::Open(dopts);
+  EXPECT_TRUE(store.ok());
+  auto fs = store.value()->Recover();
+  EXPECT_TRUE(fs.ok());
+  EXPECT_TRUE(fs.value()->Mkdir("/docs").ok());
+  EXPECT_TRUE(fs.value()->WriteFile("/docs/a.txt", "alpha").ok());
+  EXPECT_TRUE(store.value()->CommitFrom(*fs.value()).ok());
+  return dir.string();
+}
+
+TEST(HacctlTest, CheckpointSubcommandPersistsAnImage) {
+  namespace fs_std = std::filesystem;
+  const std::string dir = MakeDataDir("Checkpoint");
+  auto result = RunHacctl({"checkpoint", "--data-dir", dir});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_NE(result.value().find("checkpointed"), std::string::npos);
+  size_t checkpoints = 0;
+  for (const auto& entry : fs_std::directory_iterator(dir)) {
+    checkpoints +=
+        entry.path().filename().string().rfind("checkpoint-", 0) == 0 ? 1 : 0;
+  }
+  EXPECT_EQ(checkpoints, 1u);
+}
+
+TEST(HacctlTest, FsckSubcommandReportsDigestAndCleanState) {
+  const std::string dir = MakeDataDir("Fsck");
+  auto result = RunHacctl({"fsck", "--data-dir", dir});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  EXPECT_NE(result.value().find("state_digest"), std::string::npos);
+  EXPECT_NE(result.value().find("clean"), std::string::npos);
+}
+
+TEST(HacctlTest, DurabilitySubcommandsRejectBadUsage) {
+  EXPECT_FALSE(RunHacctl({"checkpoint"}).ok());
+  EXPECT_FALSE(RunHacctl({"fsck"}).ok());
+  EXPECT_FALSE(RunHacctl({"checkpoint", "--data-dir"}).ok());
+  EXPECT_FALSE(RunHacctl({"fsck", "--port", "1"}).ok());
+  // A directory that does not exist and cannot be created under is still opened
+  // (Open creates), but an unwritable path must fail cleanly.
+  EXPECT_FALSE(RunHacctl({"fsck", "--data-dir", "/proc/no-such-dir"}).ok());
 }
 
 TEST(HacctlTest, StatsOutputParsesAndCoversEveryDocumentedName) {
