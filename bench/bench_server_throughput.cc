@@ -15,15 +15,33 @@
 // --hac_json prints the same rows as a JSON document (see EXPERIMENTS.md), including
 // the read-heavy 1->8 thread scaling factor. Scaling on a single-core host measures
 // only lock/queue overhead; see the EXPERIMENTS.md discussion before comparing.
+//
+// --connections[=1,8,64,512] switches to the transport-model comparison: for each
+// io_model (thread-per-connection vs epoll reactor) and each connection count, C
+// raw-frame clients each keep a window of pipelined write-heavy requests in flight.
+// Reported per row: ops/sec, p50/p95/p99, the epoll writev_frames mean (responses
+// coalesced per sendmsg — the group-commit payoff crossing the wire), and the final
+// StateDigest. With --hac_json this is the bench_server_epoll_gate: digests must
+// match across io models for every connection count, the epoll writev_frames mean
+// at 64 connections must exceed 1, and on hosts with >= 4 hardware threads epoll
+// must not lose to thread-per-connection on ops/sec at 64 connections.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "src/support/metric_names.h"
 #include "src/support/metrics.h"
 
 #include "bench/bench_util.h"
@@ -31,6 +49,8 @@
 #include "src/server/hac_service.h"
 #include "src/server/tcp_client.h"
 #include "src/server/tcp_server.h"
+#include "src/server/wire.h"
+#include "src/tools/fsck.h"
 #include "src/workload/corpus.h"
 
 namespace hac {
@@ -186,6 +206,305 @@ RunResult RunClosedLoop(int threads, const MixSpec& mix, int ops_per_thread,
   return r;
 }
 
+// ---------------------------------------------------------------------------
+// Connection-scaling comparison (--connections): raw pipelined clients.
+// ---------------------------------------------------------------------------
+
+const char* IoModelName(IoModel m) {
+  return m == IoModel::kEpoll ? "epoll" : "thread_per_conn";
+}
+
+// A raw loopback connection that keeps a window of request frames in flight —
+// RemoteServiceClient is strict call/response, so pipelining needs its own client.
+class PipelinedBenchConn {
+ public:
+  explicit PipelinedBenchConn(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~PipelinedBenchConn() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+
+  bool ok() const { return fd_ >= 0; }
+
+  bool SendRequest(const ServerRequest& req) {
+    std::vector<uint8_t> frame = EncodeRequestFrame(req);
+    size_t sent = 0;
+    while (sent < frame.size()) {
+      ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) {
+        return false;
+      }
+      sent += static_cast<size_t>(n);
+    }
+    RecycleBuffer(std::move(frame));
+    return true;
+  }
+
+  // Blocks until one response frame decodes; false on disconnect or wire damage.
+  bool ReadResponse() {
+    for (;;) {
+      auto next = decoder_.Next();
+      if (!next.ok()) {
+        return false;
+      }
+      if (next.value().has_value()) {
+        auto resp = DecodeResponsePayload(next.value()->payload);
+        return resp.ok() && resp.value().ok();
+      }
+      uint8_t buf[16384];
+      ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        return false;
+      }
+      decoder_.Feed(buf, static_cast<size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+struct ScaleResult {
+  IoModel model = IoModel::kEpoll;
+  int connections = 0;
+  uint64_t total_ops = 0;
+  double wall_ms = 0;
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double writev_mean = 0;  // epoll only: mean response frames per sendmsg
+  uint64_t digest = 0;     // StateDigest of the final fs (inode-free)
+  bool clean = true;       // every request sent, answered, and ok()
+};
+
+// C connections, each a closed window of kWindow pipelined writes: distinct paths
+// per connection (commuting), content keyed by op index so the final state — and
+// therefore the digest — is identical whichever io model served the run.
+ScaleResult RunConnectionScale(IoModel model, int connections, int total_ops) {
+  constexpr int kWindow = 16;
+  auto fs = BuildCorpusFs();
+  ServiceOptions sopts;
+  sopts.read_workers = 4;
+  // This run measures the transport, not admission control: size the write queue
+  // for the full pipelined burst (512 conns x 16-deep windows) and disable the
+  // shed deadline, so every op lands and the final digest is deterministic.
+  sopts.max_write_queue = 16384;
+  sopts.write_queue_timeout = std::chrono::milliseconds(0);
+  HacService service(*fs, sopts);
+  TcpServerOptions topts;
+  topts.io_model = model;
+  topts.max_connections = 4096;  // let the blocking model hold 512 too
+  topts.backlog = 1024;          // a 512-way connect burst must not overflow SYN queue
+  TcpServer server(service, topts);
+  if (!server.Start().ok()) {
+    std::abort();
+  }
+  const auto& topics = CorpusTopics();
+  const int ops_per_conn = std::max(1, total_ops / connections);
+
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(connections));
+  std::vector<char> clean(static_cast<size_t>(connections), 1);
+  Histogram& writev =
+      MetricsRegistry::Global().GetHistogram(metric_names::kServerWritevFrames);
+  const uint64_t wv_count0 = writev.Count();
+  const uint64_t wv_sum0 = writev.Sum();
+
+  std::vector<std::thread> clients;
+  BenchTimer wall;
+  wall.Start();
+  for (int c = 0; c < connections; ++c) {
+    clients.emplace_back([&, c] {
+      PipelinedBenchConn conn(server.port());
+      auto& lat = latencies[static_cast<size_t>(c)];
+      if (!conn.ok()) {
+        clean[static_cast<size_t>(c)] = 0;
+        return;
+      }
+      lat.reserve(static_cast<size_t>(ops_per_conn));
+      ServerRequest req;
+      req.op = ServerOp::kWriteFile;
+      req.path = "/corpus/d" + std::to_string(c % 8) + "/scale_c" +
+                 std::to_string(c) + ".txt";
+      int sent = 0, done = 0;
+      std::deque<std::chrono::steady_clock::time_point> in_flight;
+      auto push_one = [&]() -> bool {
+        req.aux = "scale " + topics[static_cast<size_t>(sent) % topics.size()] +
+                  " op " + std::to_string(sent);
+        in_flight.push_back(std::chrono::steady_clock::now());
+        ++sent;
+        return conn.SendRequest(req);
+      };
+      while (sent < ops_per_conn && sent < kWindow) {
+        if (!push_one()) {
+          clean[static_cast<size_t>(c)] = 0;
+          return;
+        }
+      }
+      while (done < ops_per_conn) {
+        if (!conn.ReadResponse()) {
+          clean[static_cast<size_t>(c)] = 0;
+          return;
+        }
+        lat.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - in_flight.front())
+                          .count());
+        in_flight.pop_front();
+        ++done;
+        if (sent < ops_per_conn && !push_one()) {
+          clean[static_cast<size_t>(c)] = 0;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) {
+    t.join();
+  }
+  ScaleResult r;
+  r.wall_ms = wall.StopMs();
+  server.Stop();
+  service.Stop();
+
+  r.model = model;
+  r.connections = connections;
+  std::vector<double> all;
+  for (auto& lat : latencies) {
+    all.insert(all.end(), lat.begin(), lat.end());
+  }
+  std::sort(all.begin(), all.end());
+  r.total_ops = all.size();
+  r.ops_per_sec = r.wall_ms <= 0 ? 0 : static_cast<double>(r.total_ops) * 1000.0 / r.wall_ms;
+  r.p50_us = Percentile(all, 0.50);
+  r.p95_us = Percentile(all, 0.95);
+  r.p99_us = Percentile(all, 0.99);
+  const uint64_t wv_count = writev.Count() - wv_count0;
+  r.writev_mean = wv_count == 0 ? 0
+                                : static_cast<double>(writev.Sum() - wv_sum0) /
+                                      static_cast<double>(wv_count);
+  r.digest = StateDigest(*fs);
+  for (char ok : clean) {
+    r.clean = r.clean && ok != 0;
+  }
+  return r;
+}
+
+int RunConnectionScaling(bool json, const std::vector<int>& counts) {
+  const int total_ops = PaperScale() ? 16384 : 4096;
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::vector<IoModel> models = {IoModel::kThreadPerConnection, IoModel::kEpoll};
+
+  std::vector<ScaleResult> results;
+  TablePrinter table({"io_model", "connections", "ops/sec", "p50us", "p95us",
+                      "p99us", "writev_mean", "digest"});
+  for (IoModel model : models) {
+    for (int c : counts) {
+      ScaleResult r = RunConnectionScale(model, c, total_ops);
+      char digest_hex[32];
+      std::snprintf(digest_hex, sizeof(digest_hex), "%016llx",
+                    static_cast<unsigned long long>(r.digest));
+      table.AddRow({IoModelName(model), std::to_string(c), Fmt(r.ops_per_sec, 0),
+                    Fmt(r.p50_us, 1), Fmt(r.p95_us, 1), Fmt(r.p99_us, 1),
+                    model == IoModel::kEpoll ? Fmt(r.writev_mean, 2) : "-",
+                    digest_hex});
+      results.push_back(r);
+    }
+  }
+
+  // Gate 1 (always): the two transports must produce the same file-system state
+  // for every connection count — coalescing and pipelining may reorder wire
+  // traffic, never effects.
+  bool digests_match = true, all_clean = true;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    const ScaleResult& blocking = results[i];
+    const ScaleResult& epoll = results[counts.size() + i];
+    digests_match = digests_match && blocking.digest == epoll.digest;
+    all_clean = all_clean && blocking.clean && epoll.clean;
+  }
+  // Gate 2 (always): at 64 connections the epoll writer must actually batch —
+  // group-committed responses coalesced into one sendmsg, mean > 1 frame.
+  double writev_at_64 = 0;
+  // Gate 3 (>= 4 hardware threads only): epoll must not lose on throughput at 64
+  // connections. Below that the reactor shares its cores with 64 client threads
+  // and the comparison measures scheduler pressure, not the transport.
+  bool epoll_wins_64 = true;
+  bool compared_64 = false;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] != 64) {
+      continue;
+    }
+    writev_at_64 = results[counts.size() + i].writev_mean;
+    if (hw >= 4) {
+      epoll_wins_64 =
+          results[counts.size() + i].ops_per_sec >= results[i].ops_per_sec;
+      compared_64 = true;
+    }
+  }
+  const bool have_64 = std::find(counts.begin(), counts.end(), 64) != counts.end();
+  const bool writev_ok = !have_64 || writev_at_64 > 1.0;
+  const bool pass = digests_match && all_clean && writev_ok && epoll_wins_64;
+
+  if (json) {
+    std::vector<JsonObject> rows;
+    for (const ScaleResult& r : results) {
+      JsonObject row;
+      row.Add("io_model", IoModelName(r.model))
+          .Add("connections", static_cast<uint64_t>(r.connections))
+          .Add("total_ops", r.total_ops)
+          .Add("ops_per_sec", r.ops_per_sec)
+          .Add("p50_us", r.p50_us)
+          .Add("p95_us", r.p95_us)
+          .Add("p99_us", r.p99_us)
+          .Add("writev_frames_mean", r.writev_mean)
+          .Add("digest", r.digest)
+          .AddBool("clean", r.clean);
+      rows.push_back(row);
+    }
+    JsonObject out;
+    out.Add("bench", "server_connection_scaling")
+        .Add("total_ops_target", static_cast<uint64_t>(total_ops))
+        .Add("hardware_threads", static_cast<uint64_t>(hw))
+        .AddBool("metrics_enabled", kMetricsCompiledIn)
+        .Add("rows", rows)
+        .AddBool("digests_match", digests_match)
+        .AddBool("all_clean", all_clean)
+        .Add("writev_frames_mean_at_64", writev_at_64)
+        .AddBool("writev_gate_ok", writev_ok)
+        .AddBool("epoll_throughput_compared", compared_64)
+        .AddBool("epoll_throughput_ok", epoll_wins_64)
+        .AddBool("pass", pass);
+    out.Print();
+  } else {
+    table.Print();
+    std::printf("\ndigests match across io models: %s\n",
+                digests_match ? "yes" : "NO");
+    if (have_64) {
+      std::printf("epoll writev_frames mean @64 conns: %.2f (gate: > 1)\n",
+                  writev_at_64);
+    }
+    if (compared_64) {
+      std::printf("epoll >= thread-per-conn ops/sec @64 conns: %s\n",
+                  epoll_wins_64 ? "yes" : "NO");
+    } else {
+      std::printf("epoll-vs-blocking throughput gate skipped (%u hardware threads < 4)\n",
+                  hw);
+    }
+  }
+  return pass ? 0 : 1;
+}
+
 int RunAll(bool json, const std::vector<Transport>& transports) {
   const int ops_per_thread = PaperScale() ? 2000 : 250;
   const std::vector<int> thread_counts = {1, 2, 4, 8};
@@ -256,6 +575,8 @@ int RunAll(bool json, const std::vector<Transport>& transports) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool connection_scaling = false;
+  std::vector<int> counts = {1, 8, 64, 512};
   std::vector<hac::Transport> transports = {hac::Transport::kInProcess};
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--hac_json") == 0) {
@@ -266,7 +587,24 @@ int main(int argc, char** argv) {
       transports = {hac::Transport::kInProcess};
     } else if (std::strcmp(argv[i], "--transport=both") == 0) {
       transports = {hac::Transport::kInProcess, hac::Transport::kTcp};
+    } else if (std::strncmp(argv[i], "--connections", 13) == 0) {
+      connection_scaling = true;
+      if (argv[i][13] == '=') {
+        counts.clear();
+        for (const char* p = argv[i] + 14; *p != '\0';) {
+          counts.push_back(std::atoi(p));
+          while (*p != '\0' && *p != ',') {
+            ++p;
+          }
+          if (*p == ',') {
+            ++p;
+          }
+        }
+      }
     }
+  }
+  if (connection_scaling) {
+    return hac::RunConnectionScaling(json, counts);
   }
   return hac::RunAll(json, transports);
 }

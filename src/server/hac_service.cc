@@ -95,6 +95,19 @@ Session* HacService::OpenSession() {
   return sessions_.back().get();
 }
 
+void HacService::EraseSession(Session* session) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  auto it = std::find_if(sessions_.begin(), sessions_.end(),
+                         [&](const auto& s) { return s.get() == session; });
+  if (it == sessions_.end()) {
+    return;
+  }
+  sessions_.erase(it);
+  ++sessions_closed_;
+  GM().sessions_closed.Inc();
+  GM().open_sessions.Add(-1);
+}
+
 Result<void> HacService::CloseSession(Session* session) {
   if (session == nullptr) {
     return Error(ErrorCode::kInvalidArgument, "null session");
@@ -127,16 +140,36 @@ Result<void> HacService::CloseSession(Session* session) {
   return OkResult();
 }
 
-std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest req) {
-  auto p = std::make_shared<Pending>();
-  p->req = std::move(req);
-  p->session = session;
-  p->enqueued = std::chrono::steady_clock::now();
-  std::future<ServerResponse> fut = p->done.get_future();
-
+void HacService::CloseSessionAsync(Session* session, std::function<void()> done) {
   if (session == nullptr) {
-    p->done.set_value(ErrorResponse(Error(ErrorCode::kInvalidArgument, "null session")));
-    return fut;
+    if (done) {
+      done();
+    }
+    return;
+  }
+  ServerRequest req;
+  req.op = ServerOp::kCloseSession;
+  SubmitCallback(session, std::move(req),
+                 [this, session, done = std::move(done)](ServerResponse resp) {
+                   if (!resp.ok() && resp.error.code == ErrorCode::kOverloaded) {
+                     // Writer already stopped: reclaim descriptors inline, same
+                     // fallback as the synchronous CloseSession. This runs on the
+                     // caller's thread (the submission was rejected inline), and
+                     // with the writer gone the exclusive lock is uncontended.
+                     std::unique_lock<std::shared_mutex> lk(fs_lock_);
+                     CloseSessionDescriptors(session);
+                   }
+                   EraseSession(session);
+                   if (done) {
+                     done();
+                   }
+                 });
+}
+
+void HacService::Dispatch(std::shared_ptr<Pending> p) {
+  if (p->session == nullptr) {
+    p->Fulfil(ErrorResponse(Error(ErrorCode::kInvalidArgument, "null session")));
+    return;
   }
   if (p->req.op == ServerOp::kIntrospect) {
     // Introspection bypasses both queues and both shedding mechanisms: it reads
@@ -147,12 +180,12 @@ std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest r
     ServerResponse resp;
     resp.text = p->req.aux == "trace" ? TraceRing::Global().ExportChromeJson()
                                       : IntrospectStatsJson();
-    p->done.set_value(std::move(resp));
-    return fut;
+    p->Fulfil(std::move(resp));
+    return;
   }
   if (stopping_.load(std::memory_order_acquire)) {
-    p->done.set_value(Overloaded("service is stopping"));
-    return fut;
+    p->Fulfil(Overloaded("service is stopping"));
+    return;
   }
 
   if (IsReadOp(p->req.op)) {
@@ -162,8 +195,8 @@ std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest r
       if (queued >= options_.max_read_queue) {
         ++rejected_queue_full_;
         GM().rejected_queue_full.Inc();
-        p->done.set_value(Overloaded("read queue full"));
-        return fut;
+        p->Fulfil(Overloaded("read queue full"));
+        return;
       }
     } while (!queued_reads_.compare_exchange_weak(queued, queued + 1,
                                                   std::memory_order_relaxed));
@@ -172,21 +205,40 @@ std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest r
     GM().read_queue_depth.Set(static_cast<int64_t>(queued + 1));
     if (!readers_.Submit([this, p] { RunRead(p); })) {
       queued_reads_.fetch_sub(1, std::memory_order_relaxed);
-      p->done.set_value(Overloaded("reader pool stopped"));
+      p->Fulfil(Overloaded("reader pool stopped"));
     }
-    return fut;
+    return;
   }
 
   if (!write_queue_.TryPush(p)) {
     ++rejected_queue_full_;
     GM().rejected_queue_full.Inc();
-    p->done.set_value(Overloaded(write_queue_.closed() ? "service is stopping"
-                                                       : "write queue full"));
-    return fut;
+    p->Fulfil(Overloaded(write_queue_.closed() ? "service is stopping"
+                                               : "write queue full"));
+    return;
   }
   ++admitted_writes_;
   GM().admitted_writes.Inc();
+}
+
+std::future<ServerResponse> HacService::Submit(Session* session, ServerRequest req) {
+  auto p = std::make_shared<Pending>();
+  p->req = std::move(req);
+  p->session = session;
+  p->enqueued = std::chrono::steady_clock::now();
+  std::future<ServerResponse> fut = p->done.get_future();
+  Dispatch(std::move(p));
   return fut;
+}
+
+void HacService::SubmitCallback(Session* session, ServerRequest req,
+                                ResponseCallback done) {
+  auto p = std::make_shared<Pending>();
+  p->req = std::move(req);
+  p->session = session;
+  p->callback = std::move(done);
+  p->enqueued = std::chrono::steady_clock::now();
+  Dispatch(std::move(p));
 }
 
 ServerResponse HacService::Call(Session* session, ServerRequest req) {
@@ -202,7 +254,7 @@ bool HacService::ShedIfExpired(Pending& p, std::chrono::milliseconds timeout) {
   }
   ++shed_deadline_;
   GM().shed_deadline.Inc();
-  p.done.set_value(Overloaded("request exceeded its queue deadline"));
+  p.Fulfil(Overloaded("request exceeded its queue deadline"));
   return true;
 }
 
@@ -237,7 +289,7 @@ void HacService::RunRead(std::shared_ptr<Pending> p) {
   }
   ++executed_reads_;
   GM().executed_reads.Inc();
-  p->done.set_value(std::move(resp));
+  p->Fulfil(std::move(resp));
 }
 
 void HacService::WriterLoop() {
@@ -355,7 +407,7 @@ void HacService::WriterLoop() {
     for (size_t i = 0; i < live.size(); ++i) {
       ++executed_writes_;
       GM().executed_writes.Inc();
-      live[i]->done.set_value(std::move(responses[i]));
+      live[i]->Fulfil(std::move(responses[i]));
     }
   }
 }

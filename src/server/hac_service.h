@@ -106,6 +106,25 @@ class HacService {
   // Admission control may fulfil it immediately with kOverloaded.
   std::future<ServerResponse> Submit(Session* session, ServerRequest req);
 
+  // Callback-flavored submission for event-driven transports: `done` fires exactly
+  // once with the response, on whichever thread completes the request — a reader
+  // worker, the writer thread, or (for inline completions: admission rejection,
+  // kIntrospect, null session) the caller's own thread. The callback must be cheap
+  // and must not re-enter the service; transports use it to hand the response to
+  // the connection's owning reactor. Requests submitted this way go through the
+  // exact same admission control, shedding, and batching as Submit.
+  using ResponseCallback = std::function<void(ServerResponse)>;
+  void SubmitCallback(Session* session, ServerRequest req, ResponseCallback done);
+
+  // Non-blocking analogue of CloseSession for reactor threads: submits the
+  // kCloseSession request through the write path (so it serializes after the
+  // session's in-flight mutations) and erases the session when it completes;
+  // `done` (optional) then fires. If the writer has already stopped, descriptors
+  // are reclaimed inline under the exclusive lock, exactly like CloseSession.
+  // The session pointer is invalid once `done` runs (or immediately after the
+  // call if the service already stopped admission).
+  void CloseSessionAsync(Session* session, std::function<void()> done = nullptr);
+
   // Synchronous convenience: Submit + wait.
   ServerResponse Call(Session* session, ServerRequest req);
 
@@ -121,13 +140,31 @@ class HacService {
     ServerRequest req;
     Session* session = nullptr;
     std::promise<ServerResponse> done;
+    // When set, the request was submitted via SubmitCallback: completion invokes
+    // the callback instead of the promise.
+    ResponseCallback callback;
     std::chrono::steady_clock::time_point enqueued;
+
+    void Fulfil(ServerResponse resp) {
+      if (callback) {
+        callback(std::move(resp));
+      } else {
+        done.set_value(std::move(resp));
+      }
+    }
   };
 
   static ServerResponse Overloaded(const std::string& why);
 
   // Resolves a request path against the session cwd ("" -> cwd itself).
   static std::string Absolutize(const Session& session, const std::string& path);
+
+  // Shared by Submit and SubmitCallback: admission control + dispatch. Fulfils
+  // `p` inline on rejection/introspection, otherwise hands it to a worker.
+  void Dispatch(std::shared_ptr<Pending> p);
+  // Removes `session` from the session table (it must already have executed its
+  // kCloseSession, or the caller holds the exclusive lock after inline cleanup).
+  void EraseSession(Session* session);
 
   void RunRead(std::shared_ptr<Pending> p);
   void WriterLoop();

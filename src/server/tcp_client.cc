@@ -4,8 +4,10 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <utility>
 
 namespace hac {
@@ -36,7 +38,23 @@ Result<void> RemoteServiceClient::Connect(const std::string& host, uint16_t port
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
   decoder_ = FrameDecoder();
+  ApplyReceiveTimeout();
   return OkResult();
+}
+
+void RemoteServiceClient::SetReceiveTimeout(std::chrono::milliseconds timeout) {
+  receive_timeout_ = timeout.count() > 0 ? timeout : std::chrono::milliseconds(0);
+  ApplyReceiveTimeout();
+}
+
+void RemoteServiceClient::ApplyReceiveTimeout() {
+  if (fd_ < 0) {
+    return;
+  }
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(receive_timeout_.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((receive_timeout_.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void RemoteServiceClient::Disconnect() {
@@ -60,7 +78,7 @@ ServerResponse RemoteServiceClient::Transport(ServerRequest req) {
   if (fd_ < 0) {
     return TransportFailure(ErrorCode::kOverloaded, "not connected", false);
   }
-  const std::vector<uint8_t> frame = EncodeRequestFrame(req);
+  std::vector<uint8_t> frame = EncodeRequestFrame(req);
   size_t sent = 0;
   while (sent < frame.size()) {
     ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
@@ -69,6 +87,7 @@ ServerResponse RemoteServiceClient::Transport(ServerRequest req) {
     }
     sent += static_cast<size_t>(n);
   }
+  RecycleBuffer(std::move(frame));
 
   uint8_t buf[64 * 1024];
   for (;;) {
@@ -84,12 +103,20 @@ ServerResponse RemoteServiceClient::Transport(ServerRequest req) {
                                 true);
       }
       auto resp = DecodeResponsePayload(f.payload);
+      RecycleBuffer(std::move(f.payload));
       if (!resp.ok()) {
         return TransportFailure(resp.error().code, resp.error().message, true);
       }
       return std::move(resp).value();
     }
     ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        receive_timeout_.count() > 0) {
+      // SO_RCVTIMEO fired: the server accepted the request and went silent. The
+      // stream position is now unknowable, so the connection is dropped rather
+      // than risk pairing a late response with the wrong request.
+      return TransportFailure(ErrorCode::kOverloaded, "receive timed out", true);
+    }
     if (n <= 0) {
       return TransportFailure(ErrorCode::kOverloaded, "connection closed by server",
                               true);

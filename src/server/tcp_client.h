@@ -18,6 +18,7 @@
 #ifndef HAC_SERVER_TCP_CLIENT_H_
 #define HAC_SERVER_TCP_CLIENT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <string>
 
@@ -41,14 +42,25 @@ class RemoteServiceClient : public RequestClient {
   void Disconnect();
   bool connected() const { return fd_ >= 0; }
 
+  // Bounds how long Transport() waits for a response before giving up (SO_RCVTIMEO).
+  // A server that accepts the request but never answers — wedged writer, stalled
+  // reactor, half-dead network — then surfaces as kOverloaded ("receive timed out")
+  // and the connection is dropped, the same retryable taxonomy as admission
+  // rejection. Zero (the default) waits forever. Takes effect immediately on a live
+  // connection and is re-applied by Connect().
+  void SetReceiveTimeout(std::chrono::milliseconds timeout);
+  std::chrono::milliseconds receive_timeout() const { return receive_timeout_; }
+
  protected:
   ServerResponse Transport(ServerRequest req) override;
 
  private:
   ServerResponse TransportFailure(ErrorCode code, std::string msg, bool drop);
+  void ApplyReceiveTimeout();
 
   int fd_ = -1;
   FrameDecoder decoder_;
+  std::chrono::milliseconds receive_timeout_{0};
 };
 
 }  // namespace hac

@@ -7,6 +7,8 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <utility>
 
@@ -25,6 +27,7 @@ struct TransportMetrics {
   Counter& connections_opened = reg.GetCounter(metric_names::kServerConnectionsOpened);
   Counter& connections_closed = reg.GetCounter(metric_names::kServerConnectionsClosed);
   Counter& wire_errors = reg.GetCounter(metric_names::kServerWireErrors);
+  Counter& idle_closes = reg.GetCounter(metric_names::kServerIdleCloses);
   Gauge& open_connections = reg.GetGauge(metric_names::kServerOpenConnections);
 };
 
@@ -39,10 +42,25 @@ ServerResponse MakeErrorResponse(ErrorCode code, std::string msg) {
   return resp;
 }
 
+size_t DefaultReactorThreads() {
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) {
+    hw = 1;
+  }
+  return std::min<size_t>(4, hw);
+}
+
 }  // namespace
 
 TcpServer::TcpServer(HacService& service, TcpServerOptions options)
-    : service_(service), options_(std::move(options)) {}
+    : service_(service), options_(std::move(options)) {
+  // max_connections 0 = model default. Thread-per-connection pays a full stack
+  // per connection, so its ceiling stays conservative; a reactor connection is
+  // an fd plus buffers, so the epoll default is the C10K-ish 4096.
+  max_connections_ = options_.max_connections != 0 ? options_.max_connections
+                     : options_.io_model == IoModel::kEpoll ? 4096
+                                                            : 256;
+}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -54,6 +72,8 @@ Result<void> TcpServer::Start() {
   if (listen_fd_ < 0) {
     return Error(ErrorCode::kBusy, "socket() failed");
   }
+  // SO_REUSEADDR on the LISTENER only: restart must not wait out TIME_WAIT
+  // sockets from the previous instance. Accepted sockets never need it.
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
 
@@ -78,6 +98,36 @@ Result<void> TcpServer::Start() {
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
   port_ = ntohs(bound.sin_port);
 
+  if (options_.io_model == IoModel::kEpoll) {
+    size_t n = options_.reactor_threads != 0 ? options_.reactor_threads
+                                             : DefaultReactorThreads();
+    for (size_t i = 0; i < n; ++i) {
+      ReactorShared shared;
+      shared.service = &service_;
+      shared.frames_in = &frames_in_;
+      shared.frames_out = &frames_out_;
+      shared.wire_errors = &wire_errors_;
+      shared.bytes_in = &bytes_in_;
+      shared.bytes_out = &bytes_out_;
+      shared.connections_closed = &connections_closed_;
+      shared.idle_closes = &idle_closes_;
+      shared.backpressure_stalls = &backpressure_stalls_;
+      shared.active_connections = &active_connections_;
+      shared.write_high_water = options_.write_high_water;
+      shared.write_low_water = options_.write_low_water;
+      shared.idle_timeout_ms = options_.idle_timeout_ms;
+      auto reactor = std::make_unique<EpollReactor>(shared);
+      auto started = reactor->Start();
+      if (!started.ok()) {
+        reactors_.clear();
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        return started.error();
+      }
+      reactors_.push_back(std::move(reactor));
+    }
+  }
+
   started_ = true;
   acceptor_ = std::thread([this] { AcceptLoop(); });
   return OkResult();
@@ -99,25 +149,33 @@ void TcpServer::AcceptLoop() {
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
-    std::lock_guard<std::mutex> lk(conns_mu_);
-    ReapFinished();
-    size_t active = 0;
-    for (const auto& c : conns_) {
-      active += c->done.load(std::memory_order_acquire) ? 0 : 1;
-    }
-    if (stopping_.load(std::memory_order_acquire) || active >= options_.max_connections) {
+    if (stopping_.load(std::memory_order_acquire) ||
+        active_connections_.load(std::memory_order_acquire) >= max_connections_) {
       ++connections_rejected_;
       SendFrame(fd, EncodeResponseFrame(MakeErrorResponse(
                         ErrorCode::kOverloaded, "connection limit reached")));
       ::close(fd);
       continue;
     }
+
+    ++connections_opened_;
+    active_connections_.fetch_add(1, std::memory_order_acq_rel);
+    TM().connections_opened.Inc();
+    TM().open_connections.Add(1);
+
+    if (options_.io_model == IoModel::kEpoll) {
+      // Shard round-robin: a connection lives on one reactor for its whole life,
+      // so all its state is single-threaded there.
+      reactors_[next_reactor_]->Adopt(fd);
+      next_reactor_ = (next_reactor_ + 1) % reactors_.size();
+      continue;
+    }
+
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    ReapFinished();
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     Conn* raw = conn.get();
-    ++connections_opened_;
-    TM().connections_opened.Inc();
-    TM().open_connections.Add(1);
     conn->thread = std::thread([this, raw] { ServeConnection(raw); });
     conns_.push_back(std::move(conn));
   }
@@ -128,8 +186,27 @@ void TcpServer::ServeConnection(Conn* conn) {
   FrameDecoder decoder;
   uint8_t buf[64 * 1024];
   bool fatal = false;
+  auto last_frame = std::chrono::steady_clock::now();
+  const auto idle_limit = std::chrono::milliseconds(options_.idle_timeout_ms);
 
   while (!fatal && !stopping_.load(std::memory_order_acquire)) {
+    if (options_.idle_timeout_ms > 0) {
+      // Wait in poll() instead of recv() so a quiet connection can be harvested:
+      // blocking recv would hold the thread hostage until the peer speaks.
+      pollfd pfd{conn->fd, POLLIN, 0};
+      int ready = ::poll(&pfd, 1, 50);
+      if (ready < 0) {
+        break;
+      }
+      if (ready == 0) {
+        if (std::chrono::steady_clock::now() - last_frame >= idle_limit) {
+          ++idle_closes_;
+          TM().idle_closes.Inc();
+          break;
+        }
+        continue;
+      }
+    }
     ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
     if (n <= 0) {
       break;  // peer closed (0) or socket error/shutdown (<0)
@@ -154,6 +231,7 @@ void TcpServer::ServeConnection(Conn* conn) {
       }
       FrameDecoder::Frame frame = std::move(*next.value());
       ++frames_in_;
+      last_frame = std::chrono::steady_clock::now();
       if (frame.kind != FrameKind::kRequest) {
         ++wire_errors_;
         TM().wire_errors.Inc();
@@ -163,6 +241,7 @@ void TcpServer::ServeConnection(Conn* conn) {
         break;
       }
       auto req = DecodeRequestPayload(frame.payload);
+      RecycleBuffer(std::move(frame.payload));
       ServerResponse resp;
       if (!req.ok()) {
         ++wire_errors_;
@@ -185,6 +264,7 @@ void TcpServer::ServeConnection(Conn* conn) {
   (void)service_.CloseSession(session);
   ::close(conn->fd);
   ++connections_closed_;
+  active_connections_.fetch_sub(1, std::memory_order_acq_rel);
   TM().connections_closed.Inc();
   TM().open_connections.Add(-1);
   conn->done.store(true, std::memory_order_release);
@@ -193,6 +273,9 @@ void TcpServer::ServeConnection(Conn* conn) {
 bool TcpServer::SendFrame(int fd, const std::vector<uint8_t>& frame) {
   size_t sent = 0;
   while (sent < frame.size()) {
+    // MSG_NOSIGNAL everywhere a frame hits a socket: a peer that vanished must
+    // surface as EPIPE on this call, not SIGPIPE for the whole process. (The
+    // reactor path's sendmsg carries the same flag.)
     ssize_t n = ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
     if (n <= 0) {
       return false;
@@ -229,6 +312,16 @@ void TcpServer::Stop() {
     }
     ::close(listen_fd_);
     listen_fd_ = -1;
+    // Reactors shut their connections down, drain in-flight service completions,
+    // then exit; the service must still be running here (it is: callers stop the
+    // transport before the service).
+    for (auto& r : reactors_) {
+      r->RequestStop();
+    }
+    for (auto& r : reactors_) {
+      r->Join();
+    }
+    reactors_.clear();
     std::lock_guard<std::mutex> lk(conns_mu_);
     for (auto& c : conns_) {
       // Wake the reader thread out of recv(); it closes the fd itself on exit.
@@ -244,12 +337,7 @@ void TcpServer::Stop() {
 }
 
 size_t TcpServer::ActiveConnections() const {
-  std::lock_guard<std::mutex> lk(conns_mu_);
-  size_t active = 0;
-  for (const auto& c : conns_) {
-    active += c->done.load(std::memory_order_acquire) ? 0 : 1;
-  }
-  return active;
+  return active_connections_.load(std::memory_order_acquire);
 }
 
 TcpServerStats TcpServer::Stats() const {
@@ -262,6 +350,8 @@ TcpServerStats TcpServer::Stats() const {
   s.wire_errors = wire_errors_.load(std::memory_order_relaxed);
   s.bytes_in = bytes_in_.load(std::memory_order_relaxed);
   s.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  s.idle_closes = idle_closes_.load(std::memory_order_relaxed);
+  s.backpressure_stalls = backpressure_stalls_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <utility>
 
+#include "src/support/buffer_pool.h"
 #include "src/support/metric_names.h"
 #include "src/support/metrics.h"
 
@@ -347,11 +348,12 @@ template <typename T>
 std::vector<uint8_t> EncodeFrame(const T& msg, FrameKind kind,
                                  void (*encode)(const T&, ByteWriter&)) {
   const uint64_t t0 = kMetricsCompiledIn ? NowNs() : 0;
-  ByteWriter payload;
-  encode(msg, payload);
-  ByteWriter frame;
-  PutHeader(frame, kind, static_cast<uint32_t>(payload.size()));
-  frame.PutBytes(payload.buffer().data(), payload.size());
+  // One pooled buffer for header + payload: the length field is a placeholder
+  // until the payload is in place, then patched — no second buffer, no copy.
+  ByteWriter frame(BufferPool::Global().Acquire());
+  PutHeader(frame, kind, 0);
+  encode(msg, frame);
+  frame.PatchU32(6, static_cast<uint32_t>(frame.size() - kWireHeaderSize));
   if (kMetricsCompiledIn) {
     WM().encode_ns.Record(NowNs() - t0);
   }
@@ -366,6 +368,10 @@ std::vector<uint8_t> EncodeRequestFrame(const ServerRequest& req) {
 
 std::vector<uint8_t> EncodeResponseFrame(const ServerResponse& resp) {
   return EncodeFrame(resp, FrameKind::kResponse, EncodeResponse);
+}
+
+void RecycleBuffer(std::vector<uint8_t>&& buf) {
+  BufferPool::Global().Release(std::move(buf));
 }
 
 Result<ServerRequest> DecodeRequestFrame(const std::vector<uint8_t>& frame) {
@@ -415,6 +421,9 @@ Result<std::optional<FrameDecoder::Frame>> FrameDecoder::Next() {
   }
   Frame f;
   f.kind = kind;
+  // Pooled scratch: the payload copy reuses a previously released buffer's
+  // capacity, so steady-state decoding allocates nothing either.
+  f.payload = BufferPool::Global().Acquire();
   f.payload.assign(buf_.begin() + static_cast<ptrdiff_t>(pos_ + kWireHeaderSize),
                    buf_.begin() + static_cast<ptrdiff_t>(pos_ + kWireHeaderSize + len));
   pos_ += kWireHeaderSize + len;

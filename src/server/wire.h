@@ -57,8 +57,15 @@ Result<ServerResponse> DecodeResponse(ByteReader& in);
 
 // --- whole frames (header + payload), as sent on a socket ---
 // Encoding records hac.server.wire_encode_ns; decoding hac.server.wire_decode_ns.
+// Frames are built in ONE buffer drawn from the global BufferPool (the header's
+// length field is patched in place after the payload is encoded), so steady-state
+// encoding performs no heap allocation. A transport that is done with a frame (or
+// a decoded FrameDecoder payload) should hand the vector back via RecycleBuffer;
+// not doing so is only a missed pool hit, never a leak.
 std::vector<uint8_t> EncodeRequestFrame(const ServerRequest& req);
 std::vector<uint8_t> EncodeResponseFrame(const ServerResponse& resp);
+// Returns a frame/payload buffer to the codec's scratch pool.
+void RecycleBuffer(std::vector<uint8_t>&& buf);
 // Decode one complete frame (header included). `expect` is the kind the caller is
 // prepared to handle; a frame of the other kind is kCorrupt.
 Result<ServerRequest> DecodeRequestFrame(const std::vector<uint8_t>& frame);

@@ -1,0 +1,62 @@
+#include "src/support/buffer_pool.h"
+
+#include <utility>
+
+#include "src/support/metric_names.h"
+#include "src/support/metrics.h"
+
+namespace hac {
+
+namespace {
+
+struct PoolMetrics {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  Counter& hits = reg.GetCounter(metric_names::kServerBufferPoolHits);
+  Counter& misses = reg.GetCounter(metric_names::kServerBufferPoolMisses);
+};
+
+PoolMetrics& PM() {
+  static PoolMetrics* m = new PoolMetrics();
+  return *m;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();
+  return *pool;
+}
+
+std::vector<uint8_t> BufferPool::Acquire() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!free_.empty()) {
+      std::vector<uint8_t> buf = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+      PM().hits.Inc();
+      return buf;
+    }
+    ++misses_;
+  }
+  PM().misses.Inc();
+  return {};
+}
+
+void BufferPool::Release(std::vector<uint8_t>&& buf) {
+  buf.clear();
+  if (buf.capacity() == 0 || buf.capacity() > kMaxRetainedBytes) {
+    return;  // nothing worth keeping / too large to pin
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  if (free_.size() < kMaxSlots) {
+    free_.push_back(std::move(buf));
+  }
+}
+
+BufferPool::PoolStats BufferPool::Stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return {hits_, misses_};
+}
+
+}  // namespace hac

@@ -66,6 +66,15 @@ inline constexpr const char* kServerBytesOut = "hac.server.bytes_out";
 inline constexpr const char* kServerConnectionsOpened = "hac.server.connections_opened";
 inline constexpr const char* kServerConnectionsClosed = "hac.server.connections_closed";
 inline constexpr const char* kServerWireErrors = "hac.server.wire_errors";
+// Event-driven transport (ServerOptions::io_model = kEpoll, src/server/epoll_reactor.cc).
+inline constexpr const char* kServerEpollWakeups = "hac.server.epoll_wakeups";
+inline constexpr const char* kServerBackpressureStalls =
+    "hac.server.backpressure_stalls";
+inline constexpr const char* kServerIdleCloses = "hac.server.idle_closes";
+// Frame scratch recycling in the wire codec (src/support/buffer_pool.cc).
+inline constexpr const char* kServerBufferPoolHits = "hac.server.buffer_pool_hits";
+inline constexpr const char* kServerBufferPoolMisses =
+    "hac.server.buffer_pool_misses";
 
 // --- durability: WAL + checkpoints + recovery (src/core/durability.cc) ---
 inline constexpr const char* kDurabilityWalAppends = "hac.durability.wal_appends";
@@ -112,6 +121,10 @@ inline constexpr const char* kConsistencyParallelBarrierWaitNs =
 // Wire codec cost per frame (encode: typed struct -> bytes; decode: the reverse).
 inline constexpr const char* kServerWireEncodeNs = "hac.server.wire_encode_ns";
 inline constexpr const char* kServerWireDecodeNs = "hac.server.wire_decode_ns";
+// Epoll transport shape: complete request frames decoded per recv wake (pipelining
+// depth) and response frames coalesced per writev syscall (group-commit payoff).
+inline constexpr const char* kServerFramesPerWake = "hac.server.frames_per_wake";
+inline constexpr const char* kServerWritevFrames = "hac.server.writev_frames";
 // Durability: one fsync per group commit; checkpoint/recovery are whole-operation
 // durations (recovery includes checkpoint load, WAL replay, and the reindex).
 inline constexpr const char* kDurabilityFsyncUs = "hac.durability.fsync_us";
@@ -136,6 +149,8 @@ inline constexpr const char* kAllCounters[] = {
     kServiceExecutedWrites, kServiceWriteBatches, kServiceIntrospectRequests,
     kServiceSessionsOpened, kServiceSessionsClosed, kServerBytesIn, kServerBytesOut,
     kServerConnectionsOpened, kServerConnectionsClosed, kServerWireErrors,
+    kServerEpollWakeups, kServerBackpressureStalls, kServerIdleCloses,
+    kServerBufferPoolHits, kServerBufferPoolMisses,
     kDurabilityWalAppends, kDurabilityWalBytes, kDurabilityCheckpoints,
     kDurabilityRecoveries, kDurabilityReplayedRecords, kDurabilityCorruptFrames,
     kIndexQueries, kIndexDocsIndexed, kIndexDocsRemoved, kTraceDropped,
@@ -151,6 +166,7 @@ inline constexpr const char* kAllHistograms[] = {
     kIndexQueryUs,          kIndexQuerySelectivityPct,
     kConsistencyParallelLevels, kConsistencyParallelWidth,
     kConsistencyParallelBarrierWaitNs, kServerWireEncodeNs, kServerWireDecodeNs,
+    kServerFramesPerWake, kServerWritevFrames,
     kDurabilityFsyncUs, kDurabilityCheckpointUs, kDurabilityRecoveryUs,
 };
 inline constexpr const char* kAllSpans[] = {

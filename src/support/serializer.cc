@@ -34,6 +34,12 @@ void ByteWriter::PutBytes(const void* data, size_t n) {
   buf_.insert(buf_.end(), p, p + n);
 }
 
+void ByteWriter::PatchU32(size_t offset, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    buf_[offset + static_cast<size_t>(i)] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
 Result<void> ByteReader::Need(size_t n) {
   if (size_ - pos_ < n) {
     return Error(ErrorCode::kCorrupt, "truncated buffer");

@@ -16,12 +16,24 @@ namespace hac {
 
 class ByteWriter {
  public:
+  ByteWriter() = default;
+  // Adopts `storage` (cleared) as the output buffer, preserving its capacity —
+  // lets callers reuse pooled scratch (src/support/buffer_pool.h) so steady-state
+  // encoding allocates nothing.
+  explicit ByteWriter(std::vector<uint8_t> storage) : buf_(std::move(storage)) {
+    buf_.clear();
+  }
+
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU32(uint32_t v);
   void PutU64(uint64_t v);
   void PutVarint(uint64_t v);
   void PutString(std::string_view s);
   void PutBytes(const void* data, size_t n);
+  // Overwrites 4 already-written bytes at `offset` (little-endian). For
+  // length-prefixed framing: write a placeholder, encode the body, patch the real
+  // size — one buffer, no copy of the payload into a second one.
+  void PatchU32(size_t offset, uint32_t v);
 
   const std::vector<uint8_t>& buffer() const { return buf_; }
   std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }

@@ -1,7 +1,8 @@
-// The ClientApi contract, run twice: once over the in-process ServiceClient and
-// once over a RemoteServiceClient talking to a loopback TcpServer. The assertions
-// are transport-blind — the point of the parameterization is that nothing here may
-// depend on which side of a socket the service lives.
+// The ClientApi contract, run three times: over the in-process ServiceClient and
+// over a RemoteServiceClient talking to a loopback TcpServer in each io_model
+// (thread-per-connection and epoll reactor). The assertions are transport-blind —
+// the point of the parameterization is that nothing here may depend on which side
+// of a socket the service lives, nor on how the server multiplexes its sockets.
 #include <chrono>
 #include <functional>
 #include <memory>
@@ -19,10 +20,18 @@
 namespace hac {
 namespace {
 
-enum class Transport { kInProcess, kTcp };
+enum class Transport { kInProcess, kTcp, kEpollTcp };
 
 const char* TransportName(Transport t) {
-  return t == Transport::kInProcess ? "InProcess" : "LoopbackTcp";
+  switch (t) {
+    case Transport::kInProcess:
+      return "InProcess";
+    case Transport::kTcp:
+      return "LoopbackTcp";
+    case Transport::kEpollTcp:
+      return "LoopbackEpollTcp";
+  }
+  return "Unknown";
 }
 
 // TCP-side effects of a disconnect (session close, descriptor release) land when
@@ -44,8 +53,12 @@ class ClientContractTest : public ::testing::TestWithParam<Transport> {
  protected:
   void SetUp() override {
     service_.emplace(fs_);
-    if (GetParam() == Transport::kTcp) {
-      server_.emplace(*service_);
+    if (GetParam() != Transport::kInProcess) {
+      TcpServerOptions options;
+      options.io_model = GetParam() == Transport::kEpollTcp
+                             ? IoModel::kEpoll
+                             : IoModel::kThreadPerConnection;
+      server_.emplace(*service_, options);
       ASSERT_TRUE(server_->Start().ok());
       ASSERT_NE(server_->port(), 0);
     }
@@ -256,7 +269,8 @@ std::string TransportParamName(const ::testing::TestParamInfo<Transport>& param)
 }
 
 INSTANTIATE_TEST_SUITE_P(Transports, ClientContractTest,
-                         ::testing::Values(Transport::kInProcess, Transport::kTcp),
+                         ::testing::Values(Transport::kInProcess, Transport::kTcp,
+                                           Transport::kEpollTcp),
                          TransportParamName);
 
 }  // namespace
