@@ -285,9 +285,10 @@ struct ScaleResult {
   double p50_us = 0;
   double p95_us = 0;
   double p99_us = 0;
-  double writev_mean = 0;  // epoll only: mean response frames per sendmsg
-  uint64_t digest = 0;     // StateDigest of the final fs (inode-free)
-  bool clean = true;       // every request sent, answered, and ok()
+  double writev_mean = 0;      // epoll only: mean response frames per sendmsg
+  double bytes_per_frame = 0;  // server bytes_out per answered request
+  uint64_t digest = 0;         // StateDigest of the final fs (inode-free)
+  bool clean = true;           // every request sent, answered, and ok()
 };
 
 // C connections, each a closed window of kWindow pipelined writes: distinct paths
@@ -321,6 +322,9 @@ ScaleResult RunConnectionScale(IoModel model, int connections, int total_ops) {
       MetricsRegistry::Global().GetHistogram(metric_names::kServerWritevFrames);
   const uint64_t wv_count0 = writev.Count();
   const uint64_t wv_sum0 = writev.Sum();
+  Counter& bytes_out =
+      MetricsRegistry::Global().GetCounter(metric_names::kServerBytesOut);
+  const uint64_t bytes_out0 = bytes_out.Value();
 
   std::vector<std::thread> clients;
   BenchTimer wall;
@@ -394,6 +398,10 @@ ScaleResult RunConnectionScale(IoModel model, int connections, int total_ops) {
   r.writev_mean = wv_count == 0 ? 0
                                 : static_cast<double>(writev.Sum() - wv_sum0) /
                                       static_cast<double>(wv_count);
+  r.bytes_per_frame = r.total_ops == 0
+                          ? 0
+                          : static_cast<double>(bytes_out.Value() - bytes_out0) /
+                                static_cast<double>(r.total_ops);
   r.digest = StateDigest(*fs);
   for (char ok : clean) {
     r.clean = r.clean && ok != 0;
@@ -456,8 +464,8 @@ int RunConnectionScaling(bool json, const std::vector<int>& counts) {
   const bool writev_ok = !have_64 || writev_at_64 > 1.0;
   const bool pass = digests_match && all_clean && writev_ok && epoll_wins_64;
 
-  if (json) {
-    std::vector<JsonObject> rows;
+  std::vector<JsonObject> rows;
+  {
     for (const ScaleResult& r : results) {
       JsonObject row;
       row.Add("io_model", IoModelName(r.model))
@@ -468,6 +476,7 @@ int RunConnectionScaling(bool json, const std::vector<int>& counts) {
           .Add("p95_us", r.p95_us)
           .Add("p99_us", r.p99_us)
           .Add("writev_frames_mean", r.writev_mean)
+          .Add("bytes_per_frame", r.bytes_per_frame)
           .Add("digest", r.digest)
           .AddBool("clean", r.clean);
       rows.push_back(row);
@@ -485,8 +494,12 @@ int RunConnectionScaling(bool json, const std::vector<int>& counts) {
         .AddBool("epoll_throughput_compared", compared_64)
         .AddBool("epoll_throughput_ok", epoll_wins_64)
         .AddBool("pass", pass);
-    out.Print();
-  } else {
+    WriteBenchArtifact("BENCH_server_throughput.json", out);
+    if (json) {
+      out.Print();
+    }
+  }
+  if (!json) {
     table.Print();
     std::printf("\ndigests match across io models: %s\n",
                 digests_match ? "yes" : "NO");
@@ -549,15 +562,16 @@ int RunAll(bool json, const std::vector<Transport>& transports) {
     }
   }
   double scaling = read_heavy_1 <= 0 ? 0 : read_heavy_8 / read_heavy_1;
+  JsonObject out;
+  out.Add("bench", "server_throughput")
+      .Add("ops_per_thread", static_cast<uint64_t>(ops_per_thread))
+      .Add("hardware_threads",
+           static_cast<uint64_t>(std::thread::hardware_concurrency()))
+      .AddBool("metrics_enabled", kMetricsCompiledIn)
+      .Add("rows", rows)
+      .Add("read_heavy_scaling_1_to_8", scaling);
+  WriteBenchArtifact("BENCH_server_throughput.json", out);
   if (json) {
-    JsonObject out;
-    out.Add("bench", "server_throughput")
-        .Add("ops_per_thread", static_cast<uint64_t>(ops_per_thread))
-        .Add("hardware_threads",
-             static_cast<uint64_t>(std::thread::hardware_concurrency()))
-        .AddBool("metrics_enabled", kMetricsCompiledIn)
-        .Add("rows", rows)
-        .Add("read_heavy_scaling_1_to_8", scaling);
     out.Print();
   } else {
     table.Print();

@@ -190,6 +190,87 @@ Result<std::vector<DirEntry>> HacFileSystem::ReadDir(const std::string& path) {
 }
 
 // ---------------------------------------------------------------------------
+// Streaming reads (core/paging.h)
+// ---------------------------------------------------------------------------
+
+uint64_t HacFileSystem::MutationEpoch() const {
+  // Journaled records cover every acknowledged user mutation; reindexing settles
+  // deferred data consistency without journaling, so its ingest/purge counters
+  // fold in too. Monotone: drains don't reset RecordCount().
+  return journal_.RecordCount() + stats_.docs_indexed.load(std::memory_order_relaxed) +
+         stats_.docs_purged.load(std::memory_order_relaxed);
+}
+
+namespace {
+
+Error StaleCursorError(uint64_t token_epoch, uint64_t epoch) {
+  return Error(ErrorCode::kStaleCursor,
+               "page token epoch " + std::to_string(token_epoch) +
+                   " superseded by " + std::to_string(epoch) +
+                   "; restart from the first page");
+}
+
+void ClampPage(size_t* max_entries, size_t* max_bytes) {
+  if (*max_entries == 0) {
+    *max_entries = kDefaultPageEntries;
+  }
+  *max_entries = std::min(*max_entries, kMaxPageEntries);
+  if (*max_bytes == 0) {
+    *max_bytes = kDefaultPageBytes;
+  }
+}
+
+}  // namespace
+
+Result<DirPageResult> HacFileSystem::ReadDirPage(const std::string& path,
+                                                 const PageToken* token,
+                                                 size_t max_entries, size_t max_bytes) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(path));
+  if (r.local) {
+    // Same read point as ReadDir: settle batched mutations before observing links.
+    HAC_RETURN_IF_ERROR(engine_->Flush());
+  }
+  ClampPage(&max_entries, &max_bytes);
+  const uint64_t epoch = MutationEpoch();
+  const bool resuming = token != nullptr && !token->at_start;
+  // A token with no delivered position yet has nothing to invalidate: it rebases
+  // onto the current epoch instead of failing (open-then-write-then-fetch works).
+  if (resuming && token->epoch != epoch) {
+    return StaleCursorError(token->epoch, epoch);
+  }
+  const std::string& after = resuming ? token->last_name : std::string();
+  DirPageResult page;
+  if (r.local) {
+    HAC_ASSIGN_OR_RETURN(page.entries, vfs_.ReadDirPage(r.path, after, max_entries,
+                                                        max_bytes, &page.has_more));
+  } else {
+    // Mounted name spaces only expose the plain interface: enumerate fully and
+    // slice — paging still bounds the *returned* (and wire-encoded) volume.
+    HAC_ASSIGN_OR_RETURN(std::vector<DirEntry> all, r.fs->ReadDir(r.path));
+    size_t bytes = 0;
+    for (DirEntry& e : all) {
+      if (resuming && e.name <= after) {
+        continue;
+      }
+      if (page.entries.size() >= max_entries ||
+          (!page.entries.empty() && bytes + e.name.size() > max_bytes)) {
+        page.has_more = true;
+        break;
+      }
+      bytes += e.name.size();
+      page.entries.push_back(std::move(e));
+    }
+  }
+  page.next = token != nullptr ? *token : PageToken{};
+  page.next.epoch = epoch;
+  if (!page.entries.empty()) {
+    page.next.at_start = false;
+    page.next.last_name = page.entries.back().name;
+  }
+  return page;
+}
+
+// ---------------------------------------------------------------------------
 // Files & descriptors
 // ---------------------------------------------------------------------------
 

@@ -18,6 +18,7 @@
 #define HAC_CORE_HAC_FILE_SYSTEM_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "src/core/file_registry.h"
 #include "src/core/metadata_journal.h"
 #include "src/core/mount_table.h"
+#include "src/core/paging.h"
 #include "src/core/process_state.h"
 #include "src/core/stats_snapshot.h"
 #include "src/core/sync_policy.h"
@@ -117,6 +119,31 @@ class HacFileSystem final : public FsInterface {
   // matching paths, sorted. The Table 4 "direct Glimpse search" counterpart.
   Result<std::vector<std::string>> Search(const std::string& query,
                                           const std::string& scope_dir = "/");
+
+  // --- streaming reads (core/paging.h) ---
+  //
+  // Counts every acknowledged mutation: journaled user operations plus reindex
+  // ingest/purge (reindexing settles deferred data consistency without
+  // journaling). Monotone; a page sequence whose token epoch no longer matches
+  // is refused with kStaleCursor.
+  uint64_t MutationEpoch() const;
+
+  // Paged ReadDir: the page of entries after `token` (nullptr = first page).
+  // max_entries/max_bytes of 0 pick kDefaultPageEntries/kDefaultPageBytes;
+  // entries are capped at kMaxPageEntries. Concatenating pages at a quiesced
+  // epoch reproduces ReadDir exactly; an epoch mismatch returns kStaleCursor and
+  // the caller restarts from the first page.
+  Result<DirPageResult> ReadDirPage(const std::string& path, const PageToken* token,
+                                    size_t max_entries = 0, size_t max_bytes = 0);
+
+  // Paged Search: pulls the next page of matches lazily through a PostingCursor
+  // tree (index/posting_cursor.h) instead of materializing the result bitmap.
+  // Paths come back in DocId order; the union of pages at a quiesced epoch
+  // equals Search() as a set. Token semantics as in ReadDirPage.
+  Result<SearchPageResult> SearchPage(const std::string& query,
+                                      const std::string& scope_dir,
+                                      const PageToken* token,
+                                      size_t max_results = 0, size_t max_bytes = 0);
 
   // smount (syntactic): graft `fs`'s subtree rooted at `remote_root` under `path`.
   Result<void> MountSyntactic(const std::string& path, FsInterface* fs,
@@ -242,6 +269,11 @@ class HacFileSystem final : public FsInterface {
   Result<Bitmap> ScopeOfUid(DirUid uid) const;
   // Contents bitmap of a directory (see DirectoryResultOf).
   Result<Bitmap> DirContentsOfUid(DirUid uid) const;
+  // DirContentsOfUid memoized on (uid, MutationEpoch): the search read path —
+  // especially a paged drain, which re-derives the same scope once per
+  // FetchPage — asks for identical bitmaps at a quiesced epoch. Mutex-guarded
+  // because readers run concurrently under the service's shared lock.
+  Result<Bitmap> CachedDirContents(DirUid uid) const;
 
   // Dependency set for a directory: its parent plus all dirs referenced by its query.
   Result<std::vector<DirUid>> ComputeDeps(DirUid uid, const std::string& norm_path,
@@ -275,6 +307,13 @@ class HacFileSystem final : public FsInterface {
   MountTable mounts_;
   MetadataJournal journal_;
   AttributeCache attr_cache_;
+
+  // Single-entry scope memo for CachedDirContents. Epoch-keyed, so any
+  // journaled mutation or (re)index activity invalidates it implicitly.
+  mutable std::mutex scope_memo_mu_;
+  mutable DirUid scope_memo_uid_ = kInvalidDirUid;
+  mutable uint64_t scope_memo_epoch_ = 0;
+  mutable Bitmap scope_memo_;
   std::vector<HacFdTable> processes_;
   ProcessId current_process_ = 0;
 

@@ -162,7 +162,7 @@ Result<std::vector<std::string>> HacFileSystem::Search(const std::string& query,
     ref->text.clear();
   }
   HAC_ASSIGN_OR_RETURN(DirUid scope_uid, uid_map_.UidOf(r.path));
-  HAC_ASSIGN_OR_RETURN(Bitmap scope, DirContentsOfUid(scope_uid));
+  HAC_ASSIGN_OR_RETURN(Bitmap scope, CachedDirContents(scope_uid));
   DirResolver resolver = [this](DirUid uid) -> Result<Bitmap> {
     return this->DirContentsOfUid(uid);
   };
@@ -177,6 +177,95 @@ Result<std::vector<std::string>> HacFileSystem::Search(const std::string& query,
   });
   std::sort(paths.begin(), paths.end());
   return paths;
+}
+
+Result<Bitmap> HacFileSystem::CachedDirContents(DirUid uid) const {
+  const uint64_t epoch = MutationEpoch();
+  {
+    std::lock_guard<std::mutex> lk(scope_memo_mu_);
+    if (scope_memo_uid_ == uid && scope_memo_epoch_ == epoch) {
+      return scope_memo_;
+    }
+  }
+  HAC_ASSIGN_OR_RETURN(Bitmap contents, DirContentsOfUid(uid));
+  std::lock_guard<std::mutex> lk(scope_memo_mu_);
+  scope_memo_uid_ = uid;
+  scope_memo_epoch_ = epoch;
+  scope_memo_ = contents;
+  return contents;
+}
+
+Result<SearchPageResult> HacFileSystem::SearchPage(const std::string& query,
+                                                   const std::string& scope_dir,
+                                                   const PageToken* token,
+                                                   size_t max_results,
+                                                   size_t max_bytes) {
+  HAC_ASSIGN_OR_RETURN(Routed r, Route(scope_dir));
+  if (!r.local) {
+    return Error(ErrorCode::kUnsupported, "search applies to the local name space");
+  }
+  HAC_RETURN_IF_ERROR(engine_->Flush());
+  if (max_results == 0) {
+    max_results = kDefaultPageEntries;
+  }
+  max_results = std::min(max_results, kMaxPageEntries);
+  if (max_bytes == 0) {
+    max_bytes = kDefaultPageBytes;
+  }
+  const uint64_t epoch = MutationEpoch();
+  const bool resuming = token != nullptr && !token->at_start;
+  // As in ReadDirPage: an at_start token rebases onto the current epoch.
+  if (resuming && token->epoch != epoch) {
+    return Error(ErrorCode::kStaleCursor,
+                 "page token epoch " + std::to_string(token->epoch) +
+                     " superseded by " + std::to_string(epoch) +
+                     "; restart from the first page");
+  }
+  // Parse and bind exactly as Search() does; the difference is downstream — a
+  // lazy cursor pull instead of a materialized result bitmap.
+  HAC_ASSIGN_OR_RETURN(QueryExprPtr ast, ParseQuery(query));
+  std::vector<QueryExpr*> refs;
+  ast->CollectDirRefs(refs);
+  for (QueryExpr* ref : refs) {
+    std::string ref_path = NormalizePath(ref->text);
+    if (ref_path.empty()) {
+      return Error(ErrorCode::kInvalidArgument, "dir() needs an absolute path");
+    }
+    HAC_ASSIGN_OR_RETURN(DirUid ref_uid, uid_map_.UidOf(ref_path));
+    ref->dir_uid = ref_uid;
+    ref->text.clear();
+  }
+  HAC_ASSIGN_OR_RETURN(DirUid scope_uid, uid_map_.UidOf(r.path));
+  HAC_ASSIGN_OR_RETURN(Bitmap scope, CachedDirContents(scope_uid));
+  DirResolver resolver = [this](DirUid uid) -> Result<Bitmap> {
+    return this->DirContentsOfUid(uid);
+  };
+  QueryExprPtr optimized = OptimizeQuery(std::move(ast), index_.get());
+  HAC_ASSIGN_OR_RETURN(PostingCursorPtr cursor,
+                       index_->OpenCursor(*optimized, scope, &resolver));
+  const uint32_t start =
+      resuming ? static_cast<uint32_t>(token->last_doc) + 1 : 0;
+  SearchPageResult page;
+  page.next = token != nullptr ? *token : PageToken{};
+  page.next.epoch = epoch;
+  size_t bytes = 0;
+  for (uint32_t doc = cursor->SeekGE(start); doc != PostingCursor::kCursorEnd;
+       doc = cursor->Next()) {
+    const FileRecord* rec = registry_.Get(doc);
+    if (rec == nullptr || !rec->alive) {
+      continue;
+    }
+    if (page.paths.size() >= max_results ||
+        (!page.paths.empty() && bytes + rec->path.size() > max_bytes)) {
+      page.has_more = true;
+      break;
+    }
+    bytes += rec->path.size();
+    page.paths.push_back(rec->path);
+    page.next.at_start = false;
+    page.next.last_doc = doc;
+  }
+  return page;
 }
 
 // ---------------------------------------------------------------------------

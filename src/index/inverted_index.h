@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/index/cba.h"
+#include "src/index/posting_cursor.h"
 #include "src/index/posting_list.h"
 #include "src/index/tokenizer.h"
 
@@ -30,6 +31,16 @@ class InvertedIndex final : public CbaMechanism {
   bool MatchesText(const QueryExpr& query, std::string_view text) const override;
   CbaStats Stats() const override;
   size_t IndexSizeBytes() const override;
+
+  // Lazy counterpart of Evaluate(): a cursor tree over the docs matching `query`
+  // within `scope`, already positioned at the first match. Result-set equivalence
+  // with Evaluate is pinned by tests and the bench_streaming ablation; the eager
+  // bitmap path stays the engine's propagation representation. The cursor borrows
+  // the index's posting arrays — and `query` itself when a content verifier is
+  // installed — so it is valid only until the index is mutated; callers pull one
+  // page and discard it.
+  Result<PostingCursorPtr> OpenCursor(const QueryExpr& query, const Bitmap& scope,
+                                      const DirResolver* resolve_dir) const;
 
   // --- extra introspection used by benches and workload selection ---
 
@@ -71,6 +82,9 @@ class InvertedIndex final : public CbaMechanism {
 
   Result<Bitmap> EvaluateNode(const QueryExpr& node, const Bitmap& scope,
                               const DirResolver* resolve_dir) const;
+
+  Result<PostingCursorPtr> BuildCursor(const QueryExpr& node, const Bitmap& scope,
+                                       const DirResolver* resolve_dir) const;
 
   Tokenizer tokenizer_;
   std::map<std::string, TermId> dictionary_;     // term -> id (ordered: prefix scans)

@@ -4,6 +4,60 @@
 
 namespace hac {
 
+Result<std::vector<DirEntry>> ClientApi::ReadDirPaged(const std::string& path,
+                                                      size_t page_size) {
+  auto cursor = OpenCursor(path);
+  if (!cursor.ok()) {
+    return cursor.error();
+  }
+  std::vector<DirEntry> out;
+  for (;;) {
+    auto page = FetchPage(cursor.value(), page_size);
+    if (!page.ok()) {
+      // A failed fetch auto-closes the cursor server-side; don't close again.
+      return page.error();
+    }
+    for (auto& e : page.value().entries) {
+      out.push_back(std::move(e));
+    }
+    if (!page.value().has_more) {
+      break;
+    }
+  }
+  auto closed = CloseCursor(cursor.value());
+  if (!closed.ok()) {
+    return closed.error();
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> ClientApi::SearchPaged(const std::string& query,
+                                                        const std::string& scope_dir,
+                                                        size_t page_size) {
+  auto cursor = OpenCursor(scope_dir, query);
+  if (!cursor.ok()) {
+    return cursor.error();
+  }
+  std::vector<std::string> out;
+  for (;;) {
+    auto page = FetchPage(cursor.value(), page_size);
+    if (!page.ok()) {
+      return page.error();
+    }
+    for (auto& p : page.value().paths) {
+      out.push_back(std::move(p));
+    }
+    if (!page.value().has_more) {
+      break;
+    }
+  }
+  auto closed = CloseCursor(cursor.value());
+  if (!closed.ok()) {
+    return closed.error();
+  }
+  return out;
+}
+
 Result<void> RequestClient::VoidCall(ServerRequest req) {
   ServerResponse resp = Call(std::move(req));
   if (!resp.ok()) {
@@ -275,6 +329,42 @@ Result<std::vector<std::string>> RequestClient::SAct(const std::string& link_pat
     return resp.error;
   }
   return std::move(resp.paths);
+}
+
+Result<Fd> RequestClient::OpenCursor(const std::string& path,
+                                     const std::string& query) {
+  ServerRequest req;
+  req.op = ServerOp::kOpenCursor;
+  req.path = path;
+  req.aux = query;
+  ServerResponse resp = Call(std::move(req));
+  if (!resp.ok()) {
+    return resp.error;
+  }
+  return resp.fd;
+}
+
+Result<CursorPage> RequestClient::FetchPage(Fd cursor, size_t max_entries) {
+  ServerRequest req;
+  req.op = ServerOp::kFetchPage;
+  req.fd = cursor;
+  req.size = max_entries;
+  ServerResponse resp = Call(std::move(req));
+  if (!resp.ok()) {
+    return resp.error;
+  }
+  CursorPage page;
+  page.entries = std::move(resp.entries);
+  page.paths = std::move(resp.paths);
+  page.has_more = resp.size != 0;
+  return page;
+}
+
+Result<void> RequestClient::CloseCursor(Fd cursor) {
+  ServerRequest req;
+  req.op = ServerOp::kCloseCursor;
+  req.fd = cursor;
+  return VoidCall(std::move(req));
 }
 
 Result<void> RequestClient::Checkpoint() {

@@ -23,6 +23,14 @@
 
 namespace hac {
 
+// One page pulled from a server-side cursor (docs/API.md "Cursor ops").
+// Directory cursors fill `entries`; search cursors fill `paths`.
+struct CursorPage {
+  std::vector<DirEntry> entries;
+  std::vector<std::string> paths;
+  bool has_more = false;
+};
+
 class ClientApi {
  public:
   virtual ~ClientApi() = default;
@@ -63,6 +71,29 @@ class ClientApi {
   virtual Result<void> Reindex() = 0;
   virtual Result<void> SSync(const std::string& path) = 0;
   virtual Result<std::vector<std::string>> SAct(const std::string& link_path) = 0;
+
+  // --- server-side cursors (streaming reads; docs/API.md "Cursor ops") ---
+  // Opens a cursor over `path`: with an empty `query`, a paged directory
+  // enumeration; otherwise a paged search scoped to that directory. The returned
+  // id lives in the session's cursor table until CloseCursor, a fetch error
+  // (every fetch failure auto-closes server-side), or the idle sweep harvests it.
+  virtual Result<Fd> OpenCursor(const std::string& path,
+                                const std::string& query = "") = 0;
+  // Pulls the next page (max_entries 0 = server default). A mutation between
+  // pages invalidates the cursor: the fetch fails kStaleCursor and the cursor is
+  // gone — reopen and restart. has_more=false means the cursor is exhausted but
+  // still open (a final CloseCursor is still the caller's job).
+  virtual Result<CursorPage> FetchPage(Fd cursor, size_t max_entries = 0) = 0;
+  virtual Result<void> CloseCursor(Fd cursor) = 0;
+
+  // Convenience loops over the cursor ops (implemented here once, so the two
+  // transports cannot drift): stream the full result page by page, bounding peak
+  // frame size instead of materializing one monolithic response.
+  Result<std::vector<DirEntry>> ReadDirPaged(const std::string& path,
+                                             size_t page_size = 0);
+  Result<std::vector<std::string>> SearchPaged(const std::string& query,
+                                               const std::string& scope_dir = "/",
+                                               size_t page_size = 0);
 
   // Persist a durability checkpoint now (docs/DURABILITY.md). Succeeds as a no-op
   // when the service runs without a data directory.
@@ -113,6 +144,10 @@ class RequestClient : public ClientApi {
   Result<void> Reindex() override;
   Result<void> SSync(const std::string& path) override;
   Result<std::vector<std::string>> SAct(const std::string& link_path) override;
+  Result<Fd> OpenCursor(const std::string& path,
+                        const std::string& query = "") override;
+  Result<CursorPage> FetchPage(Fd cursor, size_t max_entries = 0) override;
+  Result<void> CloseCursor(Fd cursor) override;
   Result<void> Checkpoint() override;
   StatsSnapshot Stats() override;
   Result<std::string> Introspect(const std::string& what = "stats") override;

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <utility>
 
+#include "src/server/hac_service.h"
 #include "src/support/metric_names.h"
 #include "src/support/metrics.h"
 
@@ -499,6 +500,12 @@ void EpollReactor::SweepIdle() {
   for (auto& [fd, c] : conns_) {
     if (c->peer_eof || c->fatal || c->write_dead) {
       continue;
+    }
+    // Cursors age out on the same clock as connections, but independently of
+    // them: a connection kept warm by other traffic can still strand cursors
+    // it stopped fetching from (CursorTable, docs/API.md "Cursor ops").
+    if (c->session != nullptr) {
+      HacService::HarvestIdleCursors(c->session, now - limit);
     }
     if (c->inflight > 0 || c->out_bytes > 0 || !c->reorder.empty()) {
       continue;  // work pending: the connection is not idle

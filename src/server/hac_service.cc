@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/core/durability.h"
+#include "src/index/query.h"
 #include "src/support/metric_names.h"
 #include "src/support/metrics.h"
 #include "src/support/trace.h"
@@ -40,6 +41,15 @@ struct ServiceMetrics {
   Histogram& service_time_write_us = reg.GetHistogram(metric_names::kServiceTimeWriteUs);
   Histogram& write_batch_size =
       reg.GetHistogram(metric_names::kServiceWriteBatchSize, "requests");
+  Counter& cursor_opened = reg.GetCounter(metric_names::kServerCursorOpened);
+  Counter& cursor_closed = reg.GetCounter(metric_names::kServerCursorClosed);
+  Counter& cursor_stale = reg.GetCounter(metric_names::kServerCursorStale);
+  Counter& cursor_harvested = reg.GetCounter(metric_names::kServerCursorHarvested);
+  Gauge& cursor_open = reg.GetGauge(metric_names::kServerCursorOpen);
+  Histogram& cursor_page_entries =
+      reg.GetHistogram(metric_names::kServerCursorPageEntries, "entries");
+  Histogram& cursor_page_bytes =
+      reg.GetHistogram(metric_names::kServerCursorPageBytes, "bytes");
 };
 
 ServiceMetrics& GM() {
@@ -531,6 +541,117 @@ ServerResponse HacService::ExecuteRead(Session* session, const ServerRequest& re
       resp.text = abs;
       break;
     }
+    case ServerOp::kOpenCursor: {
+      // Fail malformed queries and missing/non-directory scopes at open, not at
+      // the first fetch; dir() binding is still settled per fetch.
+      if (!req.aux.empty()) {
+        auto parsed = ParseQuery(req.aux);
+        if (!parsed.ok()) {
+          resp.error = parsed.error();
+          break;
+        }
+      }
+      auto st = fs_.StatPath(abs);
+      if (!st.ok()) {
+        resp.error = st.error();
+        break;
+      }
+      if (st.value().type != NodeType::kDirectory) {
+        resp.error = Error(ErrorCode::kNotADirectory, abs + " is not a directory");
+        break;
+      }
+      ServerCursor cur;
+      cur.is_search = !req.aux.empty();
+      cur.path = abs;
+      cur.query = req.aux;
+      cur.token.epoch = fs_.MutationEpoch();
+      cur.last_used = std::chrono::steady_clock::now();
+      {
+        std::lock_guard<std::mutex> lk(session->cursors_.mu);
+        if (session->cursors_.OpenCount() >= options_.max_cursors_per_session) {
+          resp.error = Error(
+              ErrorCode::kOverloaded,
+              "cursor table full (" +
+                  std::to_string(options_.max_cursors_per_session) +
+                  " per session); close or let the idle sweep harvest some");
+          break;
+        }
+        resp.fd = session->cursors_.Open(std::move(cur));
+      }
+      GM().cursor_opened.Inc();
+      GM().cursor_open.Add(1);
+      break;
+    }
+    case ServerOp::kFetchPage: {
+      // The table mutex is held across the whole fetch: the token update must
+      // pair with the page it produced even when pipelined fetches overlap.
+      std::lock_guard<std::mutex> lk(session->cursors_.mu);
+      ServerCursor* cur = session->cursors_.Find(req.fd);
+      if (cur == nullptr) {
+        resp.error = Error(ErrorCode::kBadDescriptor,
+                           "unknown cursor " + std::to_string(req.fd));
+        break;
+      }
+      cur->last_used = std::chrono::steady_clock::now();
+      const auto limit = static_cast<size_t>(req.size);  // 0 = facade default
+      size_t delivered = 0, bytes = 0;
+      if (cur->is_search) {
+        auto r = fs_.SearchPage(cur->query, cur->path, &cur->token, limit, 0);
+        if (!r.ok()) {
+          resp.error = r.error();
+        } else {
+          SearchPageResult page = std::move(r).value();
+          for (const std::string& p : page.paths) {
+            bytes += p.size();
+          }
+          delivered = page.paths.size();
+          resp.paths = std::move(page.paths);
+          resp.size = page.has_more ? 1 : 0;
+          cur->token = std::move(page.next);
+          cur->exhausted = !page.has_more;
+        }
+      } else {
+        auto r = fs_.ReadDirPage(cur->path, &cur->token, limit, 0);
+        if (!r.ok()) {
+          resp.error = r.error();
+        } else {
+          DirPageResult page = std::move(r).value();
+          for (const DirEntry& e : page.entries) {
+            bytes += e.name.size();
+          }
+          delivered = page.entries.size();
+          resp.entries = std::move(page.entries);
+          resp.size = page.has_more ? 1 : 0;
+          cur->token = std::move(page.next);
+          cur->exhausted = !page.has_more;
+        }
+      }
+      if (!resp.ok()) {
+        // Any fetch failure — stale epoch, deleted directory — auto-closes: the
+        // client restarts with a fresh kOpenCursor (docs/API.md).
+        if (resp.error.code == ErrorCode::kStaleCursor) {
+          GM().cursor_stale.Inc();
+        }
+        session->cursors_.Close(req.fd);
+        GM().cursor_closed.Inc();
+        GM().cursor_open.Add(-1);
+        break;
+      }
+      GM().cursor_page_entries.Record(delivered);
+      GM().cursor_page_bytes.Record(bytes);
+      break;
+    }
+    case ServerOp::kCloseCursor: {
+      std::lock_guard<std::mutex> lk(session->cursors_.mu);
+      if (!session->cursors_.Close(req.fd)) {
+        resp.error = Error(ErrorCode::kBadDescriptor,
+                           "unknown cursor " + std::to_string(req.fd));
+        break;
+      }
+      GM().cursor_closed.Inc();
+      GM().cursor_open.Add(-1);
+      break;
+    }
     default:
       resp.error = Error(ErrorCode::kInvalidArgument, "write op routed to read path");
       break;
@@ -709,6 +830,31 @@ void HacService::CloseSessionDescriptors(Session* session) {
     (void)fs_.Close(hac_fd);
     (void)session->fds_.Release(fd);
   }
+  // Cursors die with the session (counted as closes, not idle harvests).
+  size_t cursors;
+  {
+    std::lock_guard<std::mutex> lk(session->cursors().mu);
+    cursors = session->cursors().HarvestIdle(std::chrono::steady_clock::time_point::max());
+  }
+  if (cursors > 0) {
+    GM().cursor_closed.Inc(cursors);
+    GM().cursor_open.Add(-static_cast<int64_t>(cursors));
+  }
+}
+
+size_t HacService::HarvestIdleCursors(Session* session,
+                                      std::chrono::steady_clock::time_point cutoff) {
+  size_t n;
+  {
+    std::lock_guard<std::mutex> lk(session->cursors().mu);
+    n = session->cursors().HarvestIdle(cutoff);
+  }
+  if (n > 0) {
+    GM().cursor_harvested.Inc(n);
+    GM().cursor_closed.Inc(n);
+    GM().cursor_open.Add(-static_cast<int64_t>(n));
+  }
+  return n;
 }
 
 void HacService::Stop() {

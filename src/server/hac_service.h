@@ -65,6 +65,11 @@ struct ServiceOptions {
   // borrowed readers may all be blocked on the writer's exclusive lock: ParallelFor's
   // caller (the writer) participates, so propagation never waits on a pool slot.
   size_t propagation_parallelism = 0;
+  // Server-side cursor policy (docs/API.md "Cursor ops"). A session holds at
+  // most this many open cursors; kOpenCursor beyond the cap is refused with
+  // kOverloaded. Cursors idle past the transport's idle_timeout_ms are reclaimed
+  // by the same sweep that closes idle connections (HarvestIdleCursors).
+  size_t max_cursors_per_session = 64;
   // Optional crash-safety hook (docs/DURABILITY.md). When set, the writer thread
   // group-commits the facade's journal into the store's WAL after every batch flush
   // and before any future in the batch is fulfilled — an acknowledged write is on
@@ -127,6 +132,12 @@ class HacService {
 
   // Synchronous convenience: Submit + wait.
   ServerResponse Call(Session* session, ServerRequest req);
+
+  // Drops the session's cursors untouched since `cutoff` and updates the cursor
+  // metrics. Called by the transports' idle sweeps (reactor thread / blocking
+  // connection loop) — safe concurrently with fetches, which hold the table mutex.
+  static size_t HarvestIdleCursors(Session* session,
+                                   std::chrono::steady_clock::time_point cutoff);
 
   // Stops admission, completes everything already admitted, joins all threads.
   // Idempotent; the destructor calls it.

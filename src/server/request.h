@@ -9,7 +9,9 @@
 //
 // Classification table (see DESIGN.md "Service layer & threading model"):
 //   read  — Ping, ReadDir, Search, Stat, Lstat, ReadFd, Seek, GetQuery,
-//           GetLinkClasses, ReadLink, Stats, Chdir (session-local cwd), Introspect
+//           GetLinkClasses, ReadLink, Stats, Chdir (session-local cwd), Introspect,
+//           OpenCursor, FetchPage, CloseCursor (session-local cursor table; the
+//           table has its own mutex because pipelined reads can overlap)
 //   write — Open, Close, WriteFd, WriteFile, Mkdir, SMkdir, SetQuery, Unlink, Rmdir,
 //           Rename, Symlink, PromoteLink, DemoteLink, Prohibit, Unprohibit, Reindex,
 //           SSync, SAct, CloseSession, Checkpoint
@@ -70,14 +72,23 @@ enum class ServerOp : uint8_t {
   kSAct,            // path = link path
   kCloseSession,    // internal: emitted by HacService::CloseSession
   kCheckpoint,      // persist a durability checkpoint now (no-op without a data dir)
+  // --- read class, appended after the write block (the numeric values are on the
+  //     wire, so new ops can only go at the end; IsReadOp carves them back in) ---
+  kOpenCursor,      // path = directory, aux = query ("" = plain enumeration);
+                    // resp.fd = cursor id (docs/API.md "Cursor ops")
+  kFetchPage,       // fd = cursor id, size = max entries (0 = server default);
+                    // resp.entries or resp.paths, resp.size = 1 while more remain
+  kCloseCursor,     // fd = cursor id
 };
 
-inline bool IsReadOp(ServerOp op) { return op < ServerOp::kOpen; }
+inline bool IsReadOp(ServerOp op) {
+  return op < ServerOp::kOpen || op >= ServerOp::kOpenCursor;
+}
 
 // The highest assigned op. The wire codec and the docs_check gate iterate the enum
 // through this bound; bump it when appending an op (append only — the numeric values
 // are on the wire).
-inline constexpr ServerOp kMaxServerOp = ServerOp::kCheckpoint;
+inline constexpr ServerOp kMaxServerOp = ServerOp::kCloseCursor;
 inline constexpr size_t kServerOpCount = static_cast<size_t>(kMaxServerOp) + 1;
 
 // Stable PascalCase identifier for each op, matching the classification table above
@@ -89,7 +100,8 @@ inline constexpr const char* kServerOpNames[kServerOpCount] = {
     "WriteFd",     "WriteFile",  "Mkdir",      "SMkdir",      "SetQuery",
     "Unlink",      "Rmdir",      "Rename",     "Symlink",     "PromoteLink",
     "DemoteLink",  "Prohibit",   "Unprohibit", "Reindex",     "SSync",
-    "SAct",        "CloseSession", "Checkpoint",
+    "SAct",        "CloseSession", "Checkpoint", "OpenCursor",  "FetchPage",
+    "CloseCursor",
 };
 
 inline const char* ServerOpName(ServerOp op) {

@@ -6,12 +6,22 @@
 // by one synchronous client at a time — the service relies on that for the session's
 // own mutable state (cwd, per-descriptor offsets), which is why Chdir/ReadFd/Seek can
 // run on the concurrent read path.
+//
+// The cursor table is the exception to that single-driver assumption: the epoll
+// transport pipelines, so two read-class cursor ops of one session can overlap on
+// the reader pool, and the idle sweep harvests from the reactor thread. The table
+// therefore carries its own mutex, held across a whole fetch (serializing fetches
+// per session — the token update must pair with the page it produced).
 #ifndef HAC_SERVER_SESSION_H_
 #define HAC_SERVER_SESSION_H_
 
+#include <chrono>
 #include <cstdint>
+#include <map>
+#include <mutex>
 #include <string>
 
+#include "src/core/paging.h"
 #include "src/vfs/fd_table.h"
 
 namespace hac {
@@ -23,11 +33,66 @@ struct SessionFile {
   std::string path;
 };
 
+// One server-side cursor: pure re-execution state (what to run + how far we got),
+// never live iterators — see docs/API.md "Cursor ops". Each kFetchPage re-invokes
+// HacFileSystem::ReadDirPage/SearchPage with the stored token, so nothing here can
+// dangle across write batches or reindex passes.
+struct ServerCursor {
+  bool is_search = false;  // false: directory enumeration
+  std::string path;        // absolutized at open
+  std::string query;       // search cursors only
+  PageToken token;
+  bool exhausted = false;  // last fetch reported no more pages
+  std::chrono::steady_clock::time_point last_used;
+};
+
+// The per-session cursor table. Locking: take `mu` for any access; HacService
+// holds it across a full fetch, the transports call HarvestIdle() from their idle
+// sweeps. Capped by ServiceOptions::max_cursors_per_session at open.
+class CursorTable {
+ public:
+  std::mutex mu;
+
+  // All methods below require `mu` held by the caller.
+  Fd Open(ServerCursor cursor) {
+    const Fd id = next_id_++;
+    cursors_.emplace(id, std::move(cursor));
+    return id;
+  }
+  ServerCursor* Find(Fd id) {
+    auto it = cursors_.find(id);
+    return it == cursors_.end() ? nullptr : &it->second;
+  }
+  bool Close(Fd id) { return cursors_.erase(id) != 0; }
+  size_t OpenCount() const { return cursors_.size(); }
+
+  // Drops cursors not used since `cutoff`; returns how many were harvested.
+  size_t HarvestIdle(std::chrono::steady_clock::time_point cutoff) {
+    size_t n = 0;
+    for (auto it = cursors_.begin(); it != cursors_.end();) {
+      if (it->second.last_used < cutoff) {
+        it = cursors_.erase(it);
+        ++n;
+      } else {
+        ++it;
+      }
+    }
+    return n;
+  }
+
+ private:
+  Fd next_id_ = 1;
+  std::map<Fd, ServerCursor> cursors_;
+};
+
 class Session {
  public:
   uint64_t id() const { return id_; }
   const std::string& cwd() const { return cwd_; }
   size_t OpenDescriptors() const { return fds_.OpenCount(); }
+
+  // The transports reach the table directly for idle harvesting (lock its mu).
+  CursorTable& cursors() { return cursors_; }
 
  private:
   friend class HacService;
@@ -37,6 +102,7 @@ class Session {
   uint64_t id_;
   std::string cwd_ = "/";
   BasicFdTable<SessionFile> fds_;
+  CursorTable cursors_;
 };
 
 }  // namespace hac

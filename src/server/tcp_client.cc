@@ -78,6 +78,17 @@ ServerResponse RemoteServiceClient::Transport(ServerRequest req) {
   if (fd_ < 0) {
     return TransportFailure(ErrorCode::kOverloaded, "not connected", false);
   }
+  // Refuse locally what the server-side decoder would refuse as kCorrupt (and
+  // then tear down the stream): a request whose variable fields alone already
+  // exceed the single-frame payload cap. Checked before encoding so a hopeless
+  // request never allocates a frame or poisons the connection.
+  if (req.path.size() + req.aux.size() + kWireHeaderSize * 2 > MaxEncodablePayload()) {
+    return TransportFailure(
+        ErrorCode::kOverloaded,
+        "request exceeds the " + std::to_string(MaxEncodablePayload()) +
+            "-byte frame limit; split the payload (e.g. chunked WriteFd)",
+        false);
+  }
   std::vector<uint8_t> frame = EncodeRequestFrame(req);
   size_t sent = 0;
   while (sent < frame.size()) {

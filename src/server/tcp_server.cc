@@ -199,7 +199,11 @@ void TcpServer::ServeConnection(Conn* conn) {
         break;
       }
       if (ready == 0) {
-        if (std::chrono::steady_clock::now() - last_frame >= idle_limit) {
+        auto now = std::chrono::steady_clock::now();
+        // Same sweep the reactor runs: cursors this session stopped fetching
+        // from age out on the idle clock even while the connection stays open.
+        HacService::HarvestIdleCursors(session, now - idle_limit);
+        if (now - last_frame >= idle_limit) {
           ++idle_closes_;
           TM().idle_closes.Inc();
           break;

@@ -14,8 +14,13 @@ namespace {
 // The wire carries enum values numerically; both tables are append-only, so a
 // version-1 decoder can state its exact bounds at compile time. Growing either
 // enum without revisiting the codec (and these bounds) is a build error.
-static_assert(kMaxErrorCode == 20, "ErrorCode grew: extend the wire mapping bound");
-static_assert(kServerOpCount == 33, "ServerOp grew: extend the wire mapping bound");
+static_assert(kMaxErrorCode == 21, "ErrorCode grew: extend the wire mapping bound");
+static_assert(kServerOpCount == 36, "ServerOp grew: extend the wire mapping bound");
+
+// Encoder-side payload cap (kMaxFramePayload by default; tests lower it). Kept
+// at or below kMaxFramePayload so the u32 length patch can never truncate and a
+// frame we emit is never one our own decoder refuses.
+std::atomic<size_t> g_encode_payload_limit{kMaxFramePayload};
 
 struct WireMetrics {
   MetricsRegistry& reg = MetricsRegistry::Global();
@@ -366,8 +371,34 @@ std::vector<uint8_t> EncodeRequestFrame(const ServerRequest& req) {
   return EncodeFrame(req, FrameKind::kRequest, EncodeRequest);
 }
 
+size_t MaxEncodablePayload() {
+  return g_encode_payload_limit.load(std::memory_order_relaxed);
+}
+
+size_t SetMaxEncodablePayloadForTest(size_t limit) {
+  if (limit == 0 || limit > kMaxFramePayload) {
+    limit = kMaxFramePayload;
+  }
+  return g_encode_payload_limit.exchange(limit, std::memory_order_relaxed);
+}
+
 std::vector<uint8_t> EncodeResponseFrame(const ServerResponse& resp) {
-  return EncodeFrame(resp, FrameKind::kResponse, EncodeResponse);
+  std::vector<uint8_t> frame = EncodeFrame(resp, FrameKind::kResponse, EncodeResponse);
+  const size_t limit = MaxEncodablePayload();
+  if (frame.size() - kWireHeaderSize > limit) {
+    // An oversized response would be refused by every decoder (and would wedge
+    // the connection that parked it). Substitute a small, well-formed error in
+    // the retryable taxonomy and point the caller at the paged surface.
+    const size_t oversize = frame.size() - kWireHeaderSize;
+    RecycleBuffer(std::move(frame));
+    ServerResponse err;
+    err.error = Error(ErrorCode::kOverloaded,
+                      "response payload " + std::to_string(oversize) +
+                          " bytes exceeds the " + std::to_string(limit) +
+                          "-byte frame limit; page the result with cursor ops");
+    return EncodeFrame(err, FrameKind::kResponse, EncodeResponse);
+  }
+  return frame;
 }
 
 void RecycleBuffer(std::vector<uint8_t>&& buf) {

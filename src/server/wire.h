@@ -63,7 +63,18 @@ Result<ServerResponse> DecodeResponse(ByteReader& in);
 // a decoded FrameDecoder payload) should hand the vector back via RecycleBuffer;
 // not doing so is only a missed pool hit, never a leak.
 std::vector<uint8_t> EncodeRequestFrame(const ServerRequest& req);
+// Response frames are additionally bounded by MaxEncodablePayload(): a response
+// whose payload would exceed it (or overflow the u32 length patch) is replaced
+// with a small kOverloaded error frame directing the caller at the cursor ops —
+// the encoder never emits a frame its own decoder refuses.
 std::vector<uint8_t> EncodeResponseFrame(const ServerResponse& resp);
+
+// The encoder-side single-frame payload cap (kMaxFramePayload unless lowered for
+// tests). RemoteServiceClient also refuses to send requests beyond it.
+size_t MaxEncodablePayload();
+// Test hook: lowers the cap (clamped to kMaxFramePayload; 0 restores the
+// default). Returns the previous value.
+size_t SetMaxEncodablePayloadForTest(size_t limit);
 // Returns a frame/payload buffer to the codec's scratch pool.
 void RecycleBuffer(std::vector<uint8_t>&& buf);
 // Decode one complete frame (header included). `expect` is the kind the caller is

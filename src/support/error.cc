@@ -46,6 +46,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "overloaded";
     case ErrorCode::kStaleExport:
       return "stale_export";
+    case ErrorCode::kStaleCursor:
+      return "stale_cursor";
   }
   return "unknown";
 }

@@ -35,13 +35,14 @@ enum class ErrorCode : int {
   kOutOfRange = 18,       // seek/read beyond representable range
   kOverloaded = 19,       // service admission control rejected or timed out the request
   kStaleExport = 20,      // remote export root no longer exists (or moved out of scope)
+  kStaleCursor = 21,      // page token/cursor epoch superseded by a mutation; restart
 };
 
 // The highest assigned code. The wire codec rejects values above this bound, and
 // tests/server/wire_test.cc enumerates every code through it — when appending a
 // code, bump this constant (and only append: the numeric values live in persisted
 // error logs and on the wire).
-inline constexpr int kMaxErrorCode = static_cast<int>(ErrorCode::kStaleExport);
+inline constexpr int kMaxErrorCode = static_cast<int>(ErrorCode::kStaleCursor);
 
 // Returns a stable, lowercase identifier for the code ("not_found", ...).
 std::string_view ErrorCodeName(ErrorCode code);

@@ -75,6 +75,13 @@ inline constexpr const char* kServerIdleCloses = "hac.server.idle_closes";
 inline constexpr const char* kServerBufferPoolHits = "hac.server.buffer_pool_hits";
 inline constexpr const char* kServerBufferPoolMisses =
     "hac.server.buffer_pool_misses";
+// Server-side cursors (kOpenCursor/kFetchPage/kCloseCursor, src/server/hac_service.cc).
+// cursor_closed counts explicit closes plus exhaustion/staleness auto-closes;
+// cursor_harvested counts idle-sweep reclamation (also folded into cursor_closed).
+inline constexpr const char* kServerCursorOpened = "hac.server.cursor_opened";
+inline constexpr const char* kServerCursorClosed = "hac.server.cursor_closed";
+inline constexpr const char* kServerCursorStale = "hac.server.cursor_stale";
+inline constexpr const char* kServerCursorHarvested = "hac.server.cursor_harvested";
 
 // --- durability: WAL + checkpoints + recovery (src/core/durability.cc) ---
 inline constexpr const char* kDurabilityWalAppends = "hac.durability.wal_appends";
@@ -98,6 +105,7 @@ inline constexpr const char* kTraceDropped = "hac.trace.dropped";
 inline constexpr const char* kServiceOpenSessions = "hac.service.open_sessions";
 inline constexpr const char* kServiceReadQueueDepth = "hac.service.read_queue_depth";
 inline constexpr const char* kServerOpenConnections = "hac.server.open_connections";
+inline constexpr const char* kServerCursorOpen = "hac.server.cursor_open";
 
 // --- histograms (unit in the suffix) ---
 inline constexpr const char* kConsistencyPassUs = "hac.consistency.pass_us";
@@ -125,6 +133,10 @@ inline constexpr const char* kServerWireDecodeNs = "hac.server.wire_decode_ns";
 // depth) and response frames coalesced per writev syscall (group-commit payoff).
 inline constexpr const char* kServerFramesPerWake = "hac.server.frames_per_wake";
 inline constexpr const char* kServerWritevFrames = "hac.server.writev_frames";
+// Page shape per kFetchPage: entries delivered and name/path payload bytes.
+inline constexpr const char* kServerCursorPageEntries =
+    "hac.server.cursor_page_entries";
+inline constexpr const char* kServerCursorPageBytes = "hac.server.cursor_page_bytes";
 // Durability: one fsync per group commit; checkpoint/recovery are whole-operation
 // durations (recovery includes checkpoint load, WAL replay, and the reindex).
 inline constexpr const char* kDurabilityFsyncUs = "hac.durability.fsync_us";
@@ -151,6 +163,8 @@ inline constexpr const char* kAllCounters[] = {
     kServerConnectionsOpened, kServerConnectionsClosed, kServerWireErrors,
     kServerEpollWakeups, kServerBackpressureStalls, kServerIdleCloses,
     kServerBufferPoolHits, kServerBufferPoolMisses,
+    kServerCursorOpened, kServerCursorClosed, kServerCursorStale,
+    kServerCursorHarvested,
     kDurabilityWalAppends, kDurabilityWalBytes, kDurabilityCheckpoints,
     kDurabilityRecoveries, kDurabilityReplayedRecords, kDurabilityCorruptFrames,
     kIndexQueries, kIndexDocsIndexed, kIndexDocsRemoved, kTraceDropped,
@@ -159,6 +173,7 @@ inline constexpr const char* kAllGauges[] = {
     kServiceOpenSessions,
     kServiceReadQueueDepth,
     kServerOpenConnections,
+    kServerCursorOpen,
 };
 inline constexpr const char* kAllHistograms[] = {
     kConsistencyPassUs,     kServiceQueueWaitReadUs, kServiceQueueWaitWriteUs,
@@ -167,6 +182,7 @@ inline constexpr const char* kAllHistograms[] = {
     kConsistencyParallelLevels, kConsistencyParallelWidth,
     kConsistencyParallelBarrierWaitNs, kServerWireEncodeNs, kServerWireDecodeNs,
     kServerFramesPerWake, kServerWritevFrames,
+    kServerCursorPageEntries, kServerCursorPageBytes,
     kDurabilityFsyncUs, kDurabilityCheckpointUs, kDurabilityRecoveryUs,
 };
 inline constexpr const char* kAllSpans[] = {

@@ -1,6 +1,7 @@
 #include "src/tools/hacctl.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
@@ -15,7 +16,9 @@ namespace hac {
 namespace {
 
 constexpr const char* kUsage =
-    "usage: hacctl stats|trace | hacctl checkpoint|fsck --data-dir DIR";
+    "usage: hacctl stats|trace | hacctl ls [--page N] PATH |\n"
+    "       hacctl search [--limit N] QUERY [SCOPE] |\n"
+    "       hacctl checkpoint|fsck --data-dir DIR";
 
 // Parses the single "--data-dir DIR" argument pair the persistent subcommands take.
 Result<std::string> DataDirArg(const std::vector<std::string>& args) {
@@ -86,6 +89,72 @@ Result<void> RunDemoWorkload(ServiceClient& client) {
   return OkResult();
 }
 
+// Strips an optional "<flag> N" prefix from `rest` (N > 0); 0 = server default.
+Result<size_t> TakeCountFlag(std::vector<std::string>& rest, const char* flag) {
+  if (rest.size() < 2 || rest[0] != flag) {
+    return size_t{0};
+  }
+  // strtoul silently accepts "-3"; require a plain decimal > 0.
+  if (rest[1].empty() || rest[1][0] < '0' || rest[1][0] > '9') {
+    return Error(ErrorCode::kInvalidArgument, kUsage);
+  }
+  char* end = nullptr;
+  unsigned long v = std::strtoul(rest[1].c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || v == 0) {
+    return Error(ErrorCode::kInvalidArgument, kUsage);
+  }
+  rest.erase(rest.begin(), rest.begin() + 2);
+  return static_cast<size_t>(v);
+}
+
+// Paged enumeration over the cursor ops (docs/API.md "Cursor ops"): shows what a
+// streaming client sees, including how many pages the server cut the result into.
+Result<std::string> RunPagedLs(ClientApi& client, const std::string& path,
+                               size_t page_size) {
+  HAC_ASSIGN_OR_RETURN(Fd cursor, client.OpenCursor(path));
+  std::string out;
+  size_t pages = 0, total = 0;
+  for (;;) {
+    HAC_ASSIGN_OR_RETURN(CursorPage page, client.FetchPage(cursor, page_size));
+    ++pages;
+    for (const DirEntry& e : page.entries) {
+      out += e.name;
+      out += '\n';
+      ++total;
+    }
+    if (!page.has_more) {
+      break;
+    }
+  }
+  HAC_RETURN_IF_ERROR(client.CloseCursor(cursor));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "# %zu entries in %zu page(s)\n", total, pages);
+  return out + buf;
+}
+
+Result<std::string> RunPagedSearch(ClientApi& client, const std::string& query,
+                                   const std::string& scope, size_t page_size) {
+  HAC_ASSIGN_OR_RETURN(Fd cursor, client.OpenCursor(scope, query));
+  std::string out;
+  size_t pages = 0, total = 0;
+  for (;;) {
+    HAC_ASSIGN_OR_RETURN(CursorPage page, client.FetchPage(cursor, page_size));
+    ++pages;
+    for (const std::string& p : page.paths) {
+      out += p;
+      out += '\n';
+      ++total;
+    }
+    if (!page.has_more) {
+      break;
+    }
+  }
+  HAC_RETURN_IF_ERROR(client.CloseCursor(cursor));
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "# %zu matches in %zu page(s)\n", total, pages);
+  return out + buf;
+}
+
 }  // namespace
 
 Result<std::string> RunHacctl(const std::vector<std::string>& args) {
@@ -96,6 +165,27 @@ Result<std::string> RunHacctl(const std::vector<std::string>& args) {
   if (!args.empty() && args[0] == "fsck") {
     HAC_ASSIGN_OR_RETURN(std::string dir, DataDirArg(args));
     return RunDataDirFsck(dir);
+  }
+  if (!args.empty() && (args[0] == "ls" || args[0] == "search")) {
+    std::vector<std::string> rest(args.begin() + 1, args.end());
+    HAC_ASSIGN_OR_RETURN(
+        size_t page_size,
+        TakeCountFlag(rest, args[0] == "ls" ? "--page" : "--limit"));
+    HacFileSystem fs;
+    HacService service(fs);
+    ServiceClient client(service);
+    HAC_RETURN_IF_ERROR(RunDemoWorkload(client));
+    if (args[0] == "ls") {
+      if (rest.size() != 1) {
+        return Error(ErrorCode::kInvalidArgument, kUsage);
+      }
+      return RunPagedLs(client, rest[0], page_size);
+    }
+    if (rest.empty() || rest.size() > 2) {
+      return Error(ErrorCode::kInvalidArgument, kUsage);
+    }
+    return RunPagedSearch(client, rest[0], rest.size() == 2 ? rest[1] : "/",
+                          page_size);
   }
   if (args.size() != 1 || (args[0] != "stats" && args[0] != "trace")) {
     return Error(ErrorCode::kInvalidArgument, kUsage);

@@ -218,6 +218,38 @@ Result<std::vector<DirEntry>> FileSystem::ReadDir(const std::string& path) {
   return out;
 }
 
+Result<std::vector<DirEntry>> FileSystem::ReadDirPage(const std::string& path,
+                                                      const std::string& after_name,
+                                                      size_t max_entries,
+                                                      size_t max_bytes,
+                                                      bool* has_more) {
+  HAC_ASSIGN_OR_RETURN(Resolved r, Resolve(path, /*follow_final=*/true));
+  if (r.node == kInvalidInode) {
+    return Error(ErrorCode::kNotFound, path);
+  }
+  const Inode& node = Node(r.node);
+  if (node.type != NodeType::kDirectory) {
+    return Error(ErrorCode::kNotADirectory, path);
+  }
+  std::vector<DirEntry> out;
+  size_t bytes = 0;
+  auto it = after_name.empty() ? node.entries.begin()
+                               : node.entries.upper_bound(after_name);
+  for (; it != node.entries.end(); ++it) {
+    if (out.size() >= max_entries ||
+        (max_bytes != 0 && !out.empty() && bytes + it->first.size() > max_bytes)) {
+      break;
+    }
+    out.push_back(DirEntry{it->first, Node(it->second).type, it->second});
+    bytes += it->first.size();
+  }
+  if (has_more != nullptr) {
+    *has_more = it != node.entries.end();
+  }
+  ++stats_.readdirs;
+  return out;
+}
+
 Result<Fd> FileSystem::Open(const std::string& path, uint32_t flags) {
   if ((flags & (kOpenRead | kOpenWrite)) == 0) {
     return Error(ErrorCode::kInvalidArgument, "open needs read or write");

@@ -33,6 +33,17 @@ class FileSystem final : public FsInterface {
   Result<void> Mkdir(const std::string& path) override;
   Result<void> Rmdir(const std::string& path) override;
   Result<std::vector<DirEntry>> ReadDir(const std::string& path) override;
+  // Paged enumeration: up to `max_entries` entries with names strictly after
+  // `after_name` ("" starts at the beginning), stopping early once the summed
+  // name bytes exceed `max_bytes` (0 = unbounded; at least one entry is always
+  // returned). Entries come back in the same sorted-name order as ReadDir —
+  // upper_bound over the directory's ordered entry map, so producing page one of
+  // a 100k-entry directory touches max_entries nodes, not all of them.
+  // `*has_more` reports whether entries remain past the page.
+  Result<std::vector<DirEntry>> ReadDirPage(const std::string& path,
+                                            const std::string& after_name,
+                                            size_t max_entries, size_t max_bytes,
+                                            bool* has_more);
   Result<Fd> Open(const std::string& path, uint32_t flags) override;
   Result<void> Close(Fd fd) override;
   Result<size_t> Read(Fd fd, void* buf, size_t n) override;

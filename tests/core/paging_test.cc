@@ -1,0 +1,179 @@
+// HacFileSystem::ReadDirPage / SearchPage: continuation tokens, byte budgets, and
+// the epoch-based staleness contract behind the service's cursor ops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/hac_file_system.h"
+
+namespace hac {
+namespace {
+
+std::vector<std::string> Names(const std::vector<DirEntry>& entries) {
+  std::vector<std::string> out;
+  for (const auto& e : entries) {
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+class PagingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(fs_.Mkdir("/docs").ok());
+    for (int i = 0; i < 12; ++i) {
+      const std::string name = "/docs/f" + std::string(1, char('a' + i)) + ".txt";
+      ASSERT_TRUE(fs_.WriteFile(name, i % 2 ? "alpha topic" : "bravo topic").ok());
+    }
+    ASSERT_TRUE(fs_.SMkdir("/q", "alpha OR bravo").ok());
+    ASSERT_TRUE(fs_.Reindex().ok());
+  }
+
+  HacFileSystem fs_;
+};
+
+TEST_F(PagingTest, PagedReadDirCoversEverythingInOrder) {
+  const std::vector<std::string> full = Names(fs_.ReadDir("/docs").value());
+  std::vector<std::string> paged;
+  const PageToken* token = nullptr;
+  PageToken held;
+  size_t pages = 0;
+  for (;;) {
+    auto page = fs_.ReadDirPage("/docs", token, 5, 0);
+    ASSERT_TRUE(page.ok());
+    ++pages;
+    for (const auto& e : page.value().entries) {
+      paged.push_back(e.name);
+    }
+    if (!page.value().has_more) {
+      break;
+    }
+    EXPECT_EQ(page.value().entries.size(), 5u);  // full pages until the tail
+    held = page.value().next;
+    token = &held;
+  }
+  EXPECT_EQ(pages, 3u);  // 5 + 5 + 2
+  EXPECT_EQ(paged, full);
+  EXPECT_TRUE(std::is_sorted(paged.begin(), paged.end()));
+}
+
+TEST_F(PagingTest, ByteBudgetBoundsPagesButAlwaysDeliversOne) {
+  std::vector<std::string> paged;
+  const PageToken* token = nullptr;
+  PageToken held;
+  for (;;) {
+    // A budget smaller than any single name: progress is still guaranteed.
+    auto page = fs_.ReadDirPage("/docs", token, 0, 1);
+    ASSERT_TRUE(page.ok());
+    ASSERT_EQ(page.value().entries.size(), 1u);
+    paged.push_back(page.value().entries[0].name);
+    if (!page.value().has_more) {
+      break;
+    }
+    held = page.value().next;
+    token = &held;
+  }
+  EXPECT_EQ(paged, Names(fs_.ReadDir("/docs").value()));
+}
+
+TEST_F(PagingTest, ResumingTokenGoesStaleAfterMutation) {
+  auto first = fs_.ReadDirPage("/docs", nullptr, 4, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_more);
+  PageToken token = first.value().next;
+
+  ASSERT_TRUE(fs_.WriteFile("/docs/zz.txt", "late arrival").ok());
+
+  auto resumed = fs_.ReadDirPage("/docs", &token, 4, 0);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, ErrorCode::kStaleCursor);
+}
+
+TEST_F(PagingTest, AtStartTokenRebasesInsteadOfGoingStale) {
+  // A token that never delivered anything has nothing to invalidate: opening a
+  // cursor, mutating, then fetching the FIRST page must succeed.
+  PageToken token;  // at_start, epoch from before the mutation
+  token.epoch = fs_.MutationEpoch();
+  ASSERT_TRUE(fs_.WriteFile("/docs/zz.txt", "late arrival").ok());
+  auto page = fs_.ReadDirPage("/docs", &token, 4, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value().entries.size(), 4u);
+  EXPECT_EQ(page.value().next.epoch, fs_.MutationEpoch());
+}
+
+TEST_F(PagingTest, MutationEpochAdvancesOnWrites) {
+  const uint64_t before = fs_.MutationEpoch();
+  ASSERT_TRUE(fs_.WriteFile("/docs/new.txt", "alpha").ok());
+  EXPECT_GT(fs_.MutationEpoch(), before);
+}
+
+TEST_F(PagingTest, PagedSearchEqualsMonolithicSearch) {
+  std::vector<std::string> expected = fs_.Search("alpha OR bravo", "/docs").value();
+  std::sort(expected.begin(), expected.end());
+
+  std::vector<std::string> paged;
+  const PageToken* token = nullptr;
+  PageToken held;
+  size_t pages = 0;
+  for (;;) {
+    auto page = fs_.SearchPage("alpha OR bravo", "/docs", token, 3, 0);
+    ASSERT_TRUE(page.ok());
+    ++pages;
+    for (const auto& p : page.value().paths) {
+      paged.push_back(p);
+    }
+    if (!page.value().has_more) {
+      break;
+    }
+    held = page.value().next;
+    token = &held;
+  }
+  EXPECT_GE(pages, 4u);  // 12 matches in pages of <= 3
+  std::sort(paged.begin(), paged.end());
+  EXPECT_EQ(paged, expected);
+}
+
+TEST_F(PagingTest, PagedSearchHonorsScope) {
+  ASSERT_TRUE(fs_.Mkdir("/other").ok());
+  ASSERT_TRUE(fs_.WriteFile("/other/x.txt", "alpha elsewhere").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+  auto page = fs_.SearchPage("alpha", "/docs", nullptr, 0, 0);
+  ASSERT_TRUE(page.ok());
+  for (const auto& p : page.value().paths) {
+    EXPECT_EQ(p.rfind("/docs/", 0), 0u) << p;
+  }
+  EXPECT_FALSE(page.value().has_more);
+}
+
+TEST_F(PagingTest, SearchPageTokenGoesStaleAfterReindex) {
+  auto first = fs_.SearchPage("alpha OR bravo", "/docs", nullptr, 3, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_more);
+  PageToken token = first.value().next;
+
+  ASSERT_TRUE(fs_.WriteFile("/docs/new.txt", "alpha too").ok());
+  ASSERT_TRUE(fs_.Reindex().ok());
+
+  auto resumed = fs_.SearchPage("alpha OR bravo", "/docs", &token, 3, 0);
+  ASSERT_FALSE(resumed.ok());
+  EXPECT_EQ(resumed.error().code, ErrorCode::kStaleCursor);
+}
+
+TEST_F(PagingTest, ErrorsMatchMonolithicReadDir) {
+  EXPECT_EQ(fs_.ReadDirPage("/nope", nullptr, 0, 0).error().code,
+            ErrorCode::kNotFound);
+  EXPECT_EQ(fs_.ReadDirPage("/docs/fa.txt", nullptr, 0, 0).error().code,
+            ErrorCode::kNotADirectory);
+}
+
+TEST_F(PagingTest, EntryCapIsClamped) {
+  // An absurd per-page request is clamped to the facade maximum, not honored.
+  auto page = fs_.ReadDirPage("/docs", nullptr, size_t{1} << 40, 0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_LE(page.value().entries.size(), size_t{4096});
+}
+
+}  // namespace
+}  // namespace hac

@@ -3,12 +3,14 @@
 // (thread-per-connection and epoll reactor). The assertions are transport-blind —
 // the point of the parameterization is that nothing here may depend on which side
 // of a socket the service lives, nor on how the server multiplexes its sockets.
+#include <algorithm>
 #include <chrono>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -262,6 +264,144 @@ TEST_P(ClientContractTest, StatsAndIntrospectionTravel) {
   auto trace = client->Introspect("trace");
   ASSERT_TRUE(trace.ok());
   EXPECT_TRUE(JsonValidate(trace.value()));
+}
+
+TEST_P(ClientContractTest, CursorOpsStreamDirectoriesAndSearches) {
+  auto client = NewClient();
+  ASSERT_TRUE(client->Mkdir("/docs").ok());
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(client
+                    ->WriteFile("/docs/f" + std::to_string(i) + ".txt",
+                                i % 2 ? "alpha topic" : "bravo topic")
+                    .ok());
+  }
+  ASSERT_TRUE(client->Reindex().ok());
+
+  // Paged enumeration equals the monolithic ReadDir, across every transport.
+  auto cursor = client->OpenCursor("/docs");
+  ASSERT_TRUE(cursor.ok()) << cursor.error().ToString();
+  std::vector<DirEntry> paged;
+  size_t pages = 0;
+  for (;;) {
+    auto page = client->FetchPage(cursor.value(), 4);
+    ASSERT_TRUE(page.ok()) << page.error().ToString();
+    ++pages;
+    for (auto& e : page.value().entries) {
+      paged.push_back(std::move(e));
+    }
+    if (!page.value().has_more) {
+      break;
+    }
+  }
+  ASSERT_TRUE(client->CloseCursor(cursor.value()).ok());
+  EXPECT_GE(pages, 3u);  // 9 entries in pages of <= 4
+  EXPECT_EQ(paged, client->ReadDir("/docs").value());
+
+  // Paged search equals the monolithic Search (order may differ: DocId vs path).
+  auto sc = client->OpenCursor("/docs", "alpha");
+  ASSERT_TRUE(sc.ok());
+  std::vector<std::string> found;
+  for (;;) {
+    auto page = client->FetchPage(sc.value(), 2);
+    ASSERT_TRUE(page.ok()) << page.error().ToString();
+    for (auto& p : page.value().paths) {
+      found.push_back(std::move(p));
+    }
+    if (!page.value().has_more) {
+      break;
+    }
+  }
+  ASSERT_TRUE(client->CloseCursor(sc.value()).ok());
+  auto mono = client->Search("alpha", "/docs");
+  ASSERT_TRUE(mono.ok());
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> expected = mono.value();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(found, expected);
+}
+
+TEST_P(ClientContractTest, CursorErrorTaxonomyIsTransportBlind) {
+  auto client = NewClient();
+  ASSERT_TRUE(client->Mkdir("/docs").ok());
+  ASSERT_TRUE(client->WriteFile("/docs/a.txt", "x").ok());
+
+  // Unknown cursor ids and misuse map to the same codes everywhere.
+  EXPECT_EQ(client->FetchPage(777).error().code, ErrorCode::kBadDescriptor);
+  EXPECT_EQ(client->CloseCursor(777).error().code, ErrorCode::kBadDescriptor);
+  EXPECT_EQ(client->OpenCursor("/missing").error().code, ErrorCode::kNotFound);
+  EXPECT_EQ(client->OpenCursor("/docs/a.txt").error().code,
+            ErrorCode::kNotADirectory);
+  // Malformed queries fail at open with the same code monolithic Search uses.
+  EXPECT_EQ(client->OpenCursor("/docs", "AND AND").error().code,
+            client->Search("AND AND", "/docs").error().code);
+
+  // A mutation between pages invalidates a resuming cursor with kStaleCursor,
+  // and the failed fetch auto-closes it server-side.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(client->WriteFile("/docs/s" + std::to_string(i) + ".txt", "y").ok());
+  }
+  auto cursor = client->OpenCursor("/docs");
+  ASSERT_TRUE(cursor.ok());
+  auto first = client->FetchPage(cursor.value(), 2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value().has_more);
+  ASSERT_TRUE(client->WriteFile("/docs/late.txt", "z").ok());
+  auto stale = client->FetchPage(cursor.value(), 2);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.error().code, ErrorCode::kStaleCursor);
+  EXPECT_EQ(client->CloseCursor(cursor.value()).error().code,
+            ErrorCode::kBadDescriptor);
+
+  // A cursor opened but not yet fetched survives mutations: the first page
+  // rebases onto the current epoch instead of failing.
+  auto fresh = client->OpenCursor("/docs");
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(client->WriteFile("/docs/later.txt", "w").ok());
+  auto page = client->FetchPage(fresh.value());
+  ASSERT_TRUE(page.ok()) << page.error().ToString();
+  EXPECT_FALSE(page.value().entries.empty());
+  ASSERT_TRUE(client->CloseCursor(fresh.value()).ok());
+}
+
+TEST_P(ClientContractTest, PagedConvenienceHelpersMatchMonolithicResults) {
+  auto client = NewClient();
+  ASSERT_TRUE(client->Mkdir("/docs").ok());
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(
+        client->WriteFile("/docs/h" + std::to_string(i) + ".txt", "alpha").ok());
+  }
+  ASSERT_TRUE(client->Reindex().ok());
+
+  auto paged_dir = client->ReadDirPaged("/docs", 3);
+  ASSERT_TRUE(paged_dir.ok()) << paged_dir.error().ToString();
+  EXPECT_EQ(paged_dir.value(), client->ReadDir("/docs").value());
+
+  auto paged_search = client->SearchPaged("alpha", "/docs", 3);
+  ASSERT_TRUE(paged_search.ok()) << paged_search.error().ToString();
+  std::vector<std::string> got = paged_search.value();
+  std::sort(got.begin(), got.end());
+  std::vector<std::string> expected = client->Search("alpha", "/docs").value();
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(got, expected);
+}
+
+TEST_P(ClientContractTest, CursorTableCapRejectsWithOverloaded) {
+  auto client = NewClient();
+  ASSERT_TRUE(client->Mkdir("/docs").ok());
+  const size_t cap = service_->options().max_cursors_per_session;
+  std::vector<Fd> open;
+  for (size_t i = 0; i < cap; ++i) {
+    auto c = client->OpenCursor("/docs");
+    ASSERT_TRUE(c.ok()) << "cursor " << i << ": " << c.error().ToString();
+    open.push_back(c.value());
+  }
+  auto over = client->OpenCursor("/docs");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.error().code, ErrorCode::kOverloaded);
+  // Closing one frees a slot.
+  ASSERT_TRUE(client->CloseCursor(open.back()).ok());
+  auto again = client->OpenCursor("/docs");
+  EXPECT_TRUE(again.ok()) << again.error().ToString();
 }
 
 std::string TransportParamName(const ::testing::TestParamInfo<Transport>& param) {

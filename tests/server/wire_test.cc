@@ -211,13 +211,27 @@ TEST(WireErrorTest, ErrorCodeNamesAreDistinct) {
   }
 }
 
-TEST(WireErrorTest, StaleExportStaysTheMaxCode) {
-  // Append-only discipline: a new code must extend past kStaleExport and bump
+TEST(WireErrorTest, StaleCursorStaysTheMaxCode) {
+  // Append-only discipline: a new code must extend past kStaleCursor and bump
   // kMaxErrorCode (wire.cc static_asserts the same bound at compile time), so a
   // value can never be silently reused.
   EXPECT_EQ(static_cast<int>(ErrorCode::kStaleExport), 20);
-  EXPECT_EQ(kMaxErrorCode, 20);
   EXPECT_EQ(ErrorCodeName(ErrorCode::kStaleExport), "stale_export");
+  EXPECT_EQ(static_cast<int>(ErrorCode::kStaleCursor), 21);
+  EXPECT_EQ(kMaxErrorCode, 21);
+  EXPECT_EQ(ErrorCodeName(ErrorCode::kStaleCursor), "stale_cursor");
+}
+
+TEST(WireRequestTest, CursorOpsKeepTheirWireValues) {
+  // The cursor ops are the tail of the append-only op table; their numeric
+  // values (and read classification) are the on-wire contract.
+  EXPECT_EQ(static_cast<int>(ServerOp::kOpenCursor), 33);
+  EXPECT_EQ(static_cast<int>(ServerOp::kFetchPage), 34);
+  EXPECT_EQ(static_cast<int>(ServerOp::kCloseCursor), 35);
+  EXPECT_EQ(kServerOpCount, 36u);
+  EXPECT_TRUE(IsReadOp(ServerOp::kOpenCursor));
+  EXPECT_TRUE(IsReadOp(ServerOp::kFetchPage));
+  EXPECT_TRUE(IsReadOp(ServerOp::kCloseCursor));
 }
 
 TEST(WireErrorTest, UnknownErrorCodeOnWireIsCorrupt) {
@@ -231,6 +245,38 @@ TEST(WireErrorTest, UnknownErrorCodeOnWireIsCorrupt) {
 }
 
 // --- framing ---
+
+TEST(WireFrameTest, OversizedResponseIsReplacedWithOverloadedError) {
+  const size_t prev = SetMaxEncodablePayloadForTest(512);
+  ServerResponse big;
+  for (int i = 0; i < 200; ++i) {
+    big.paths.push_back("/very/long/path/component/number/" + std::to_string(i));
+  }
+  std::vector<uint8_t> frame = EncodeResponseFrame(big);
+  // The substituted frame is itself well-formed, under the cap, and carries a
+  // retryable error pointing at the paged surface.
+  EXPECT_LE(frame.size() - kWireHeaderSize, 512u);
+  auto decoded = DecodeResponseFrame(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.error().ToString();
+  EXPECT_EQ(decoded.value().error.code, ErrorCode::kOverloaded);
+  EXPECT_NE(decoded.value().error.message.find("cursor"), std::string::npos);
+  EXPECT_TRUE(decoded.value().paths.empty());
+  SetMaxEncodablePayloadForTest(prev);
+
+  // With the default cap restored, the same response passes through untouched.
+  auto ok = DecodeResponseFrame(EncodeResponseFrame(big));
+  ASSERT_TRUE(ok.ok()) << ok.error().ToString();
+  EXPECT_EQ(ok.value().paths.size(), big.paths.size());
+}
+
+TEST(WireFrameTest, EncodeCapIsClampedToDecoderBound) {
+  // The encoder cap can never exceed what ReadHeader accepts (or what the u32
+  // length patch can represent): an absurd override clamps to kMaxFramePayload.
+  SetMaxEncodablePayloadForTest(size_t{1} << 40);
+  EXPECT_EQ(MaxEncodablePayload(), kMaxFramePayload);
+  SetMaxEncodablePayloadForTest(0);  // 0 restores the default
+  EXPECT_EQ(MaxEncodablePayload(), kMaxFramePayload);
+}
 
 TEST(WireFrameTest, BadMagicIsCorrupt) {
   std::vector<uint8_t> frame = EncodeRequestFrame(SampleRequest(1));

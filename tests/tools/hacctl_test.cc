@@ -65,6 +65,49 @@ TEST(HacctlTest, RejectsUnknownSubcommand) {
   EXPECT_FALSE(RunHacctl({"stats", "extra"}).ok());
 }
 
+TEST(HacctlTest, PagedLsStreamsTheDemoDirectory) {
+  auto result = RunHacctl({"ls", "--page", "2", "/projects"});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  // The demo workload seeds four files under /projects; page size 2 -> 2 pages.
+  EXPECT_NE(result.value().find("fingerprint.txt"), std::string::npos);
+  EXPECT_NE(result.value().find("notes.txt"), std::string::npos);
+  EXPECT_NE(result.value().find("# 4 entries in 2 page(s)"), std::string::npos)
+      << result.value();
+
+  // Default page size: everything in one page.
+  auto one = RunHacctl({"ls", "/projects"});
+  ASSERT_TRUE(one.ok()) << one.error().ToString();
+  EXPECT_NE(one.value().find("in 1 page(s)"), std::string::npos) << one.value();
+}
+
+TEST(HacctlTest, PagedSearchStreamsMatches) {
+  auto result = RunHacctl({"search", "--limit", "1", "dental", "/projects"});
+  ASSERT_TRUE(result.ok()) << result.error().ToString();
+  // Two demo files mention "dental"; limit 1 forces (at least) two pages.
+  EXPECT_NE(result.value().find("/projects/dental.txt"), std::string::npos)
+      << result.value();
+  EXPECT_NE(result.value().find("/projects/notes.txt"), std::string::npos)
+      << result.value();
+  EXPECT_NE(result.value().find("# 2 matches"), std::string::npos) << result.value();
+
+  // Scope defaults to "/".
+  auto rooted = RunHacctl({"search", "dental"});
+  ASSERT_TRUE(rooted.ok()) << rooted.error().ToString();
+  EXPECT_NE(rooted.value().find("# 2 matches"), std::string::npos);
+}
+
+TEST(HacctlTest, PagedSubcommandsRejectBadUsage) {
+  EXPECT_FALSE(RunHacctl({"ls"}).ok());
+  EXPECT_FALSE(RunHacctl({"ls", "--page", "0", "/projects"}).ok());
+  EXPECT_FALSE(RunHacctl({"ls", "--page", "abc", "/projects"}).ok());
+  EXPECT_FALSE(RunHacctl({"ls", "/a", "/b"}).ok());
+  EXPECT_FALSE(RunHacctl({"search"}).ok());
+  EXPECT_FALSE(RunHacctl({"search", "--limit", "-3", "q"}).ok());
+  EXPECT_FALSE(RunHacctl({"search", "q", "/scope", "extra"}).ok());
+  // Missing directories surface the facade's error, not a crash.
+  EXPECT_EQ(RunHacctl({"ls", "/no/such/dir"}).error().code, ErrorCode::kNotFound);
+}
+
 // Builds a small persisted data directory the durability subcommands can chew on.
 std::string MakeDataDir(const std::string& name) {
   namespace fs_std = std::filesystem;
